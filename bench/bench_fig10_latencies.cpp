@@ -1,0 +1,78 @@
+// Fig. 10 -- "Latency to switch number of active CPU cores using
+// hot-plugging (top) and to change the operating frequency (bottom)."
+//
+// Top: hot-plug latency for each core-count transition 1->2 ... 7->8 at
+// 200 MHz, 800 MHz and 1.4 GHz (the f-dependence is the mechanism behind
+// Table I). Bottom: DVFS latency for representative down- and
+// up-transitions at several active-core counts.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "soc/platform.hpp"
+#include "util/literals.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace pns;
+  using namespace pns::literals;
+  const soc::Platform board = soc::Platform::odroid_xu4();
+  const auto& lat = board.latency;
+
+  std::printf("Fig. 10 (top): hot-plug latency (ms) per core transition\n\n");
+  // The ladder of configurations 1..8 cores mirrors Fig. 4's ordering:
+  // LITTLE cores first, then big cores.
+  const std::vector<soc::CoreConfig> ladder = {
+      {1, 0}, {2, 0}, {3, 0}, {4, 0}, {4, 1}, {4, 2}, {4, 3}, {4, 4}};
+  ConsoleTable top({"transition", "type", "@200 MHz", "@800 MHz",
+                    "@1.4 GHz"});
+  for (std::size_t i = 0; i + 1 < ladder.size(); ++i) {
+    const auto& before = ladder[i];
+    const auto& after = ladder[i + 1];
+    const auto type = after.n_big > before.n_big ? soc::CoreType::kBig
+                                                 : soc::CoreType::kLittle;
+    char name[32];
+    std::snprintf(name, sizeof name, "%zu -> %zu cores", i + 1, i + 2);
+    top.add_row(
+        {name, to_string(type),
+         fmt_double(lat.hotplug_latency(type, true, 0.2_GHz, before) * 1e3,
+                    1),
+         fmt_double(lat.hotplug_latency(type, true, 0.8_GHz, before) * 1e3,
+                    1),
+         fmt_double(lat.hotplug_latency(type, true, 1.4_GHz, before) * 1e3,
+                    1)});
+  }
+  top.print(std::cout);
+
+  std::printf("\nFig. 10 (bottom): DVFS transition latency (ms)\n\n");
+  struct Jump {
+    double from, to;
+    const char* label;
+  };
+  const std::vector<Jump> jumps = {
+      {0.4_GHz, 0.2_GHz, "0.4 -> 0.2 (down)"},
+      {1.0_GHz, 0.8_GHz, "1.0 -> 0.8 (down)"},
+      {1.4_GHz, 1.2_GHz, "1.4 -> 1.2 (down)"},
+      {0.2_GHz, 0.4_GHz, "0.2 -> 0.4 (up)"},
+      {0.8_GHz, 1.0_GHz, "0.8 -> 1.0 (up)"},
+      {1.2_GHz, 1.4_GHz, "1.2 -> 1.4 (up)"},
+  };
+  ConsoleTable bottom({"transition (GHz)", "1xA7", "4xA7", "4xA7+1xA15",
+                       "4xA7+4xA15"});
+  for (const auto& j : jumps) {
+    bottom.add_row({j.label,
+                    fmt_double(lat.dvfs_latency(j.from, j.to, 1) * 1e3, 2),
+                    fmt_double(lat.dvfs_latency(j.from, j.to, 4) * 1e3, 2),
+                    fmt_double(lat.dvfs_latency(j.from, j.to, 5) * 1e3, 2),
+                    fmt_double(lat.dvfs_latency(j.from, j.to, 8) * 1e3, 2)});
+  }
+  bottom.print(std::cout);
+
+  std::printf(
+      "\nshape check (paper Fig. 10): hot-plugging costs ~30-45 ms at\n"
+      "200 MHz but only ~8-12 ms at 1.4 GHz (kernel work runs at the\n"
+      "current clock); entering the big cluster (4->5 cores) pays a\n"
+      "cluster power-switch surcharge. DVFS costs 1-3 ms, slightly more\n"
+      "with more online cores and for up-transitions.\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Micro benchmarks (google-benchmark) of the library's hot paths:
+// the implicit PV solve, adaptive integrator stepping, power-model
+// evaluation, controller ISR, monitor programming, and an end-to-end
+// simulated second. These bound the cost of the co-simulation loop and
+// document the sim/realtime ratio.
+#include <benchmark/benchmark.h>
+
+#include "core/controller.hpp"
+#include "ehsim/circuit.hpp"
+#include "ehsim/rk23.hpp"
+#include "ehsim/solar_cell.hpp"
+#include "ehsim/sources.hpp"
+#include "hw/monitor.hpp"
+#include "sim/experiment.hpp"
+
+namespace {
+
+using namespace pns;
+
+const soc::Platform& xu4() {
+  static soc::Platform p = soc::Platform::odroid_xu4();
+  return p;
+}
+
+void BM_SolarCellNewtonSolve(benchmark::State& state) {
+  const auto cell = sim::paper_pv_array();
+  double v = 4.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cell.current(v, 850.0));
+    v += 0.01;
+    if (v > 6.5) v = 4.1;
+  }
+}
+BENCHMARK(BM_SolarCellNewtonSolve);
+
+void BM_SolarCellMppSearch(benchmark::State& state) {
+  const auto cell = sim::paper_pv_array();
+  double g = 200.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cell.mpp(g).power);
+    g += 37.0;
+    if (g > 1100.0) g = 200.0;
+  }
+}
+BENCHMARK(BM_SolarCellMppSearch);
+
+void BM_PowerModelBoardPower(benchmark::State& state) {
+  const auto& p = xu4();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const soc::OperatingPoint opp{i % p.opps.size(),
+                                  {1 + static_cast<int>(i % 4),
+                                   static_cast<int>(i % 5)}};
+    benchmark::DoNotOptimize(p.power.board_power(opp, p.opps, 1.0));
+    ++i;
+  }
+}
+BENCHMARK(BM_PowerModelBoardPower);
+
+void BM_Rk23SecondOfCircuit(benchmark::State& state) {
+  const auto cell = sim::paper_pv_array();
+  const ehsim::PvSource source(cell, [](double) { return 900.0; });
+  const ehsim::ConstantPowerLoad load(3.5);
+  const ehsim::EhCircuit circuit(
+      source, load,
+      ehsim::Capacitor{47e-3, 0.0, 50e3});
+  ehsim::Rk23Options opt;
+  opt.max_step = 0.01;
+  for (auto _ : state) {
+    ehsim::Rk23Integrator ig(circuit, opt);
+    const double v0 = 5.2;
+    ig.reset(0.0, std::span<const double>(&v0, 1));
+    benchmark::DoNotOptimize(ig.advance(1.0).steps_taken);
+  }
+}
+BENCHMARK(BM_Rk23SecondOfCircuit);
+
+void BM_ControllerIsr(benchmark::State& state) {
+  hw::VoltageMonitor monitor;
+  ctl::PowerNeutralController controller(xu4(), monitor, {});
+  controller.calibrate(5.2, 0.0);
+  double t = 0.0;
+  soc::OperatingPoint opp{4, {4, 1}};
+  for (auto _ : state) {
+    t += 0.3;
+    auto plan = controller.on_interrupt(
+        (static_cast<long>(t * 10) % 2) != 0
+            ? hw::MonitorEdge::kLowFalling
+            : hw::MonitorEdge::kHighRising,
+        t, opp);
+    benchmark::DoNotOptimize(plan.size());
+  }
+}
+BENCHMARK(BM_ControllerIsr);
+
+void BM_MonitorThresholdProgramming(benchmark::State& state) {
+  hw::VoltageMonitor monitor;
+  double v = 4.4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(monitor.set_thresholds(v, v + 0.2, v + 0.1));
+    v += 0.05;
+    if (v > 5.4) v = 4.4;
+  }
+}
+BENCHMARK(BM_MonitorThresholdProgramming);
+
+void BM_EndToEndSimulatedMinute(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::SolarScenario scenario;
+    scenario.condition = trace::WeatherCondition::kPartialSun;
+    scenario.t_start = 12.0 * 3600.0;
+    scenario.t_end = scenario.t_start + 60.0;
+    auto cfg = sim::solar_sim_config(scenario);
+    cfg.record_series = false;
+    const auto r = sim::run_solar_power_neutral(xu4(), scenario, cfg);
+    benchmark::DoNotOptimize(r.metrics.instructions);
+  }
+}
+BENCHMARK(BM_EndToEndSimulatedMinute)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Table I -- "Time and current expended whilst transitioning from the
+// highest to the lowest OPP."
+//
+// Scenario (a): frequency scaling first, then core hot-plugging.
+// Scenario (b): core hot-plugging first, then frequency scaling.
+// For each: total transition time, charge drawn from the node, and the
+// buffer capacitance required to ride the transition through the board's
+// operating window.
+#include <cstdio>
+#include <iostream>
+
+#include "core/capacitor_sizing.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace pns;
+  const soc::Platform board = soc::Platform::odroid_xu4();
+
+  std::printf(
+      "Table I: worst-case transition %s -> %s\n\n",
+      to_string(board.highest_opp(), board.opps).c_str(),
+      to_string(board.lowest_opp(), board.opps).c_str());
+
+  const auto results = ctl::compare_orderings(board);
+
+  ConsoleTable table({"scenario", "transition time (ms)", "charge Q (C)",
+                      "required C (mF)"});
+  const char* labels[2] = {"(a) Frequency, Core", "(b) Core, Frequency"};
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    table.add_row({labels[i], fmt_double(r.transition_time_s * 1e3, 2),
+                   fmt_double(r.charge_c, 4),
+                   fmt_double(r.required_capacitance_f * 1e3, 1)});
+  }
+  table.print(std::cout);
+
+  const double t_ratio =
+      results[0].transition_time_s / results[1].transition_time_s;
+  const double q_ratio = results[0].charge_c / results[1].charge_c;
+  std::printf("\npaper: (a) 345.42 ms / 0.1299 C / 84.2 mF;"
+              " (b) 63.21 ms / 0.0461 C / 15.4 mF\n");
+  std::printf("ratios (a)/(b): time %.2fx (paper 5.5x), charge %.2fx "
+              "(paper 2.8x)\n", t_ratio, q_ratio);
+  std::printf(
+      "\nshape check: core-first wins decisively because hot-plugging at\n"
+      "the still-high clock is fast, whereas scenario (a) performs every\n"
+      "unplug at 200 MHz where each one costs ~40 ms. The paper chose a\n"
+      "47 mF buffer to cover scenario (b) with margin; our model's (b)\n"
+      "requirement fits inside that buffer as well.\n");
+
+  std::printf("\nscenario (b) step-by-step plan:\n");
+  ConsoleTable steps({"#", "kind", "from", "to", "dt (ms)", "P (W)"});
+  for (std::size_t i = 0; i < results[1].steps.size(); ++i) {
+    const auto& s = results[1].steps[i];
+    steps.add_row({std::to_string(i + 1),
+                   s.kind == soc::TransitionKind::kHotplug ? "hot-plug"
+                                                           : "DVFS",
+                   to_string(s.from, board.opps),
+                   to_string(s.to, board.opps),
+                   fmt_double(s.duration_s * 1e3, 2),
+                   fmt_double(s.power_w, 2)});
+  }
+  steps.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Quickstart: the minimum complete power-neutral system.
+//
+//   1. take the calibrated ODROID-XU4 platform model,
+//   2. couple it to the paper's PV array under constant full sun,
+//   3. run the power-neutral controller for two simulated minutes,
+//   4. print what happened.
+//
+// Build & run:  ./examples/quickstart
+#include <cstdio>
+
+#include "ehsim/sources.hpp"
+#include "sim/engine.hpp"
+#include "sim/experiment.hpp"
+
+int main() {
+  using namespace pns;
+
+  // The board model (power, performance, transition latencies -- all
+  // calibrated against the DATE'17 paper's measurements).
+  const soc::Platform board = soc::Platform::odroid_xu4();
+
+  // A 1340 cm^2 monocrystalline PV array in steady full sun.
+  const ehsim::SolarCell array = sim::paper_pv_array();
+  const ehsim::PvSource sun(array, [](double) { return 1000.0; });
+
+  // The paper's benchmark workload: a CPU-bound path tracer.
+  soc::RaytraceWorkload raytracer(board.perf.params().instr_per_frame);
+
+  // 47 mF buffer capacitor, 2 minutes, voltage-stability band at the
+  // array's maximum power point (5.3 V +/- 5 %).
+  sim::SimConfig cfg;
+  cfg.t_end = 120.0;
+  cfg.capacitance_f = 47e-3;
+  cfg.v_target = 5.3;
+
+  // Controller defaults are the paper's optimum: Vwidth 144 mV,
+  // Vq 47.9 mV, alpha 0.120 V/s, beta 0.479 V/s, core-first ordering.
+  sim::SimEngine engine(board, sun, raytracer, cfg,
+                        ctl::ControllerConfig{});
+  const sim::SimResult result = engine.run();
+
+  const auto& m = result.metrics;
+  std::printf("power-neutral run: %.0f s on %s\n", m.duration(),
+              board.name.c_str());
+  std::printf("  survived             : %s (%zu brownouts)\n",
+              m.brownouts == 0 ? "yes" : "no", m.brownouts);
+  std::printf("  time within +/-5%% of %.1f V : %.1f %%\n", m.v_target,
+              100.0 * m.fraction_in_band());
+  std::printf("  mean node voltage    : %.2f V (MPP at %.2f V)\n",
+              m.vc_stats.mean(), array.mpp(1000.0).voltage);
+  std::printf("  energy harvested     : %.1f J\n", m.energy_harvested_j);
+  std::printf("  energy consumed      : %.1f J\n", m.energy_consumed_j);
+  std::printf("  instructions retired : %.1f billion\n",
+              m.instructions / 1e9);
+  std::printf("  frames rendered      : %.2f (%.3f renders/min)\n",
+              m.frames, m.renders_per_min());
+  std::printf("  controller interrupts: %zu (CPU overhead %.3f %%)\n",
+              result.controller.interrupts,
+              100.0 * result.controller.cpu_overhead(m.duration()));
+  return 0;
+}

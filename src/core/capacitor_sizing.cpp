@@ -1,0 +1,46 @@
+#include "core/capacitor_sizing.hpp"
+
+#include "ehsim/capacitor.hpp"
+#include "util/contracts.hpp"
+
+namespace pns::ctl {
+
+SizingResult analyze_worst_case_transition(const soc::Platform& platform,
+                                           soc::OrderingPolicy policy,
+                                           double v_node,
+                                           double dv_allowed) {
+  PNS_EXPECTS(v_node > 0.0);
+  PNS_EXPECTS(dv_allowed > 0.0);
+  const soc::TransitionPlanner planner(platform.opps, platform.power,
+                                       platform.latency);
+  auto steps =
+      planner.plan(platform.highest_opp(), platform.lowest_opp(), policy);
+  SizingResult r{
+      .policy = policy,
+      .transition_time_s = soc::TransitionPlanner::total_duration(steps),
+      .charge_c = soc::TransitionPlanner::total_charge(steps, v_node),
+      .required_capacitance_f = 0.0,
+      .steps = std::move(steps),
+  };
+  r.required_capacitance_f =
+      ehsim::required_capacitance(r.charge_c, dv_allowed);
+  return r;
+}
+
+std::vector<SizingResult> compare_orderings(const soc::Platform& platform) {
+  // The droop starts near the regulation point and must not pass v_min, so
+  // the node sits around the middle of the operating window while the
+  // transition executes, and the full window width is the droop budget.
+  const double dv = platform.v_max - platform.v_min;
+  const double v_node = 0.5 * (platform.v_min + platform.v_max);
+  return {
+      analyze_worst_case_transition(platform,
+                                    soc::OrderingPolicy::kFreqFirst, v_node,
+                                    dv),
+      analyze_worst_case_transition(platform,
+                                    soc::OrderingPolicy::kCoreFirst, v_node,
+                                    dv),
+  };
+}
+
+}  // namespace pns::ctl

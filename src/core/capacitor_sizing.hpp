@@ -1,0 +1,41 @@
+// Worst-case buffer-capacitance analysis (paper Section IV.A, Table I).
+//
+// The buffer capacitor only has to carry the board through the *latency*
+// of the worst-case performance transition: highest OPP (max power) down
+// to lowest OPP (min power) after a sudden collapse of harvested power.
+// The charge drawn during that transition depends strongly on step
+// ordering -- hot-plugging at a high clock is fast, so core-first (the
+// paper's scenario (b)) spends ~5x less charge than DVFS-first
+// (scenario (a)) -- and the required capacitance is C = Q / dV_allowed.
+#pragma once
+
+#include <vector>
+
+#include "soc/platform.hpp"
+#include "soc/transition.hpp"
+
+namespace pns::ctl {
+
+/// Result of one worst-case sizing analysis.
+struct SizingResult {
+  soc::OrderingPolicy policy;
+  double transition_time_s;  ///< total latency of the plan (Table I col 2)
+  double charge_c;           ///< integral of I dt over the plan (col 3)
+  double required_capacitance_f;  ///< C = Q / dV (col 4)
+  std::vector<soc::TransitionStep> steps;
+};
+
+/// Analyses the highest->lowest OPP transition under `policy`, with the
+/// node held at `v_node` (worst case: the minimum operating voltage, where
+/// a given power costs the most current) and `dv_allowed` volts of
+/// permissible droop.
+SizingResult analyze_worst_case_transition(const soc::Platform& platform,
+                                           soc::OrderingPolicy policy,
+                                           double v_node,
+                                           double dv_allowed);
+
+/// Convenience: both orderings at the platform's minimum voltage with the
+/// full (v_max - v_min) droop budget.
+std::vector<SizingResult> compare_orderings(const soc::Platform& platform);
+
+}  // namespace pns::ctl

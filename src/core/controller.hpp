@@ -1,0 +1,111 @@
+// The power-neutral performance-scaling controller (the paper's primary
+// contribution; Fig. 5 flowchart).
+//
+// Event-driven: the external monitor hardware raises an interrupt when VC
+// crosses Vlow or Vhigh. The ISR then
+//   1. applies the linear DVFS response (one ladder step),
+//   2. applies the derivative hot-plug response (eqs. 2-3, from the time
+//      tau since the previous crossing),
+//   3. shifts both thresholds by Vq in the crossing direction and
+//      reprograms the monitor's digipots,
+//   4. restarts the tau timer.
+// The resulting OPP change is expanded into a timed transition plan
+// (core-first by default, per Table I) that the co-simulation executes.
+//
+// The controller never observes the harvester directly -- only the
+// interrupts -- which is what makes the scheme prediction-free and robust
+// to 'micro' variability.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/dvfs_policy.hpp"
+#include "core/hotplug_policy.hpp"
+#include "core/thresholds.hpp"
+#include "hw/monitor.hpp"
+#include "soc/platform.hpp"
+#include "soc/transition.hpp"
+
+namespace pns::ctl {
+
+/// Complete tuning of the controller. Defaults are the simulation-derived
+/// optima of Section III: Vwidth = 144 mV, Vq = 47.9 mV,
+/// alpha = 0.120 V/s, beta = 0.479 V/s.
+struct ControllerConfig {
+  double v_width = 0.144;
+  double v_q = 0.0479;
+  double alpha = 0.120;
+  double beta = 0.479;
+  /// Optional anchor for the top of the tracking window (V); 0 defers to
+  /// the platform/monitor limits. The paper sets the target voltage at
+  /// the array's calibrated MPP -- capping the window just above that
+  /// target pins regulation to the MPP instead of letting the window
+  /// wander towards the board's absolute maximum. There is no reason to
+  /// regulate above the MPP: the array delivers less power there.
+  double v_ceiling = 0.0;
+  soc::OrderingPolicy ordering = soc::OrderingPolicy::kCoreFirst;
+  /// CPU time consumed by one ISR execution (sysfs writes + bookkeeping);
+  /// drives the Fig. 15 overhead accounting.
+  double isr_cpu_time_s = 150e-6;
+};
+
+/// Cumulative controller statistics (Fig. 15 overhead analysis).
+struct ControllerStats {
+  std::size_t interrupts = 0;
+  std::size_t dvfs_steps = 0;
+  std::size_t hotplug_steps = 0;
+  std::size_t big_ops = 0;
+  std::size_t little_ops = 0;
+  std::size_t threshold_moves = 0;
+  double isr_busy_s = 0.0;  ///< total CPU time spent in the ISR
+
+  /// Mean CPU overhead over `elapsed_s` of wall time (fraction).
+  double cpu_overhead(double elapsed_s) const {
+    return elapsed_s > 0.0 ? isr_busy_s / elapsed_s : 0.0;
+  }
+};
+
+/// Interrupt-driven power-neutral controller.
+class PowerNeutralController {
+ public:
+  /// Borrows platform and monitor; both must outlive the controller.
+  PowerNeutralController(const soc::Platform& platform,
+                         hw::VoltageMonitor& monitor,
+                         ControllerConfig config = {});
+
+  const ControllerConfig& config() const { return config_; }
+  const ControllerStats& stats() const { return stats_; }
+  const ThresholdTracker& thresholds() const { return tracker_; }
+
+  /// Initial calibration at time `t`: centres the thresholds on `vc`
+  /// (eq. 1) and programs the monitor.
+  void calibrate(double vc, double t);
+
+  /// ISR body. `edge` is what the monitor reported; `current` is the OPP
+  /// the transition queue will have reached when this response starts
+  /// (SocRuntime::final_target()). Returns the transition plan to enqueue
+  /// (possibly empty when already saturated at a ladder end).
+  std::vector<soc::TransitionStep> on_interrupt(
+      hw::MonitorEdge edge, double t, const soc::OperatingPoint& current);
+
+  /// Time since the previous handled crossing, as of time `t`.
+  double tau(double t) const { return t - last_crossing_t_; }
+
+ private:
+  void program_monitor(double vc_now);
+
+  const soc::Platform* platform_;
+  hw::VoltageMonitor* monitor_;
+  ControllerConfig config_;
+  ThresholdTracker tracker_;
+  LinearDvfsPolicy dvfs_;
+  DerivativeHotplugPolicy hotplug_;
+  soc::TransitionPlanner planner_;
+  double last_crossing_t_ = 0.0;
+  /// Direction of the previous handled crossing; -1 none since calibrate.
+  int last_direction_ = -1;
+  ControllerStats stats_;
+};
+
+}  // namespace pns::ctl

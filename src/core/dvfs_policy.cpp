@@ -1,0 +1,27 @@
+#include "core/dvfs_policy.hpp"
+
+#include "util/contracts.hpp"
+
+namespace pns::ctl {
+
+const char* to_string(ScaleDirection d) {
+  return d == ScaleDirection::kDown ? "down" : "up";
+}
+
+LinearDvfsPolicy::LinearDvfsPolicy(int steps_per_crossing)
+    : steps_(steps_per_crossing) {
+  PNS_EXPECTS(steps_per_crossing >= 1);
+}
+
+std::size_t LinearDvfsPolicy::next_index(const soc::OppTable& table,
+                                         std::size_t current,
+                                         ScaleDirection direction) const {
+  PNS_EXPECTS(current < table.size());
+  std::size_t idx = current;
+  for (int s = 0; s < steps_; ++s)
+    idx = direction == ScaleDirection::kDown ? table.step_down(idx)
+                                             : table.step_up(idx);
+  return idx;
+}
+
+}  // namespace pns::ctl

@@ -1,0 +1,52 @@
+#include "core/thresholds.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace pns::ctl {
+
+ThresholdTracker::ThresholdTracker(ThresholdConfig config)
+    : config_(config) {
+  PNS_EXPECTS(config_.v_width > 0.0);
+  PNS_EXPECTS(config_.v_q > 0.0);
+  PNS_EXPECTS(config_.v_floor < config_.v_ceil);
+  PNS_EXPECTS(config_.v_ceil - config_.v_floor >= config_.v_width);
+  calibrate(0.5 * (config_.v_floor + config_.v_ceil));
+}
+
+void ThresholdTracker::calibrate(double vc) {
+  v_low_ = vc - 0.5 * config_.v_width;
+  v_high_ = vc + 0.5 * config_.v_width;
+  saturated_ = false;
+  clamp();
+}
+
+void ThresholdTracker::shift_down() {
+  v_low_ -= config_.v_q;
+  v_high_ -= config_.v_q;
+  clamp();
+}
+
+void ThresholdTracker::shift_up() {
+  v_low_ += config_.v_q;
+  v_high_ += config_.v_q;
+  clamp();
+}
+
+void ThresholdTracker::clamp() {
+  saturated_ = false;
+  if (v_low_ < config_.v_floor) {
+    v_low_ = config_.v_floor;
+    v_high_ = v_low_ + config_.v_width;
+    saturated_ = true;
+  }
+  if (v_high_ > config_.v_ceil) {
+    v_high_ = config_.v_ceil;
+    v_low_ = v_high_ - config_.v_width;
+    saturated_ = true;
+  }
+  PNS_ENSURES(v_low_ < v_high_);
+}
+
+}  // namespace pns::ctl

@@ -1,0 +1,60 @@
+// Dynamic voltage-threshold tracker (paper Section II.A, eq. 1).
+//
+// Two thresholds bracket the storage-node voltage with spacing Vwidth:
+//
+//   Vhigh(0) = VC + Vwidth/2,  Vlow(0) = VC - Vwidth/2          (eq. 1)
+//
+// Each LOW crossing shifts both thresholds *down* by Vq, each HIGH
+// crossing shifts them *up* by Vq, so the window follows VC and thereby
+// "tracks" the harvested power level without ever predicting it. The
+// tracker also clamps the window into the range the monitor hardware (or
+// the platform's safe operating area) can express.
+#pragma once
+
+namespace pns::ctl {
+
+/// Tracker configuration.
+struct ThresholdConfig {
+  double v_width;  ///< spacing between the two thresholds (V)
+  double v_q;      ///< per-crossing shift (V)
+  double v_floor;  ///< lowest allowed Vlow (V)
+  double v_ceil;   ///< highest allowed Vhigh (V)
+};
+
+/// Pure threshold arithmetic; the controller owns one of these and mirrors
+/// its values into the monitor hardware after every change.
+class ThresholdTracker {
+ public:
+  explicit ThresholdTracker(ThresholdConfig config);
+
+  const ThresholdConfig& config() const { return config_; }
+
+  /// Centres the window on `vc` per eq. 1 (then clamps).
+  void calibrate(double vc);
+
+  /// Shifts the window down by Vq (LOW crossing response).
+  void shift_down();
+
+  /// Shifts the window up by Vq (HIGH crossing response).
+  void shift_up();
+
+  double v_low() const { return v_low_; }
+  double v_high() const { return v_high_; }
+
+  /// True when the last shift was truncated by the floor/ceiling clamp.
+  bool saturated() const { return saturated_; }
+
+  /// True when the window is pinned at its ceiling / floor.
+  bool at_ceiling() const { return v_high_ >= config_.v_ceil - 1e-12; }
+  bool at_floor() const { return v_low_ <= config_.v_floor + 1e-12; }
+
+ private:
+  void clamp();
+
+  ThresholdConfig config_;
+  double v_low_ = 0.0;
+  double v_high_ = 0.0;
+  bool saturated_ = false;
+};
+
+}  // namespace pns::ctl

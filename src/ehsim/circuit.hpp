@@ -1,0 +1,47 @@
+// The storage-node circuit of Fig. 2/Fig. 8 as an ODE system.
+//
+// One state variable: the capacitor voltage VC.
+//
+//   C * dVC/dt = I_source(VC, t) - I_load(VC, t) - VC / R_leak
+//
+// The source and load are polymorphic (PV array / bench supply; SoC load),
+// so the same circuit serves the Simulink-style study (Section III), the
+// controlled-supply experiment (Fig. 11) and the full solar runs
+// (Figs. 12-14).
+#pragma once
+
+#include "ehsim/capacitor.hpp"
+#include "ehsim/loads.hpp"
+#include "ehsim/ode.hpp"
+#include "ehsim/sources.hpp"
+
+namespace pns::ehsim {
+
+/// Single-node harvester + capacitor + load circuit.
+class EhCircuit : public OdeSystem {
+ public:
+  /// Both `source` and `load` are borrowed and must outlive the circuit.
+  EhCircuit(const CurrentSource& source, const Load& load, Capacitor cap);
+
+  std::size_t dimension() const override { return 1; }
+
+  void derivatives(double t, std::span<const double> y,
+                   std::span<double> dydt) const override;
+
+  const Capacitor& capacitor() const { return cap_; }
+
+  /// Net current into the node at voltage v, time t (A).
+  double net_current(double v, double t) const;
+
+  /// Finds the equilibrium node voltage in [v_lo, v_hi] where net current
+  /// is zero, by bisection; returns the boundary with smaller |net| when no
+  /// sign change exists in the bracket.
+  double equilibrium_voltage(double t, double v_lo, double v_hi) const;
+
+ private:
+  const CurrentSource* source_;
+  const Load* load_;
+  Capacitor cap_;
+};
+
+}  // namespace pns::ehsim

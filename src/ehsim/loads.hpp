@@ -1,0 +1,65 @@
+// Loads drawing current from the storage node.
+//
+// The ODROID board behaves as a constant-power load over its 4.1-5.7 V
+// input range (its on-board regulators hold the rails, so I = P / Vin).
+// ConstantPowerLoad captures that with a minimum-voltage cutoff below
+// which the regulators drop out and draw only residual current.
+// CallbackLoad is the hook the co-simulation engine uses to couple the SoC
+// power model into the circuit.
+#pragma once
+
+#include <functional>
+
+namespace pns::ehsim {
+
+/// A device that draws current from the storage node.
+class Load {
+ public:
+  virtual ~Load() = default;
+
+  /// Current (A) out of the node at node voltage `v` and time `t`.
+  virtual double current(double v, double t) const = 0;
+};
+
+/// Constant-power load with undervoltage cutoff:
+///   I = P / v          for v >= v_cutoff
+///   I = residual / v   below cutoff (regulator dropout, residual watts)
+/// A small series floor on v avoids the 1/v singularity at node collapse.
+class ConstantPowerLoad : public Load {
+ public:
+  ConstantPowerLoad(double watts, double v_cutoff = 0.0,
+                    double residual_watts = 0.0);
+
+  double current(double v, double t) const override;
+
+  double watts() const { return watts_; }
+  void set_watts(double watts);
+
+ private:
+  double watts_;
+  double v_cutoff_;
+  double residual_watts_;
+};
+
+/// Ohmic load I = v / R (test baseline: gives analytic RC discharge).
+class ResistiveLoad : public Load {
+ public:
+  explicit ResistiveLoad(double ohms);
+  double current(double v, double t) const override;
+
+ private:
+  double ohms_;
+};
+
+/// Adapts an arbitrary callable (v, t) -> amps. The co-simulation engine
+/// wires the SoC power model in through this.
+class CallbackLoad : public Load {
+ public:
+  explicit CallbackLoad(std::function<double(double, double)> fn);
+  double current(double v, double t) const override;
+
+ private:
+  std::function<double(double, double)> fn_;
+};
+
+}  // namespace pns::ehsim

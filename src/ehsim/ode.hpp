@@ -1,0 +1,57 @@
+// ODE system interface and event specification.
+//
+// The energy-harvesting circuit (Fig. 2 of the paper) is a stiff-ish first
+// order system d(VC)/dt = (I_harvest - I_load) / C with discontinuous load
+// current (OPP changes) and threshold events (comparator crossings,
+// brownout). The paper validates its controller with Matlab's ODE23; we
+// provide the same integrator family (Bogacki-Shampine RK2(3)) plus event
+// localisation, defined against this minimal system interface.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace pns::ehsim {
+
+/// Right-hand side of an autonomous-in-form ODE y' = f(t, y).
+///
+/// Implementations must be side-effect free: the integrator evaluates the
+/// derivative at trial points that may be discarded.
+class OdeSystem {
+ public:
+  virtual ~OdeSystem() = default;
+
+  /// Number of state variables.
+  virtual std::size_t dimension() const = 0;
+
+  /// Writes f(t, y) into dydt (both spans have dimension() elements).
+  virtual void derivatives(double t, std::span<const double> y,
+                           std::span<double> dydt) const = 0;
+};
+
+/// Crossing direction an event fires on.
+enum class EventDirection {
+  kRising,   ///< g goes from negative to non-negative
+  kFalling,  ///< g goes from positive to non-positive
+  kAny,      ///< any sign change
+};
+
+/// Scalar event function g(t, y); a root of g marks the event.
+struct EventSpec {
+  std::function<double(double t, std::span<const double> y)> g;
+  EventDirection direction = EventDirection::kAny;
+  /// Opaque tag returned to the caller when this event fires.
+  int tag = 0;
+};
+
+/// Outcome of advancing an integrator to a time limit.
+struct IntegrationResult {
+  double t = 0.0;            ///< time reached
+  bool event_fired = false;  ///< true if stopped by an event root
+  int event_tag = 0;         ///< tag of the event that fired
+  std::size_t steps_taken = 0;
+  std::size_t rejected_steps = 0;
+};
+
+}  // namespace pns::ehsim

@@ -1,0 +1,241 @@
+#include "ehsim/rk23.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace pns::ehsim {
+namespace {
+
+double error_norm(std::span<const double> err, std::span<const double> y0,
+                  std::span<const double> y1, double rel_tol,
+                  double abs_tol) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < err.size(); ++i) {
+    const double scale =
+        abs_tol + rel_tol * std::max(std::abs(y0[i]), std::abs(y1[i]));
+    const double e = err[i] / scale;
+    acc += e * e;
+  }
+  return std::sqrt(acc / static_cast<double>(err.size()));
+}
+
+bool direction_matches(EventDirection dir, double g0, double g1) {
+  switch (dir) {
+    case EventDirection::kRising:
+      return g0 < 0.0 && g1 >= 0.0;
+    case EventDirection::kFalling:
+      return g0 > 0.0 && g1 <= 0.0;
+    case EventDirection::kAny:
+      return (g0 < 0.0 && g1 >= 0.0) || (g0 > 0.0 && g1 <= 0.0);
+  }
+  return false;
+}
+
+}  // namespace
+
+Rk23Integrator::Rk23Integrator(const OdeSystem& system, Rk23Options options)
+    : system_(&system), opt_(options) {
+  PNS_EXPECTS(opt_.rel_tol > 0.0);
+  PNS_EXPECTS(opt_.abs_tol > 0.0);
+  PNS_EXPECTS(opt_.max_step > 0.0);
+  const std::size_t n = system_->dimension();
+  PNS_EXPECTS(n >= 1);
+  y_.resize(n);
+  f0_.resize(n);
+  step_y0_.resize(n);
+  step_y1_.resize(n);
+  step_f0_.resize(n);
+  step_f1_.resize(n);
+  k1_.resize(n);
+  k2_.resize(n);
+  k3_.resize(n);
+  k4_.resize(n);
+  ytmp_.resize(n);
+  yerr_.resize(n);
+  ynew_.resize(n);
+}
+
+void Rk23Integrator::reset(double t0, std::span<const double> y0) {
+  PNS_EXPECTS(y0.size() == y_.size());
+  t_ = t0;
+  std::copy(y0.begin(), y0.end(), y_.begin());
+  have_f0_ = false;
+  h_ = opt_.initial_step;
+  step_t0_ = step_t1_ = t0;
+  std::copy(y0.begin(), y0.end(), step_y0_.begin());
+  std::copy(y0.begin(), y0.end(), step_y1_.begin());
+}
+
+double Rk23Integrator::initial_step_guess(double t_end) const {
+  // Tolerance-scaled norms of state and derivative (SciPy-style h0): the
+  // first step should change the scaled state by about 1 %. Starting small
+  // also avoids landing on isolated zeros of the embedded error estimator
+  // (for y' = lambda*y the BS23 estimator vanishes at h*lambda = -1).
+  double d0 = 0.0, d1 = 0.0;
+  for (std::size_t i = 0; i < y_.size(); ++i) {
+    const double scale = opt_.abs_tol + opt_.rel_tol * std::abs(y_[i]);
+    d0 = std::max(d0, std::abs(y_[i]) / scale);
+    d1 = std::max(d1, std::abs(f0_[i]) / scale);
+  }
+  double h = (d0 >= 1e-5 && d1 >= 1e-5) ? 0.01 * d0 / d1 : 1e-6;
+  h = std::clamp(h, opt_.min_step * 10.0, opt_.max_step);
+  return std::min(h, std::max(t_end - t_, opt_.min_step));
+}
+
+IntegrationResult Rk23Integrator::advance(double t_end,
+                                          std::span<const EventSpec> events) {
+  IntegrationResult result;
+  result.t = t_;
+  if (t_end <= t_) return result;
+
+  std::vector<double> g_prev(events.size()), g_curr(events.size());
+
+  if (!have_f0_) {
+    system_->derivatives(t_, y_, std::span<double>(f0_));
+    have_f0_ = true;
+  }
+  if (h_ <= 0.0) h_ = initial_step_guess(t_end);
+
+  for (double g_i = 0; auto& g : g_prev) {
+    g = events[static_cast<std::size_t>(g_i)].g(t_, y_);
+    ++g_i;
+  }
+
+  std::size_t steps_this_call = 0;
+  while (t_ < t_end) {
+    PNS_ENSURES(++steps_this_call <= opt_.max_steps_per_call);
+
+    double h = std::min({h_, opt_.max_step, t_end - t_});
+    h = std::max(h, opt_.min_step);
+
+    // Bogacki-Shampine tableau. k1 is the FSAL derivative from the
+    // previous step (f0_).
+    std::copy(f0_.begin(), f0_.end(), k1_.begin());
+
+    for (std::size_t i = 0; i < y_.size(); ++i)
+      ytmp_[i] = y_[i] + h * 0.5 * k1_[i];
+    system_->derivatives(t_ + 0.5 * h, ytmp_, std::span<double>(k2_));
+
+    for (std::size_t i = 0; i < y_.size(); ++i)
+      ytmp_[i] = y_[i] + h * 0.75 * k2_[i];
+    system_->derivatives(t_ + 0.75 * h, ytmp_, std::span<double>(k3_));
+
+    for (std::size_t i = 0; i < y_.size(); ++i)
+      ynew_[i] = y_[i] + h * (2.0 / 9.0 * k1_[i] + 1.0 / 3.0 * k2_[i] +
+                              4.0 / 9.0 * k3_[i]);
+    system_->derivatives(t_ + h, ynew_, std::span<double>(k4_));
+
+    // Embedded 2nd-order error estimate.
+    for (std::size_t i = 0; i < y_.size(); ++i) {
+      const double z = y_[i] + h * (7.0 / 24.0 * k1_[i] + 0.25 * k2_[i] +
+                                    1.0 / 3.0 * k3_[i] + 0.125 * k4_[i]);
+      yerr_[i] = ynew_[i] - z;
+    }
+
+    const double err =
+        error_norm(yerr_, y_, ynew_, opt_.rel_tol, opt_.abs_tol);
+
+    if (err > 1.0 && h > opt_.min_step) {
+      ++total_rejected_;
+      ++result.rejected_steps;
+      h_ = h * std::max(0.2, 0.9 * std::pow(err, -1.0 / 3.0));
+      continue;
+    }
+
+    // Accept the step.
+    step_t0_ = t_;
+    step_t1_ = t_ + h;
+    std::copy(y_.begin(), y_.end(), step_y0_.begin());
+    std::copy(ynew_.begin(), ynew_.end(), step_y1_.begin());
+    std::copy(k1_.begin(), k1_.end(), step_f0_.begin());
+    std::copy(k4_.begin(), k4_.end(), step_f1_.begin());
+
+    t_ = step_t1_;
+    std::copy(ynew_.begin(), ynew_.end(), y_.begin());
+    std::copy(k4_.begin(), k4_.end(), f0_.begin());  // FSAL
+    ++total_steps_;
+    ++result.steps_taken;
+
+    // Grow the step for the next iteration.
+    const double growth =
+        err > 1e-12 ? 0.9 * std::pow(err, -1.0 / 3.0) : 5.0;
+    h_ = h * std::clamp(growth, 0.2, 5.0);
+
+    // --- event detection over the accepted step ------------------------
+    double earliest_t = step_t1_;
+    int earliest_tag = 0;
+    bool fired = false;
+    for (std::size_t e = 0; e < events.size(); ++e) {
+      g_curr[e] = events[e].g(t_, y_);
+      if (!direction_matches(events[e].direction, g_prev[e], g_curr[e]))
+        continue;
+      // Bisect for the root inside [step_t0_, step_t1_].
+      double lo = step_t0_, hi = step_t1_;
+      double g_lo = g_prev[e];
+      for (int it = 0; it < 64 && (hi - lo) > opt_.event_tol; ++it) {
+        const double mid = 0.5 * (lo + hi);
+        const double g_mid = event_value(events[e], mid);
+        const bool crossed =
+            direction_matches(events[e].direction, g_lo, g_mid);
+        if (crossed) {
+          hi = mid;
+        } else {
+          lo = mid;
+          g_lo = g_mid;
+        }
+      }
+      if (hi < earliest_t || !fired) {
+        if (!fired || hi < earliest_t) {
+          earliest_t = hi;
+          earliest_tag = events[e].tag;
+        }
+        fired = true;
+      }
+    }
+
+    if (fired) {
+      // Rewind the trajectory to the event time.
+      interpolate(earliest_t, std::span<double>(ytmp_));
+      t_ = earliest_t;
+      std::copy(ytmp_.begin(), ytmp_.end(), y_.begin());
+      have_f0_ = false;  // state changed off the step grid
+      result.t = t_;
+      result.event_fired = true;
+      result.event_tag = earliest_tag;
+      return result;
+    }
+
+    std::swap(g_prev, g_curr);
+  }
+
+  result.t = t_;
+  return result;
+}
+
+void Rk23Integrator::interpolate(double t, std::span<double> y_out) const {
+  const double h = step_t1_ - step_t0_;
+  if (h <= 0.0) {
+    std::copy(step_y1_.begin(), step_y1_.end(), y_out.begin());
+    return;
+  }
+  const double s = std::clamp((t - step_t0_) / h, 0.0, 1.0);
+  const double s2 = s * s, s3 = s2 * s;
+  const double h00 = 2 * s3 - 3 * s2 + 1;
+  const double h10 = s3 - 2 * s2 + s;
+  const double h01 = -2 * s3 + 3 * s2;
+  const double h11 = s3 - s2;
+  for (std::size_t i = 0; i < y_out.size(); ++i) {
+    y_out[i] = h00 * step_y0_[i] + h * h10 * step_f0_[i] +
+               h01 * step_y1_[i] + h * h11 * step_f1_[i];
+  }
+}
+
+double Rk23Integrator::event_value(const EventSpec& ev, double t) const {
+  std::vector<double> y(y_.size());
+  interpolate(t, std::span<double>(y));
+  return ev.g(t, y);
+}
+
+}  // namespace pns::ehsim

@@ -1,0 +1,44 @@
+#include "ehsim/sources.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace pns::ehsim {
+
+PvSource::PvSource(SolarCell cell, std::function<double(double)> irradiance)
+    : cell_(std::move(cell)), irradiance_(std::move(irradiance)) {
+  PNS_EXPECTS(static_cast<bool>(irradiance_));
+}
+
+double PvSource::current(double v, double t) const {
+  return cell_.current(v, irradiance_(t));
+}
+
+double PvSource::available_power(double t) const {
+  return cell_.mpp(irradiance_(t)).power;
+}
+
+ControlledSupply::ControlledSupply(std::function<double(double)> v_source,
+                                   double series_resistance,
+                                   bool diode_isolated)
+    : v_source_(std::move(v_source)),
+      series_resistance_(series_resistance),
+      diode_isolated_(diode_isolated) {
+  PNS_EXPECTS(static_cast<bool>(v_source_));
+  PNS_EXPECTS(series_resistance_ > 0.0);
+}
+
+double ControlledSupply::current(double v, double t) const {
+  const double i = (v_source_(t) - v) / series_resistance_;
+  if (diode_isolated_) return std::max(0.0, i);
+  return i;
+}
+
+double ControlledSupply::available_power(double t) const {
+  // Max power transfer at v = Vs/2: P = Vs^2 / (4 R).
+  const double vs = v_source_(t);
+  return vs * vs / (4.0 * series_resistance_);
+}
+
+}  // namespace pns::ehsim

@@ -1,0 +1,80 @@
+// Harvester / supply sources feeding the storage node.
+//
+// Everything upstream of the capacitor implements CurrentSource: given the
+// node voltage and the time, return the current pushed into the node. Three
+// concrete sources cover the paper's experiments:
+//   * PvSource            -- solar array + irradiance profile (Figs. 12-14)
+//   * ControlledSupply    -- bench supply with series resistance (Fig. 11)
+//   * ConstantCurrent     -- analytic baseline for tests
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "ehsim/solar_cell.hpp"
+
+namespace pns::ehsim {
+
+/// A device that injects current into the storage node.
+class CurrentSource {
+ public:
+  virtual ~CurrentSource() = default;
+
+  /// Current (A) into the node at node voltage `v` and time `t`.
+  virtual double current(double v, double t) const = 0;
+
+  /// Estimated maximum extractable power (W) at time `t`, maximised over
+  /// the node voltage. Used by the power-neutrality analysis (Fig. 14);
+  /// sources with no meaningful optimum may return 0.
+  virtual double available_power(double /*t*/) const { return 0.0; }
+};
+
+/// PV array driven by an irradiance profile G(t) in W/m^2.
+class PvSource : public CurrentSource {
+ public:
+  /// `irradiance` is sampled on demand; it must be callable for any t >= 0.
+  PvSource(SolarCell cell, std::function<double(double)> irradiance);
+
+  double current(double v, double t) const override;
+
+  /// MPP power of the array under the irradiance at time t.
+  double available_power(double t) const override;
+
+  const SolarCell& cell() const { return cell_; }
+  double irradiance_at(double t) const { return irradiance_(t); }
+
+ private:
+  SolarCell cell_;
+  std::function<double(double)> irradiance_;
+};
+
+/// Ideal programmable supply behind a series resistor: I = (Vs(t) - v)/R.
+/// When `diode_isolated` is set, the source can only push current (a
+/// blocking diode), never absorb it.
+class ControlledSupply : public CurrentSource {
+ public:
+  ControlledSupply(std::function<double(double)> v_source,
+                   double series_resistance, bool diode_isolated = false);
+
+  double current(double v, double t) const override;
+  double available_power(double t) const override;
+
+  double source_voltage_at(double t) const { return v_source_(t); }
+
+ private:
+  std::function<double(double)> v_source_;
+  double series_resistance_;
+  bool diode_isolated_;
+};
+
+/// Fixed current injection (test baseline).
+class ConstantCurrentSource : public CurrentSource {
+ public:
+  explicit ConstantCurrentSource(double amps) : amps_(amps) {}
+  double current(double /*v*/, double /*t*/) const override { return amps_; }
+
+ private:
+  double amps_;
+};
+
+}  // namespace pns::ehsim

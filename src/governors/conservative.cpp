@@ -1,0 +1,30 @@
+#include "governors/conservative.hpp"
+
+#include "util/contracts.hpp"
+
+namespace pns::gov {
+
+ConservativeGovernor::ConservativeGovernor(const soc::Platform& platform,
+                                           ConservativeParams params)
+    : Governor(platform), params_(params) {
+  PNS_EXPECTS(params_.down_threshold >= 0.0);
+  PNS_EXPECTS(params_.down_threshold < params_.up_threshold);
+  PNS_EXPECTS(params_.up_threshold <= 1.0);
+  PNS_EXPECTS(params_.freq_step >= 1);
+  PNS_EXPECTS(params_.sampling_period_s > 0.0);
+}
+
+soc::OperatingPoint ConservativeGovernor::decide(const GovernorContext& ctx) {
+  const auto& opps = platform().opps;
+  soc::OperatingPoint opp = ctx.current;
+  if (ctx.utilization > params_.up_threshold) {
+    for (int s = 0; s < params_.freq_step; ++s)
+      opp.freq_index = opps.step_up(opp.freq_index);
+  } else if (ctx.utilization < params_.down_threshold) {
+    for (int s = 0; s < params_.freq_step; ++s)
+      opp.freq_index = opps.step_down(opp.freq_index);
+  }
+  return opp;
+}
+
+}  // namespace pns::gov

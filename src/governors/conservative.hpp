@@ -1,0 +1,37 @@
+// Linux "conservative" governor (simplified cpufreq semantics).
+//
+// Like ondemand but graceful: one ladder step up when utilisation exceeds
+// `up_threshold`, one step down when it falls below `down_threshold`.
+// Under harvesting, the ramp takes a few sampling periods to reach an
+// unsustainable frequency -- matching Table II where conservative survives
+// just 5 seconds before brownout.
+#pragma once
+
+#include "governors/governor.hpp"
+
+namespace pns::gov {
+
+/// Tunables mirroring /sys/devices/system/cpu/cpufreq/conservative.
+struct ConservativeParams {
+  double up_threshold = 0.80;
+  double down_threshold = 0.20;
+  double sampling_period_s = 0.1;
+  /// Ladder steps taken per decision (`freq_step` analogue).
+  int freq_step = 1;
+};
+
+/// Gradual-step conservative policy.
+class ConservativeGovernor : public Governor {
+ public:
+  ConservativeGovernor(const soc::Platform& platform,
+                       ConservativeParams params = {});
+
+  const char* name() const override { return "conservative"; }
+  soc::OperatingPoint decide(const GovernorContext& ctx) override;
+  double sampling_period() const override { return params_.sampling_period_s; }
+
+ private:
+  ConservativeParams params_;
+};
+
+}  // namespace pns::gov

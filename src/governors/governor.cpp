@@ -1,0 +1,4 @@
+#include "governors/governor.hpp"
+
+// Interface-only translation unit: anchors the vtable of pns::gov::Governor
+// so every user does not emit its RTTI/vtable copy.

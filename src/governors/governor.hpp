@@ -1,0 +1,54 @@
+// Frequency-governor interface for the baseline comparison (Table II).
+//
+// Linux cpufreq governors sample CPU utilisation periodically and request
+// a frequency; they never hot-plug cores (all eight stay online). The
+// paper compares its interrupt-driven power-neutral controller against
+// these governors while harvesting: Performance/Ondemand/Interactive
+// cannot sustain operation at all, Conservative dies within seconds and
+// Powersave survives but wastes available energy.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "soc/platform.hpp"
+
+namespace pns::gov {
+
+/// Inputs available to a governor at each sampling tick.
+struct GovernorContext {
+  double t = 0.0;             ///< current time (s)
+  double utilization = 1.0;   ///< measured CPU utilisation in [0, 1]
+  soc::OperatingPoint current;  ///< operating point now in force
+};
+
+/// Periodic-sampling frequency governor.
+class Governor {
+ public:
+  explicit Governor(const soc::Platform& platform) : platform_(&platform) {}
+  virtual ~Governor() = default;
+
+  Governor(const Governor&) = delete;
+  Governor& operator=(const Governor&) = delete;
+
+  /// cpufreq-style identifier ("ondemand", "powersave", ...).
+  virtual const char* name() const = 0;
+
+  /// Desired operating point for the next period. Implementations only
+  /// move `freq_index`; the core configuration passes through unchanged.
+  virtual soc::OperatingPoint decide(const GovernorContext& ctx) = 0;
+
+  /// Sampling period (s); cpufreq defaults are in the 10-100 ms range.
+  virtual double sampling_period() const { return 0.1; }
+
+  /// Clears internal state (step counters, timers).
+  virtual void reset() {}
+
+ protected:
+  const soc::Platform& platform() const { return *platform_; }
+
+ private:
+  const soc::Platform* platform_;
+};
+
+}  // namespace pns::gov

@@ -1,0 +1,65 @@
+#include "governors/interactive.hpp"
+
+#include "util/contracts.hpp"
+
+namespace pns::gov {
+
+InteractiveGovernor::InteractiveGovernor(const soc::Platform& platform,
+                                         InteractiveParams params)
+    : Governor(platform), params_(params) {
+  PNS_EXPECTS(params_.go_hispeed_load > 0.0 &&
+              params_.go_hispeed_load <= 1.0);
+  PNS_EXPECTS(params_.hispeed_fraction > 0.0 &&
+              params_.hispeed_fraction <= 1.0);
+  PNS_EXPECTS(params_.target_load > 0.0 && params_.target_load <= 1.0);
+  PNS_EXPECTS(params_.sampling_period_s > 0.0);
+}
+
+void InteractiveGovernor::reset() {
+  hispeed_since_ = -1.0;
+  light_since_ = -1.0;
+}
+
+std::size_t InteractiveGovernor::hispeed_index() const {
+  const auto& opps = platform().opps;
+  const double f_target =
+      opps.frequency(opps.max_index()) * params_.hispeed_fraction;
+  return opps.nearest_index(f_target);
+}
+
+soc::OperatingPoint InteractiveGovernor::decide(const GovernorContext& ctx) {
+  const auto& opps = platform().opps;
+  soc::OperatingPoint opp = ctx.current;
+  const double u = ctx.utilization;
+
+  if (u >= params_.go_hispeed_load) {
+    light_since_ = -1.0;
+    const std::size_t hi = hispeed_index();
+    if (opp.freq_index < hi) {
+      opp.freq_index = hi;
+      hispeed_since_ = ctx.t;
+    } else if (hispeed_since_ >= 0.0 &&
+               ctx.t - hispeed_since_ >= params_.above_hispeed_delay_s) {
+      // Held at/above hispeed long enough: climb towards max.
+      opp.freq_index = opps.step_up(opp.freq_index);
+    } else if (hispeed_since_ < 0.0) {
+      hispeed_since_ = ctx.t;
+    }
+    return opp;
+  }
+
+  hispeed_since_ = -1.0;
+  // Light load: wait out min_sample_time before dropping, then aim for the
+  // lowest frequency that keeps estimated load under target_load.
+  if (light_since_ < 0.0) light_since_ = ctx.t;
+  if (ctx.t - light_since_ < params_.min_sample_time_s) return opp;
+
+  const double f_cur = opps.frequency(ctx.current.freq_index);
+  const double f_target = f_cur * u / params_.target_load;
+  std::size_t idx = opps.min_index();
+  while (idx < opps.max_index() && opps.frequency(idx) < f_target) ++idx;
+  opp.freq_index = idx;
+  return opp;
+}
+
+}  // namespace pns::gov

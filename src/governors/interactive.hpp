@@ -1,0 +1,43 @@
+// Android/Linux "interactive" governor (simplified semantics).
+//
+// Reacts to load spikes by jumping to `hispeed_freq` when utilisation
+// crosses `go_hispeed_load`, holds it for `above_hispeed_delay` before
+// climbing further, and will not lower the frequency until the load has
+// been light for `min_sample_time`. Designed for UI latency, not for
+// energy harvesting -- the paper reports it cannot run from the array.
+#pragma once
+
+#include "governors/governor.hpp"
+
+namespace pns::gov {
+
+/// Tunables mirroring the interactive governor's sysfs knobs.
+struct InteractiveParams {
+  double go_hispeed_load = 0.85;
+  double hispeed_fraction = 0.75;  ///< hispeed_freq as fraction of f_max
+  double above_hispeed_delay_s = 0.02;
+  double min_sample_time_s = 0.08;
+  double target_load = 0.90;
+  double sampling_period_s = 0.02;
+};
+
+/// Spike-driven interactive policy.
+class InteractiveGovernor : public Governor {
+ public:
+  InteractiveGovernor(const soc::Platform& platform,
+                      InteractiveParams params = {});
+
+  const char* name() const override { return "interactive"; }
+  soc::OperatingPoint decide(const GovernorContext& ctx) override;
+  double sampling_period() const override { return params_.sampling_period_s; }
+  void reset() override;
+
+ private:
+  std::size_t hispeed_index() const;
+
+  InteractiveParams params_;
+  double hispeed_since_ = -1.0;   ///< when we first hit hispeed (or -1)
+  double light_since_ = -1.0;     ///< when the load last turned light
+};
+
+}  // namespace pns::gov

@@ -1,0 +1,38 @@
+#include "governors/ondemand.hpp"
+
+#include "util/contracts.hpp"
+
+namespace pns::gov {
+
+OndemandGovernor::OndemandGovernor(const soc::Platform& platform,
+                                   OndemandParams params)
+    : Governor(platform), params_(params) {
+  PNS_EXPECTS(params_.up_threshold > 0.0 && params_.up_threshold <= 1.0);
+  PNS_EXPECTS(params_.sampling_period_s > 0.0);
+  PNS_EXPECTS(params_.sampling_down_factor >= 1);
+}
+
+soc::OperatingPoint OndemandGovernor::decide(const GovernorContext& ctx) {
+  const auto& opps = platform().opps;
+  soc::OperatingPoint opp = ctx.current;
+
+  if (ctx.utilization >= params_.up_threshold) {
+    low_samples_ = 0;
+    opp.freq_index = opps.max_index();
+    return opp;
+  }
+
+  if (++low_samples_ < params_.sampling_down_factor) return opp;
+  low_samples_ = 0;
+
+  // Proportional target: the lowest ladder frequency that keeps
+  // utilisation below the threshold at the current workload demand.
+  const double f_cur = opps.frequency(ctx.current.freq_index);
+  const double f_target = f_cur * ctx.utilization / params_.up_threshold;
+  std::size_t idx = opps.min_index();
+  while (idx < opps.max_index() && opps.frequency(idx) < f_target) ++idx;
+  opp.freq_index = idx;
+  return opp;
+}
+
+}  // namespace pns::gov

@@ -1,0 +1,38 @@
+// Linux "ondemand" governor (simplified cpufreq semantics).
+//
+// Above `up_threshold` utilisation it jumps straight to the maximum
+// frequency; below, it selects the lowest ladder frequency that would keep
+// utilisation under the threshold (f_target = f_cur * u / up_threshold).
+// With a 100 %-utilisation raytracer this is equivalent to the performance
+// governor -- which is why the paper finds it cannot run from the array.
+#pragma once
+
+#include "governors/governor.hpp"
+
+namespace pns::gov {
+
+/// Tunables mirroring /sys/devices/system/cpu/cpufreq/ondemand.
+struct OndemandParams {
+  double up_threshold = 0.95;
+  double sampling_period_s = 0.1;
+  /// Consecutive low-utilisation samples required before scaling down
+  /// (mirrors `sampling_down_factor`).
+  int sampling_down_factor = 1;
+};
+
+/// Jump-to-max ondemand policy.
+class OndemandGovernor : public Governor {
+ public:
+  OndemandGovernor(const soc::Platform& platform, OndemandParams params = {});
+
+  const char* name() const override { return "ondemand"; }
+  soc::OperatingPoint decide(const GovernorContext& ctx) override;
+  double sampling_period() const override { return params_.sampling_period_s; }
+  void reset() override { low_samples_ = 0; }
+
+ private:
+  OndemandParams params_;
+  int low_samples_ = 0;
+};
+
+}  // namespace pns::gov

@@ -1,0 +1,11 @@
+#include "governors/performance.hpp"
+
+namespace pns::gov {
+
+soc::OperatingPoint PerformanceGovernor::decide(const GovernorContext& ctx) {
+  soc::OperatingPoint opp = ctx.current;
+  opp.freq_index = platform().opps.max_index();
+  return opp;
+}
+
+}  // namespace pns::gov

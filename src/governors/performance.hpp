@@ -1,0 +1,20 @@
+// Linux "performance" governor: always the highest frequency.
+//
+// Under harvesting this is the most aggressive baseline; the paper reports
+// it "could not support any operation" from the PV array (Section V.C).
+#pragma once
+
+#include "governors/governor.hpp"
+
+namespace pns::gov {
+
+/// Pins the ladder at its top frequency.
+class PerformanceGovernor : public Governor {
+ public:
+  using Governor::Governor;
+
+  const char* name() const override { return "performance"; }
+  soc::OperatingPoint decide(const GovernorContext& ctx) override;
+};
+
+}  // namespace pns::gov

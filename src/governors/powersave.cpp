@@ -1,0 +1,11 @@
+#include "governors/powersave.hpp"
+
+namespace pns::gov {
+
+soc::OperatingPoint PowersaveGovernor::decide(const GovernorContext& ctx) {
+  soc::OperatingPoint opp = ctx.current;
+  opp.freq_index = platform().opps.min_index();
+  return opp;
+}
+
+}  // namespace pns::gov

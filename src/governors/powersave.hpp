@@ -1,0 +1,22 @@
+// Linux "powersave" governor: always the lowest frequency.
+//
+// The only stock governor that survives the paper's one-hour harvesting
+// test (Table II) -- but it leaves most of the harvested power unused,
+// which is exactly the gap the power-neutral controller closes (+69 %
+// instructions).
+#pragma once
+
+#include "governors/governor.hpp"
+
+namespace pns::gov {
+
+/// Pins the ladder at its bottom frequency.
+class PowersaveGovernor : public Governor {
+ public:
+  using Governor::Governor;
+
+  const char* name() const override { return "powersave"; }
+  soc::OperatingPoint decide(const GovernorContext& ctx) override;
+};
+
+}  // namespace pns::gov

@@ -1,0 +1,36 @@
+#include "governors/registry.hpp"
+
+#include <stdexcept>
+
+#include "governors/conservative.hpp"
+#include "governors/interactive.hpp"
+#include "governors/ondemand.hpp"
+#include "governors/performance.hpp"
+#include "governors/powersave.hpp"
+#include "governors/userspace.hpp"
+
+namespace pns::gov {
+
+std::vector<std::string> available_governors() {
+  return {"performance", "powersave", "ondemand", "conservative",
+          "interactive", "userspace"};
+}
+
+std::unique_ptr<Governor> make_governor(const std::string& name,
+                                        const soc::Platform& platform) {
+  if (name == "performance")
+    return std::make_unique<PerformanceGovernor>(platform);
+  if (name == "powersave")
+    return std::make_unique<PowersaveGovernor>(platform);
+  if (name == "ondemand") return std::make_unique<OndemandGovernor>(platform);
+  if (name == "conservative")
+    return std::make_unique<ConservativeGovernor>(platform);
+  if (name == "interactive")
+    return std::make_unique<InteractiveGovernor>(platform);
+  if (name == "userspace")
+    return std::make_unique<UserspaceGovernor>(platform);
+  throw std::invalid_argument("make_governor: unknown governor '" + name +
+                              "'");
+}
+
+}  // namespace pns::gov

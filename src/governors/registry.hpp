@@ -1,0 +1,25 @@
+// Governor factory keyed by cpufreq-style name.
+//
+// Lets benches and examples iterate "all stock governors" (Table II) or
+// construct one from a command-line string.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "governors/governor.hpp"
+
+namespace pns::gov {
+
+/// Names accepted by make_governor (excluding "static", which needs an
+/// operating point argument).
+std::vector<std::string> available_governors();
+
+/// Constructs a governor by name ("performance", "powersave", "ondemand",
+/// "conservative", "interactive", "userspace"). Throws
+/// std::invalid_argument for unknown names.
+std::unique_ptr<Governor> make_governor(const std::string& name,
+                                        const soc::Platform& platform);
+
+}  // namespace pns::gov

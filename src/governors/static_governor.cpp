@@ -1,0 +1,18 @@
+#include "governors/static_governor.hpp"
+
+#include "util/contracts.hpp"
+
+namespace pns::gov {
+
+StaticGovernor::StaticGovernor(const soc::Platform& platform,
+                               soc::OperatingPoint opp)
+    : Governor(platform), opp_(opp) {
+  PNS_EXPECTS(opp.freq_index < platform.opps.size());
+  PNS_EXPECTS(platform.valid_cores(opp.cores));
+}
+
+soc::OperatingPoint StaticGovernor::decide(const GovernorContext& /*ctx*/) {
+  return opp_;
+}
+
+}  // namespace pns::gov

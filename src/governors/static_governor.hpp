@@ -1,0 +1,22 @@
+// Fixed operating point "governor" -- the paper's static baseline
+// (Section III simulates a static-performance system against the proposed
+// controller; Fig. 6's blue trace is this governor crashing through Vmin).
+#pragma once
+
+#include "governors/governor.hpp"
+
+namespace pns::gov {
+
+/// Pins the system at one operating point forever.
+class StaticGovernor : public Governor {
+ public:
+  StaticGovernor(const soc::Platform& platform, soc::OperatingPoint opp);
+
+  const char* name() const override { return "static"; }
+  soc::OperatingPoint decide(const GovernorContext& ctx) override;
+
+ private:
+  soc::OperatingPoint opp_;
+};
+
+}  // namespace pns::gov

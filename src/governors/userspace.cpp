@@ -1,0 +1,20 @@
+#include "governors/userspace.hpp"
+
+#include <algorithm>
+
+namespace pns::gov {
+
+UserspaceGovernor::UserspaceGovernor(const soc::Platform& platform)
+    : Governor(platform), index_(platform.opps.min_index()) {}
+
+soc::OperatingPoint UserspaceGovernor::decide(const GovernorContext& ctx) {
+  soc::OperatingPoint opp = ctx.current;
+  opp.freq_index = index_;
+  return opp;
+}
+
+void UserspaceGovernor::set_frequency_index(std::size_t index) {
+  index_ = std::min(index, platform().opps.max_index());
+}
+
+}  // namespace pns::gov

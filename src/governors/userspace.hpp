@@ -1,0 +1,27 @@
+// Linux "userspace" governor: frequency chosen externally via sysfs.
+//
+// Useful in tests and sweeps where the harness wants direct frequency
+// control through the same Governor interface as the other baselines.
+#pragma once
+
+#include "governors/governor.hpp"
+
+namespace pns::gov {
+
+/// Holds whatever frequency index was last set via set_frequency_index().
+class UserspaceGovernor : public Governor {
+ public:
+  explicit UserspaceGovernor(const soc::Platform& platform);
+
+  const char* name() const override { return "userspace"; }
+  soc::OperatingPoint decide(const GovernorContext& ctx) override;
+
+  /// Emulates `echo <freq> > scaling_setspeed` (clamps into the ladder).
+  void set_frequency_index(std::size_t index);
+  std::size_t frequency_index() const { return index_; }
+
+ private:
+  std::size_t index_;
+};
+
+}  // namespace pns::gov

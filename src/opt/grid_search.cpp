@@ -1,0 +1,38 @@
+#include "opt/grid_search.hpp"
+
+#include "util/contracts.hpp"
+
+namespace pns::opt {
+
+GridSpec GridSpec::paper_neighbourhood() {
+  return GridSpec{
+      .v_width = {0.096, 0.144, 0.216},
+      .v_q = {0.032, 0.048, 0.072},
+      .alpha = {0.08, 0.12, 0.18},
+      .beta = {0.32, 0.48, 0.72},
+  };
+}
+
+SearchResult grid_search(const Objective& objective, const GridSpec& grid) {
+  PNS_EXPECTS(!grid.v_width.empty());
+  PNS_EXPECTS(!grid.v_q.empty());
+  PNS_EXPECTS(!grid.alpha.empty());
+  PNS_EXPECTS(!grid.beta.empty());
+  SearchResult result;
+  result.evaluated.reserve(grid.size());
+  for (double w : grid.v_width)
+    for (double q : grid.v_q)
+      for (double a : grid.alpha)
+        for (double b : grid.beta) {
+          const ParamSet p{w, q, a, b};
+          const double score = objective(p);
+          result.evaluated.push_back({p, score});
+          if (score > result.best_score) {
+            result.best_score = score;
+            result.best = p;
+          }
+        }
+  return result;
+}
+
+}  // namespace pns::opt

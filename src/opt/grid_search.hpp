@@ -1,0 +1,48 @@
+// Exhaustive grid search over the controller parameter space.
+//
+// The paper's §III sweeps parameter combinations in Simulink; this is the
+// equivalent driver. All evaluated points are returned so benches can
+// print the score landscape, not just the winner.
+#pragma once
+
+#include <vector>
+
+#include "opt/objective.hpp"
+
+namespace pns::opt {
+
+/// Candidate values per axis.
+struct GridSpec {
+  std::vector<double> v_width;
+  std::vector<double> v_q;
+  std::vector<double> alpha;
+  std::vector<double> beta;
+
+  /// Total number of combinations.
+  std::size_t size() const {
+    return v_width.size() * v_q.size() * alpha.size() * beta.size();
+  }
+
+  /// The sweep used by bench_param_selection: brackets the paper's optimum
+  /// (144 mV, 47.9 mV, 0.120 V/s, 0.479 V/s).
+  static GridSpec paper_neighbourhood();
+};
+
+/// One evaluated point.
+struct ScoredParams {
+  ParamSet params;
+  double score;
+};
+
+/// Search outcome: every evaluated point plus the argmax.
+struct SearchResult {
+  std::vector<ScoredParams> evaluated;
+  ParamSet best{};
+  double best_score = -1.0;
+};
+
+/// Evaluates every grid combination (invalid ones score -1 and are kept in
+/// `evaluated` for completeness, flagged by their score).
+SearchResult grid_search(const Objective& objective, const GridSpec& grid);
+
+}  // namespace pns::opt

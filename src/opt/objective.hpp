@@ -1,0 +1,55 @@
+// Objective function for controller parameter selection (paper §III).
+//
+// The paper selects (Vwidth, Vq, alpha, beta) by simulating the control
+// system and scoring "the proportion of time spent within 5 % of the
+// target voltage". StabilityObjective reproduces that score over a
+// configurable solar scenario; search drivers (grid/random) maximise it.
+#pragma once
+
+#include <functional>
+
+#include "sim/experiment.hpp"
+
+namespace pns::opt {
+
+/// One candidate controller tuning.
+struct ParamSet {
+  double v_width;  ///< threshold spacing (V)
+  double v_q;      ///< per-crossing shift (V)
+  double alpha;    ///< LITTLE gradient threshold (V/s)
+  double beta;     ///< big gradient threshold (V/s)
+
+  /// Physically meaningful combinations: positive, beta > alpha, and the
+  /// shift strictly inside the window so thresholds cannot leapfrog.
+  bool valid() const {
+    return v_width > 0.0 && v_q > 0.0 && v_q < v_width && alpha > 0.0 &&
+           beta > alpha;
+  }
+};
+
+/// Scalar objective: evaluate(params) -> score, higher is better.
+using Objective = std::function<double(const ParamSet&)>;
+
+/// Voltage-stability objective of §III: fraction of simulated time the
+/// node voltage stays within the +/- band around the target. Invalid
+/// parameter sets score -1.
+class StabilityObjective {
+ public:
+  /// Scenario defaults to a 15-minute partial-sun window -- short enough
+  /// for dense sweeps, turbulent enough to separate good tunings.
+  StabilityObjective(const soc::Platform& platform,
+                     sim::SolarScenario scenario, sim::SimConfig base);
+
+  /// Convenience: build the paper-standard sweep objective.
+  static StabilityObjective standard(const soc::Platform& platform,
+                                     std::uint64_t seed = 7);
+
+  double operator()(const ParamSet& p) const;
+
+ private:
+  const soc::Platform* platform_;
+  sim::SolarScenario scenario_;
+  sim::SimConfig base_;
+};
+
+}  // namespace pns::opt

@@ -1,0 +1,43 @@
+#include "opt/random_search.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace pns::opt {
+namespace {
+
+double log_uniform(pns::Rng& rng, double lo, double hi) {
+  PNS_EXPECTS(lo > 0.0 && hi >= lo);
+  return std::exp(rng.uniform(std::log(lo), std::log(hi)));
+}
+
+}  // namespace
+
+SearchResult random_search(const Objective& objective,
+                           const RandomSearchSpec& spec) {
+  PNS_EXPECTS(spec.iterations > 0);
+  pns::Rng rng(spec.seed);
+  SearchResult result;
+  result.evaluated.reserve(spec.iterations);
+  for (std::size_t i = 0; i < spec.iterations; ++i) {
+    ParamSet p{};
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      p.v_width = log_uniform(rng, spec.v_width_lo, spec.v_width_hi);
+      p.v_q = log_uniform(rng, spec.v_q_lo, spec.v_q_hi);
+      p.alpha = log_uniform(rng, spec.alpha_lo, spec.alpha_hi);
+      p.beta = log_uniform(rng, spec.beta_lo, spec.beta_hi);
+      if (p.valid()) break;
+    }
+    const double score = objective(p);
+    result.evaluated.push_back({p, score});
+    if (score > result.best_score) {
+      result.best_score = score;
+      result.best = p;
+    }
+  }
+  return result;
+}
+
+}  // namespace pns::opt

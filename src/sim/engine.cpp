@@ -1,0 +1,279 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/contracts.hpp"
+
+namespace pns::sim {
+namespace {
+
+// Event tags used with the integrator.
+constexpr int kTagLow = 1;       // node fell through the LOW trip
+constexpr int kTagHigh = 2;      // node rose through the HIGH trip
+constexpr int kTagBrownout = 3;  // node fell through v_min
+constexpr int kTagRecover = 4;   // node rose through the reboot level
+
+constexpr double kTimeEps = 1e-9;
+
+}  // namespace
+
+SimEngine::SimEngine(const soc::Platform& platform,
+                     const ehsim::CurrentSource& source,
+                     soc::Workload& workload, SimConfig config,
+                     ctl::ControllerConfig controller_config)
+    : SimEngine(platform, source, workload, std::move(config),
+                &controller_config, nullptr) {}
+
+SimEngine::SimEngine(const soc::Platform& platform,
+                     const ehsim::CurrentSource& source,
+                     soc::Workload& workload, SimConfig config,
+                     std::unique_ptr<gov::Governor> governor)
+    : SimEngine(platform, source, workload, std::move(config), nullptr,
+                std::move(governor)) {}
+
+SimEngine::SimEngine(const soc::Platform& platform,
+                     const ehsim::CurrentSource& source,
+                     soc::Workload& workload, SimConfig config)
+    : SimEngine(platform, source, workload, std::move(config), nullptr,
+                nullptr) {}
+
+SimEngine::SimEngine(const soc::Platform& platform,
+                     const ehsim::CurrentSource& source,
+                     soc::Workload& workload, SimConfig config,
+                     ctl::ControllerConfig* controller_config,
+                     std::unique_ptr<gov::Governor> governor)
+    : platform_(&platform),
+      source_(&source),
+      workload_(&workload),
+      cfg_(std::move(config)),
+      soc_(platform, cfg_.initial_opp.value_or(platform.lowest_opp())),
+      planner_(platform.opps, platform.power, platform.latency),
+      governor_(std::move(governor)),
+      load_([this](double v, double t) { return load_current(v, t); }),
+      circuit_(*source_, load_,
+               ehsim::Capacitor{cfg_.capacitance_f, cfg_.cap_esr_ohm,
+                                cfg_.cap_leak_ohm}),
+      integrator_(circuit_,
+                  ehsim::Rk23Options{.rel_tol = cfg_.rel_tol,
+                                     .abs_tol = cfg_.abs_tol,
+                                     .max_step = cfg_.max_ode_step_s,
+                                     .event_tol = 1e-7}) {
+  PNS_EXPECTS(cfg_.t_end > cfg_.t_start);
+  PNS_EXPECTS(cfg_.capacitance_f > 0.0);
+  PNS_EXPECTS(cfg_.vc0 > platform.v_min);
+  if (controller_config != nullptr) {
+    monitor_.emplace(cfg_.monitor_network);
+    controller_.emplace(platform, *monitor_, *controller_config);
+  }
+}
+
+double SimEngine::load_power(double v) const {
+  double p = soc_.power(latched_util_);
+  if (monitor_) p += hw::VoltageMonitor::kPowerW;
+  if (cfg_.ovp_shunt_v > 0.0 && v > cfg_.ovp_shunt_v)
+    p += v * (v - cfg_.ovp_shunt_v) / cfg_.ovp_shunt_ohm;
+  return p;
+}
+
+double SimEngine::load_current(double v, double /*t*/) const {
+  return load_power(v) / std::max(v, 0.05);
+}
+
+Snapshot SimEngine::snapshot(double vc, double t) const {
+  Snapshot s;
+  s.vc = vc;
+  const auto& opp = soc_.opp();
+  s.freq_hz =
+      soc_.is_on() ? platform_->opps.frequency(opp.freq_index) : 0.0;
+  s.n_little = soc_.is_on() ? opp.cores.n_little : 0;
+  s.n_big = soc_.is_on() ? opp.cores.n_big : 0;
+  s.p_consumed = load_power(vc);
+  s.p_available = source_->available_power(t);
+  if (controller_) {
+    s.v_low = controller_->thresholds().v_low();
+    s.v_high = controller_->thresholds().v_high();
+  }
+  return s;
+}
+
+void SimEngine::dispatch_interrupt(hw::MonitorEdge edge, double t) {
+  auto plan = controller_->on_interrupt(edge, t, soc_.final_target());
+  if (!plan.empty() && soc_.is_on())
+    soc_.enqueue_plan(std::move(plan), t);
+}
+
+void SimEngine::kick_if_outside(double vc, double t) {
+  if (!controller_ || !soc_.is_on()) return;
+  if (vc >= monitor_->high_channel().node_rising_trip()) {
+    dispatch_interrupt(hw::MonitorEdge::kHighRising, t);
+  } else if (vc <= monitor_->low_channel().node_falling_trip()) {
+    dispatch_interrupt(hw::MonitorEdge::kLowFalling, t);
+  }
+}
+
+SimResult SimEngine::run() {
+  PNS_EXPECTS(!ran_);
+  ran_ = true;
+
+  double t = cfg_.t_start;
+  double vc = cfg_.vc0;
+
+  SimResult result;
+  result.used_controller = controller_.has_value();
+  result.control_name = controller_   ? "power-neutral"
+                        : governor_   ? governor_->name()
+                                      : "static";
+
+  MetricsAccumulator acc(t, cfg_.v_target, cfg_.band_fraction);
+  acc.attach_histogram(&result.voltage_histogram);
+  SeriesRecorder recorder(cfg_.record_interval_s, cfg_.record_series);
+
+  latched_util_ = workload_->utilization(t);
+  if (controller_) {
+    controller_->calibrate(vc, t);
+    kick_if_outside(vc, t);
+  }
+
+  integrator_.reset(t, std::span<const double>(&vc, 1));
+
+  double next_gov_tick =
+      governor_ ? t + governor_->sampling_period()
+                : std::numeric_limits<double>::infinity();
+
+  recorder.record(t, snapshot(vc, t), /*force=*/true);
+
+  while (t < cfg_.t_end - kTimeEps) {
+    const double seg_t0 = t;
+    const double v0 = vc;
+    if (!governor_) latched_util_ = workload_->utilization(t);
+    const double p_load = load_power(v0);
+    const double p_harv0 = source_->current(v0, t) * v0;
+    const double instr_rate = soc_.instruction_rate(latched_util_);
+
+    double t_stop = std::min(
+        {cfg_.t_end, seg_t0 + cfg_.max_segment_s, soc_.next_boundary(),
+         soc_.boot_complete_time(), next_gov_tick});
+    PNS_ENSURES(t_stop > seg_t0);
+
+    // --- events for this segment ---------------------------------------
+    std::vector<ehsim::EventSpec> events;
+    const bool off = soc_.power_state() == soc::PowerState::kOff;
+    if (!off) {
+      const double v_min = platform_->v_min;
+      events.push_back({[v_min](double, std::span<const double> y) {
+                          return y[0] - v_min;
+                        },
+                        ehsim::EventDirection::kFalling, kTagBrownout});
+      if (controller_ && soc_.is_on()) {
+        if (monitor_->low_channel().output()) {
+          const double trip = monitor_->low_channel().node_falling_trip();
+          events.push_back({[trip](double, std::span<const double> y) {
+                              return y[0] - trip;
+                            },
+                            ehsim::EventDirection::kFalling, kTagLow});
+        }
+        if (!monitor_->high_channel().output()) {
+          const double trip = monitor_->high_channel().node_rising_trip();
+          events.push_back({[trip](double, std::span<const double> y) {
+                              return y[0] - trip;
+                            },
+                            ehsim::EventDirection::kRising, kTagHigh});
+        }
+      }
+    } else if (cfg_.enable_reboot) {
+      const double v_boot = platform_->v_min + cfg_.reboot_margin_v;
+      events.push_back({[v_boot](double, std::span<const double> y) {
+                          return y[0] - v_boot;
+                        },
+                        ehsim::EventDirection::kRising, kTagRecover});
+    }
+
+    const auto res = integrator_.advance(t_stop, events);
+    t = res.t;
+    vc = integrator_.state()[0];
+
+    // --- segment accounting ---------------------------------------------
+    acc.add_segment(seg_t0, t, v0, vc, p_harv0,
+                    source_->current(vc, t) * vc, p_load, instr_rate,
+                    soc_.is_on());
+    workload_->advance(seg_t0, t - seg_t0, instr_rate);
+
+    // --- event / boundary handling ---------------------------------------
+    bool force_record = false;
+    if (res.event_fired) {
+      force_record = true;
+      switch (res.event_tag) {
+        case kTagLow:
+        case kTagHigh: {
+          // Let the comparator see the crossing, then run the ISR.
+          auto edge = monitor_->sample(vc);
+          const hw::MonitorEdge e =
+              edge.value_or(res.event_tag == kTagLow
+                                ? hw::MonitorEdge::kLowFalling
+                                : hw::MonitorEdge::kHighRising);
+          dispatch_interrupt(e, t);
+          break;
+        }
+        case kTagBrownout:
+          acc.on_brownout(t);
+          soc_.power_off(t);
+          break;
+        case kTagRecover:
+          soc_.begin_boot(t);
+          break;
+        default:
+          break;
+      }
+    }
+
+    // Timed boundaries are checked even when an event fired at the same
+    // instant (an event landing exactly on a step boundary must not leave
+    // the completed step pending, or the next segment would be empty).
+    if (t + kTimeEps >= soc_.next_boundary()) {
+      soc_.complete_step(t);
+      force_record = true;
+    }
+    if (t + kTimeEps >= soc_.boot_complete_time()) {
+      soc_.complete_boot(t);
+      if (controller_) {
+        controller_->calibrate(vc, t);
+        kick_if_outside(vc, t);
+      }
+      if (governor_) governor_->reset();
+      force_record = true;
+    }
+    if (governor_ && t + kTimeEps >= next_gov_tick) {
+      next_gov_tick = t + governor_->sampling_period();
+      if (soc_.is_on()) {
+        latched_util_ = workload_->utilization(t);
+        gov::GovernorContext ctx{t, latched_util_, soc_.final_target()};
+        const auto desired = governor_->decide(ctx);
+        if (desired.freq_index != ctx.current.freq_index &&
+            !soc_.transitioning()) {
+          soc_.enqueue_plan(planner_.plan_dvfs_jump(ctx.current,
+                                                    desired.freq_index,
+                                                    latched_util_),
+                            t);
+          force_record = true;
+        }
+      }
+    }
+    // Sync the comparator state machines at quiet stop points (catches
+    // hysteresis re-arm crossings that are not watched as events).
+    if (!res.event_fired && controller_ && soc_.is_on()) {
+      if (auto edge = monitor_->sample(vc)) dispatch_interrupt(*edge, t);
+    }
+
+    integrator_.notify_discontinuity();
+    recorder.record(t, snapshot(vc, t), force_record);
+  }
+
+  result.metrics = acc.finish(t, platform_->perf.params().instr_per_frame);
+  result.series = recorder.take();
+  if (controller_) result.controller = controller_->stats();
+  return result;
+}
+
+}  // namespace pns::sim

@@ -1,0 +1,148 @@
+// Event-driven co-simulation engine.
+//
+// Couples four models and advances them together:
+//   * the storage-node circuit (ehsim)  -- adaptive RK23 on d(VC)/dt
+//   * the SoC runtime (soc)             -- OPP, transitions, power state
+//   * the control layer                 -- power-neutral controller via
+//     comparator interrupts, OR a Linux-style governor via periodic
+//     sampling, OR nothing (static OPP)
+//   * the workload                      -- utilisation + progress
+//
+// Threshold crossings, brownout, and recovery are localised as ODE events
+// (the load power is discontinuous there); transition-step completions,
+// governor ticks and boot completion are timed boundaries. Between
+// consecutive stop points the load power is constant, which keeps the
+// integrator's assumptions honest.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/controller.hpp"
+#include "ehsim/circuit.hpp"
+#include "ehsim/rk23.hpp"
+#include "governors/governor.hpp"
+#include "hw/monitor.hpp"
+#include "sim/metrics.hpp"
+#include "sim/recorder.hpp"
+#include "soc/soc_state.hpp"
+#include "soc/workload.hpp"
+#include "util/histogram.hpp"
+
+namespace pns::sim {
+
+/// Run configuration shared by all control modes.
+struct SimConfig {
+  double t_start = 0.0;
+  double t_end = 60.0;
+
+  // Storage node (the paper's validation system uses 47 mF).
+  double capacitance_f = 47e-3;
+  double cap_esr_ohm = 0.0;        ///< modelled inside the node lump
+  double cap_leak_ohm = 50.0e3;    ///< supercap self-discharge
+  double vc0 = 5.3;                ///< initial node voltage (V)
+
+  // Voltage-stability band (Fig. 12): centre and half-width fraction.
+  double v_target = 5.3;
+  double band_fraction = 0.05;
+
+  // Numerical granularity.
+  double max_segment_s = 0.05;   ///< outer-loop stop-point spacing
+  double max_ode_step_s = 0.01;  ///< RK23 step ceiling
+  double rel_tol = 1e-6;
+  double abs_tol = 1e-8;
+
+  // Recording.
+  bool record_series = true;
+  double record_interval_s = 0.25;
+
+  // Brownout / recovery semantics.
+  bool enable_reboot = true;
+  double reboot_margin_v = 0.5;  ///< boot when VC > v_min + margin
+
+  // Optional over-voltage shunt (protects bench-supply experiments).
+  double ovp_shunt_v = 0.0;  ///< 0 disables
+  double ovp_shunt_ohm = 0.5;
+
+  /// Initial operating point; platform's lowest OPP when unset.
+  std::optional<soc::OperatingPoint> initial_opp;
+
+  /// Resistor network of the threshold-monitor channels. The default suits
+  /// the ODROID XU4's 4.1-5.7 V window; custom platforms with different
+  /// node-voltage ranges must scale the divider (see
+  /// examples/custom_platform.cpp).
+  hw::ChannelNetwork monitor_network{};
+};
+
+/// Everything a run produces.
+struct SimResult {
+  SimMetrics metrics;
+  RecordedSeries series;
+  ctl::ControllerStats controller;  ///< zeroed unless the PNS controller ran
+  bool used_controller = false;
+  std::string control_name;
+  pns::Histogram voltage_histogram{0.0, 8.0, 160};  ///< 50 mV dwell bins
+};
+
+/// One-shot simulation engine. Construct, call run(), discard.
+class SimEngine {
+ public:
+  /// Power-neutral-controller mode (the paper's proposed system).
+  SimEngine(const soc::Platform& platform,
+            const ehsim::CurrentSource& source, soc::Workload& workload,
+            SimConfig config, ctl::ControllerConfig controller_config);
+
+  /// Linux-governor mode (takes ownership of the governor).
+  SimEngine(const soc::Platform& platform,
+            const ehsim::CurrentSource& source, soc::Workload& workload,
+            SimConfig config, std::unique_ptr<gov::Governor> governor);
+
+  /// Uncontrolled mode: the SoC stays at the initial OPP.
+  SimEngine(const soc::Platform& platform,
+            const ehsim::CurrentSource& source, soc::Workload& workload,
+            SimConfig config);
+
+  SimEngine(const SimEngine&) = delete;
+  SimEngine& operator=(const SimEngine&) = delete;
+
+  /// Runs [t_start, t_end] to completion and returns the result.
+  /// Callable once.
+  SimResult run();
+
+ private:
+  SimEngine(const soc::Platform& platform,
+            const ehsim::CurrentSource& source, soc::Workload& workload,
+            SimConfig config, ctl::ControllerConfig* controller_config,
+            std::unique_ptr<gov::Governor> governor);
+
+  double load_current(double v, double t) const;
+  double load_power(double v) const;
+  /// After (re)calibration the node can already sit outside the window
+  /// (e.g. it charged towards Voc during boot); real firmware reads the
+  /// comparator GPIO *level* after programming the thresholds and services
+  /// a pending interrupt immediately. This reproduces that check.
+  void kick_if_outside(double vc, double t);
+  Snapshot snapshot(double vc, double t) const;
+  void dispatch_interrupt(hw::MonitorEdge edge, double t);
+
+  const soc::Platform* platform_;
+  const ehsim::CurrentSource* source_;
+  soc::Workload* workload_;
+  SimConfig cfg_;
+
+  soc::SocRuntime soc_;
+  soc::TransitionPlanner planner_;
+  std::optional<hw::VoltageMonitor> monitor_;
+  std::optional<ctl::PowerNeutralController> controller_;
+  std::unique_ptr<gov::Governor> governor_;
+
+  ehsim::CallbackLoad load_;
+  ehsim::EhCircuit circuit_;
+  ehsim::Rk23Integrator integrator_;
+
+  double latched_util_ = 1.0;
+  bool ran_ = false;
+};
+
+}  // namespace pns::sim

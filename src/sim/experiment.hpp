@@ -1,0 +1,81 @@
+// High-level experiment scenarios shared by the benches and examples.
+//
+// Each helper assembles the standard pieces (calibrated PV array, weather
+// trace or supply profile, raytrace workload, engine) for one family of
+// the paper's experiments so that benches stay focused on *reporting*.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/controller.hpp"
+#include "ehsim/solar_cell.hpp"
+#include "governors/governor.hpp"
+#include "sim/engine.hpp"
+#include "trace/irradiance.hpp"
+#include "trace/supply_profiles.hpp"
+#include "trace/weather.hpp"
+
+namespace pns::sim {
+
+/// The PV array of the paper's validation setup: 1340 cm^2
+/// monocrystalline, calibrated so that at full sun Isc ~ 1.15 A,
+/// Voc ~ 6.8 V and the MPP is ~5.4 W at 5.3 V (Fig. 13).
+ehsim::SolarCell paper_pv_array();
+
+/// The 250 cm^2 cell of Fig. 1 (area-scaled version of the same array).
+ehsim::SolarCell fig1_pv_cell();
+
+/// Default clear-sky model for the paper's test days (UK summer day).
+trace::ClearSky paper_clear_sky();
+
+/// What drives a solar experiment.
+struct SolarScenario {
+  trace::WeatherCondition condition = trace::WeatherCondition::kFullSun;
+  double t_start = 10.5 * 3600.0;  ///< 10:30, as in Figs. 12/14
+  double t_end = 16.5 * 3600.0;    ///< 16:30
+  std::uint64_t seed = 42;
+  double trace_dt_s = 0.1;         ///< weather sampling grid
+};
+
+/// Control selection for a run.
+enum class ControlKind { kPowerNeutral, kGovernor, kStatic };
+
+/// Runs a solar-harvesting experiment with the power-neutral controller.
+SimResult run_solar_power_neutral(const soc::Platform& platform,
+                                  const SolarScenario& scenario,
+                                  SimConfig sim_config = {},
+                                  ctl::ControllerConfig controller = {});
+
+/// Runs a solar-harvesting experiment under a named Linux governor.
+SimResult run_solar_governor(const soc::Platform& platform,
+                             const SolarScenario& scenario,
+                             const std::string& governor_name,
+                             SimConfig sim_config = {});
+
+/// Runs a solar-harvesting experiment with a fixed operating point.
+SimResult run_solar_static(const soc::Platform& platform,
+                           const SolarScenario& scenario,
+                           const soc::OperatingPoint& opp,
+                           SimConfig sim_config = {});
+
+/// Runs the bench-supply experiment (Fig. 11): a programmable source
+/// behind `r_series` ohms drives the node.
+SimResult run_controlled_supply(const soc::Platform& platform,
+                                const trace::SupplyProfile& profile,
+                                double r_series, SimConfig sim_config = {},
+                                ctl::ControllerConfig controller = {});
+
+/// Baseline SimConfig for solar runs: 47 mF buffer, MPP-centred 5 % band,
+/// starting at the scenario's start time with the node pre-charged to the
+/// array's open-circuit point.
+SimConfig solar_sim_config(const SolarScenario& scenario);
+
+/// Highest-throughput operating point whose board power fits within
+/// `watts` (the platform's lowest OPP when even that does not fit). Used
+/// to warm-start experiments "already in regulation", as the paper's
+/// recordings of a continuously running system are.
+soc::OperatingPoint balanced_opp(const soc::Platform& platform,
+                                 double watts);
+
+}  // namespace pns::sim

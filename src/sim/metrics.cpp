@@ -1,0 +1,69 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace pns::sim {
+
+double band_overlap_fraction(double v0, double v1, double lo, double hi) {
+  PNS_EXPECTS(lo <= hi);
+  double a = v0, b = v1;
+  if (a > b) std::swap(a, b);
+  if (b <= lo || a >= hi) {
+    // Entirely outside -- except the degenerate flat segment on an edge.
+    return (a >= lo && b <= hi) ? 1.0 : 0.0;
+  }
+  if (b == a) return (a >= lo && a <= hi) ? 1.0 : 0.0;
+  const double overlap = std::min(b, hi) - std::max(a, lo);
+  return std::max(0.0, overlap) / (b - a);
+}
+
+MetricsAccumulator::MetricsAccumulator(double t_start, double v_target,
+                                       double band_fraction) {
+  PNS_EXPECTS(band_fraction >= 0.0);
+  m_.t_start = t_start;
+  m_.v_target = v_target;
+  m_.band_fraction = band_fraction;
+}
+
+void MetricsAccumulator::add_segment(double t0, double t1, double v0,
+                                     double v1, double p_harv0,
+                                     double p_harv1, double p_load,
+                                     double instr_rate, bool on) {
+  PNS_EXPECTS(t1 >= t0);
+  const double dt = t1 - t0;
+  if (dt <= 0.0) return;
+
+  m_.energy_harvested_j += 0.5 * (p_harv0 + p_harv1) * dt;
+  m_.energy_consumed_j += p_load * dt;
+  m_.instructions += instr_rate * dt;
+  if (on) m_.uptime_s += dt;
+
+  if (m_.v_target > 0.0) {
+    const double lo = m_.v_target * (1.0 - m_.band_fraction);
+    const double hi = m_.v_target * (1.0 + m_.band_fraction);
+    m_.time_in_band_s += dt * band_overlap_fraction(v0, v1, lo, hi);
+  }
+  m_.vc_stats.add_weighted(0.5 * (v0 + v1), dt);
+  if (histogram_ != nullptr)
+    histogram_->add_weighted(0.5 * (v0 + v1), dt);
+}
+
+void MetricsAccumulator::on_brownout(double t) {
+  ++m_.brownouts;
+  if (!first_brownout_) first_brownout_ = t;
+}
+
+SimMetrics MetricsAccumulator::finish(double t_end,
+                                      double instr_per_frame) const {
+  PNS_EXPECTS(instr_per_frame > 0.0);
+  SimMetrics out = m_;
+  out.t_end = t_end;
+  out.lifetime_s =
+      (first_brownout_ ? *first_brownout_ : t_end) - out.t_start;
+  out.frames = out.instructions / instr_per_frame;
+  return out;
+}
+
+}  // namespace pns::sim

@@ -1,0 +1,27 @@
+#include "sim/recorder.hpp"
+
+#include "util/contracts.hpp"
+
+namespace pns::sim {
+
+SeriesRecorder::SeriesRecorder(double interval, bool enabled)
+    : interval_(interval), enabled_(enabled) {
+  PNS_EXPECTS(interval > 0.0);
+}
+
+void SeriesRecorder::record(double t, const Snapshot& snap, bool force) {
+  if (!enabled_) return;
+  const double min_gap = force ? interval_ / 20.0 : interval_;
+  if (t - last_t_ < min_gap) return;
+  last_t_ = t;
+  series_.vc.append(t, snap.vc);
+  series_.freq_hz.append(t, snap.freq_hz);
+  series_.n_little.append(t, snap.n_little);
+  series_.n_big.append(t, snap.n_big);
+  series_.p_consumed.append(t, snap.p_consumed);
+  series_.p_available.append(t, snap.p_available);
+  series_.v_low.append(t, snap.v_low);
+  series_.v_high.append(t, snap.v_high);
+}
+
+}  // namespace pns::sim

@@ -1,0 +1,61 @@
+// Decimated time-series recording of simulation signals.
+//
+// Long runs (6-hour solar days) would otherwise accumulate millions of
+// samples; the recorder keeps one sample per `interval` of simulated time
+// (plus forced samples at discontinuities so steps stay sharp in plots).
+#pragma once
+
+#include "util/time_series.hpp"
+
+namespace pns::sim {
+
+/// The signal bundle every experiment records.
+struct RecordedSeries {
+  pns::TimeSeries vc;           ///< node voltage (V)
+  pns::TimeSeries freq_hz;      ///< live ladder frequency (Hz)
+  pns::TimeSeries n_little;     ///< online LITTLE cores
+  pns::TimeSeries n_big;        ///< online big cores
+  pns::TimeSeries p_consumed;   ///< board + monitor power (W)
+  pns::TimeSeries p_available;  ///< source's estimated available power (W)
+  pns::TimeSeries v_low;        ///< tracked low threshold (V)
+  pns::TimeSeries v_high;       ///< tracked high threshold (V)
+};
+
+/// One snapshot of the recordable signals.
+struct Snapshot {
+  double vc = 0.0;
+  double freq_hz = 0.0;
+  int n_little = 0;
+  int n_big = 0;
+  double p_consumed = 0.0;
+  double p_available = 0.0;
+  double v_low = 0.0;
+  double v_high = 0.0;
+};
+
+/// Interval-decimated recorder.
+class SeriesRecorder {
+ public:
+  /// `interval` seconds between retained samples; `enabled` = false makes
+  /// every call a no-op (for sweeps that only need metrics).
+  SeriesRecorder(double interval, bool enabled);
+
+  /// Records if at least `interval` has elapsed since the last retained
+  /// sample, or if `force` is set (used at events/discontinuities).
+  /// Forced samples are still rate-limited to interval/20 so event-dense
+  /// runs (fast limit cycles) cannot grow the series unboundedly.
+  void record(double t, const Snapshot& snap, bool force = false);
+
+  const RecordedSeries& series() const { return series_; }
+  RecordedSeries take() { return std::move(series_); }
+
+  bool enabled() const { return enabled_; }
+
+ private:
+  RecordedSeries series_;
+  double interval_;
+  bool enabled_;
+  double last_t_ = -1e300;
+};
+
+}  // namespace pns::sim

@@ -1,0 +1,54 @@
+// Core-cluster vocabulary for heterogeneous big.LITTLE MP-SoCs.
+//
+// The Exynos5422 of the paper has four 'LITTLE' Cortex-A7 cores and four
+// 'big' Cortex-A15 cores. A CoreConfig is the number of *online*
+// (hot-plugged-in) cores per cluster; the paper's DPM knob is exactly this
+// pair.
+#pragma once
+
+#include <compare>
+#include <string>
+
+namespace pns::soc {
+
+/// Which cluster a core belongs to.
+enum class CoreType {
+  kLittle,  ///< low-power in-order cluster (Cortex-A7)
+  kBig,     ///< high-performance out-of-order cluster (Cortex-A15)
+};
+
+/// Human-readable cluster name ("LITTLE"/"big").
+const char* to_string(CoreType type);
+
+/// Number of online cores per cluster.
+struct CoreConfig {
+  int n_little = 1;
+  int n_big = 0;
+
+  int total() const { return n_little + n_big; }
+
+  /// Count for one cluster.
+  int count(CoreType type) const {
+    return type == CoreType::kLittle ? n_little : n_big;
+  }
+
+  /// Returns a copy with the given cluster count changed by `delta`.
+  CoreConfig with_delta(CoreType type, int delta) const {
+    CoreConfig c = *this;
+    (type == CoreType::kLittle ? c.n_little : c.n_big) += delta;
+    return c;
+  }
+
+  /// True when `this` fits inside [lo, hi] element-wise.
+  bool within(const CoreConfig& lo, const CoreConfig& hi) const {
+    return n_little >= lo.n_little && n_little <= hi.n_little &&
+           n_big >= lo.n_big && n_big <= hi.n_big;
+  }
+
+  /// "4L+2B" style rendering.
+  std::string to_string() const;
+
+  friend auto operator<=>(const CoreConfig&, const CoreConfig&) = default;
+};
+
+}  // namespace pns::soc

@@ -1,0 +1,40 @@
+#include "soc/latency_model.hpp"
+
+#include "util/contracts.hpp"
+
+namespace pns::soc {
+
+LatencyModel::LatencyModel(LatencyModelParams params) : params_(params) {
+  PNS_EXPECTS(params_.hotplug_base_s >= 0.0);
+  PNS_EXPECTS(params_.hotplug_cycles >= 0.0);
+  PNS_EXPECTS(params_.big_factor >= 1.0);
+  PNS_EXPECTS(params_.dvfs_base_s >= 0.0);
+}
+
+double LatencyModel::hotplug_latency(CoreType type, bool adding,
+                                     double f_hz,
+                                     const CoreConfig& cores_before) const {
+  PNS_EXPECTS(f_hz > 0.0);
+  double t = params_.hotplug_base_s + params_.hotplug_cycles / f_hz;
+  if (type == CoreType::kBig) {
+    t *= params_.big_factor;
+    // Powering the big cluster up for its first core (or down after its
+    // last) flips the cluster power switch and re-initialises the L2.
+    const bool cluster_toggles =
+        (adding && cores_before.n_big == 0) ||
+        (!adding && cores_before.n_big == 1);
+    if (cluster_toggles) t += params_.cluster_switch_s;
+  }
+  return t;
+}
+
+double LatencyModel::dvfs_latency(double f_from_hz, double f_to_hz,
+                                  int n_active) const {
+  PNS_EXPECTS(f_from_hz > 0.0 && f_to_hz > 0.0);
+  PNS_EXPECTS(n_active >= 0);
+  double t = params_.dvfs_base_s + params_.dvfs_per_core_s * n_active;
+  if (f_to_hz > f_from_hz) t += params_.dvfs_up_extra_s;
+  return t;
+}
+
+}  // namespace pns::soc

@@ -1,0 +1,61 @@
+// DVFS and hot-plug latency model calibrated against Fig. 10 of the paper.
+//
+// Hot-plugging a core is kernel work executed *at the current clock*, so
+// its latency grows as the clock slows:
+//
+//   t_hotplug = base + cycles / f  (+ cluster power-switch extra when the
+//                                    first big core comes up / last goes
+//                                    down, + a big-core factor)
+//
+// Measured anchors (Fig. 10 top): ~8-12 ms at 1.4 GHz, ~15-20 ms at
+// 800 MHz, ~30-40 ms at 200 MHz. This f-dependence is the entire reason
+// Table I finds core-first ordering ~5x cheaper than frequency-first:
+// scaling the clock down *before* unplugging makes every unplug slow.
+//
+// DVFS transitions (Fig. 10 bottom) cost ~1-3 ms, growing mildly with the
+// number of online cores and slightly more for up-transitions (the rail
+// must settle at the higher voltage before the PLL relocks).
+#pragma once
+
+#include "soc/opp.hpp"
+
+namespace pns::soc {
+
+/// Calibration constants of the latency model.
+struct LatencyModelParams {
+  double hotplug_base_s = 2.5e-3;    ///< f-independent kernel overhead
+  double hotplug_cycles = 8.0e6;     ///< cycles of kernel work per hot-plug
+  double big_factor = 1.25;          ///< big-core hot-plug multiplier
+  double cluster_switch_s = 6.0e-3;  ///< first-on/last-off cluster cost
+  double dvfs_base_s = 0.8e-3;       ///< fixed DVFS cost
+  double dvfs_per_core_s = 0.18e-3;  ///< added per online core
+  double dvfs_up_extra_s = 0.5e-3;   ///< extra when raising frequency
+  /// Extra board power while a hot-plug executes: the kernel's IPI storm
+  /// and task migration keep the remaining cores fully busy regardless of
+  /// workload. This is what makes long low-clock hot-plug phases expensive
+  /// in charge, not just in time (Table I).
+  double hotplug_power_overhead_w = 0.7;
+};
+
+/// Evaluates transition latencies.
+class LatencyModel {
+ public:
+  explicit LatencyModel(LatencyModelParams params);
+
+  const LatencyModelParams& params() const { return params_; }
+
+  /// Latency (s) to hot-plug one core of `type` in or out while the
+  /// cluster clock runs at `f_hz`. `cores_before` is the configuration
+  /// before the change (used to detect cluster power switching).
+  double hotplug_latency(CoreType type, bool adding, double f_hz,
+                         const CoreConfig& cores_before) const;
+
+  /// Latency (s) of a one-step frequency change with `n_active` online
+  /// cores.
+  double dvfs_latency(double f_from_hz, double f_to_hz, int n_active) const;
+
+ private:
+  LatencyModelParams params_;
+};
+
+}  // namespace pns::soc

@@ -1,0 +1,73 @@
+#include "soc/opp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/contracts.hpp"
+#include "util/literals.hpp"
+
+namespace pns::soc {
+
+using namespace pns::literals;
+
+const char* to_string(CoreType type) {
+  return type == CoreType::kLittle ? "LITTLE" : "big";
+}
+
+std::string CoreConfig::to_string() const {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%dL+%dB", n_little, n_big);
+  return buf;
+}
+
+OppTable::OppTable(std::vector<double> frequencies_hz)
+    : freqs_(std::move(frequencies_hz)) {
+  PNS_EXPECTS(!freqs_.empty());
+  PNS_EXPECTS(freqs_.front() > 0.0);
+  for (std::size_t i = 1; i < freqs_.size(); ++i)
+    PNS_EXPECTS(freqs_[i] > freqs_[i - 1]);
+}
+
+OppTable OppTable::paper_ladder() {
+  return OppTable({0.2_GHz, 0.45_GHz, 0.72_GHz, 0.92_GHz, 1.1_GHz, 1.2_GHz,
+                   1.3_GHz, 1.4_GHz});
+}
+
+double OppTable::frequency(std::size_t index) const {
+  PNS_EXPECTS(index < freqs_.size());
+  return freqs_[index];
+}
+
+std::size_t OppTable::step_down(std::size_t index) const {
+  PNS_EXPECTS(index < freqs_.size());
+  return index == 0 ? 0 : index - 1;
+}
+
+std::size_t OppTable::step_up(std::size_t index) const {
+  PNS_EXPECTS(index < freqs_.size());
+  return std::min(index + 1, freqs_.size() - 1);
+}
+
+std::size_t OppTable::nearest_index(double f_hz) const {
+  std::size_t best = 0;
+  double best_d = std::abs(freqs_[0] - f_hz);
+  for (std::size_t i = 1; i < freqs_.size(); ++i) {
+    const double d = std::abs(freqs_[i] - f_hz);
+    if (d < best_d) {
+      best = i;
+      best_d = d;
+    }
+  }
+  return best;
+}
+
+std::string to_string(const OperatingPoint& opp, const OppTable& table) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%s @ %.2f GHz",
+                opp.cores.to_string().c_str(),
+                table.frequency(opp.freq_index) / 1e9);
+  return buf;
+}
+
+}  // namespace pns::soc

@@ -1,0 +1,58 @@
+// Operating performance points: the DVFS frequency ladder plus the core
+// configuration.
+//
+// The paper's controller uses N = 8 predefined frequency levels chosen for
+// linearly spaced power: 0.2, 0.45, 0.72, 0.92, 1.1, 1.2, 1.3, 1.4 GHz
+// (Section III). An OperatingPoint pairs an index into that ladder with a
+// CoreConfig; together they determine power and performance.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "soc/core_types.hpp"
+
+namespace pns::soc {
+
+/// Immutable ascending ladder of DVFS frequencies (Hz).
+class OppTable {
+ public:
+  /// Requires at least one strictly increasing positive frequency.
+  explicit OppTable(std::vector<double> frequencies_hz);
+
+  /// The paper's 8-level ladder (Section III).
+  static OppTable paper_ladder();
+
+  std::size_t size() const { return freqs_.size(); }
+  double frequency(std::size_t index) const;
+  const std::vector<double>& frequencies() const { return freqs_; }
+
+  std::size_t min_index() const { return 0; }
+  std::size_t max_index() const { return freqs_.size() - 1; }
+
+  /// One step down (saturates at 0).
+  std::size_t step_down(std::size_t index) const;
+  /// One step up (saturates at the top).
+  std::size_t step_up(std::size_t index) const;
+
+  /// Index of the ladder frequency closest to f_hz.
+  std::size_t nearest_index(double f_hz) const;
+
+ private:
+  std::vector<double> freqs_;
+};
+
+/// A complete operating performance point.
+struct OperatingPoint {
+  std::size_t freq_index = 0;
+  CoreConfig cores{};
+
+  friend bool operator==(const OperatingPoint&,
+                         const OperatingPoint&) = default;
+};
+
+/// "4L+2B @ 1.10 GHz" rendering.
+std::string to_string(const OperatingPoint& opp, const OppTable& table);
+
+}  // namespace pns::soc

@@ -1,0 +1,45 @@
+#include "soc/perf_model.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace pns::soc {
+
+PerfModel::PerfModel(PerfModelParams params) : params_(params) {
+  PNS_EXPECTS(params_.ipc_little > 0.0);
+  PNS_EXPECTS(params_.ipc_big > 0.0);
+  PNS_EXPECTS(params_.parallel_overhead >= 0.0 &&
+              params_.parallel_overhead < 1.0);
+  PNS_EXPECTS(params_.instr_per_frame > 0.0);
+}
+
+double PerfModel::parallel_efficiency(int n_cores) const {
+  if (n_cores <= 1) return 1.0;
+  return std::pow(1.0 - params_.parallel_overhead, n_cores - 1);
+}
+
+double PerfModel::instruction_rate(const CoreConfig& cores, double f_hz,
+                                   double u) const {
+  PNS_EXPECTS(u >= 0.0 && u <= 1.0);
+  PNS_EXPECTS(f_hz > 0.0);
+  const double per_cycle = cores.n_little * params_.ipc_little +
+                           cores.n_big * params_.ipc_big;
+  return u * parallel_efficiency(cores.total()) * f_hz * per_cycle;
+}
+
+double PerfModel::fps(const CoreConfig& cores, double f_hz) const {
+  return instruction_rate(cores, f_hz) / params_.instr_per_frame;
+}
+
+double PerfModel::instruction_rate(const OperatingPoint& opp,
+                                   const OppTable& table, double u) const {
+  return instruction_rate(opp.cores, table.frequency(opp.freq_index), u);
+}
+
+double PerfModel::fps(const OperatingPoint& opp,
+                      const OppTable& table) const {
+  return fps(opp.cores, table.frequency(opp.freq_index));
+}
+
+}  // namespace pns::soc

@@ -1,0 +1,57 @@
+// Raytrace performance model calibrated against Fig. 7 of the paper.
+//
+// The benchmark workload is smallpt (global-illumination path tracer) at
+// 5 samples/pixel -- embarrassingly parallel and fully CPU bound, so
+// throughput is close to the sum of per-core instruction rates with a
+// small parallel-efficiency loss (synchronisation + shared-memory
+// contention):
+//
+//   rate(OPP)  = eff(n) * f * (nL * IPC_little + nB * IPC_big)   [instr/s]
+//   eff(n)     = (1 - overhead)^(n-1)
+//   FPS(OPP)   = rate(OPP) / instructions_per_frame
+//
+// The same instruction rate integrates into the "Instructions Completed"
+// column of Table II.
+#pragma once
+
+#include "soc/opp.hpp"
+
+namespace pns::soc {
+
+/// Calibration constants of the throughput model.
+struct PerfModelParams {
+  double ipc_little = 0.65;  ///< raytracer IPC on an A7 core
+  double ipc_big = 2.0;      ///< raytracer IPC on an A15 core
+  /// Fractional throughput loss added by each extra online core.
+  double parallel_overhead = 0.025;
+  /// Instructions retired per rendered frame (smallpt, 5 spp).
+  double instr_per_frame = 5.0e10;
+};
+
+/// Evaluates workload throughput for any operating point.
+class PerfModel {
+ public:
+  explicit PerfModel(PerfModelParams params);
+
+  const PerfModelParams& params() const { return params_; }
+
+  /// Parallel efficiency for n online cores (1 for n <= 1).
+  double parallel_efficiency(int n_cores) const;
+
+  /// Aggregate instruction rate (instr/s) at utilisation `u`.
+  double instruction_rate(const CoreConfig& cores, double f_hz,
+                          double u = 1.0) const;
+
+  /// Frames rendered per second.
+  double fps(const CoreConfig& cores, double f_hz) const;
+
+  /// Convenience overloads taking an OperatingPoint + ladder.
+  double instruction_rate(const OperatingPoint& opp, const OppTable& table,
+                          double u = 1.0) const;
+  double fps(const OperatingPoint& opp, const OppTable& table) const;
+
+ private:
+  PerfModelParams params_;
+};
+
+}  // namespace pns::soc

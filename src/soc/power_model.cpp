@@ -1,0 +1,54 @@
+#include "soc/power_model.hpp"
+
+#include "util/contracts.hpp"
+
+namespace pns::soc {
+
+PowerModel::PowerModel(PowerModelParams params)
+    : params_(std::move(params)) {
+  PNS_EXPECTS(params_.board_base_w >= 0.0);
+  PNS_EXPECTS(params_.little.c_eff_f > 0.0);
+  PNS_EXPECTS(params_.big.c_eff_f > 0.0);
+  PNS_EXPECTS(!params_.little.vdd_of_freq.empty());
+  PNS_EXPECTS(!params_.big.vdd_of_freq.empty());
+}
+
+double PowerModel::vdd(CoreType type, double f_hz) const {
+  const auto& curve = type == CoreType::kLittle
+                          ? params_.little.vdd_of_freq
+                          : params_.big.vdd_of_freq;
+  return curve(f_hz);
+}
+
+double PowerModel::core_dynamic_power(CoreType type, double f_hz,
+                                      double u) const {
+  PNS_EXPECTS(u >= 0.0 && u <= 1.0);
+  const auto& p =
+      type == CoreType::kLittle ? params_.little : params_.big;
+  const double v = vdd(type, f_hz);
+  return u * p.c_eff_f * f_hz * v * v;
+}
+
+double PowerModel::cluster_power(CoreType type, int n, double f_hz,
+                                 double u) const {
+  PNS_EXPECTS(n >= 0);
+  if (n == 0) return 0.0;  // hot-plugged out: cluster fully power-gated
+  const auto& p =
+      type == CoreType::kLittle ? params_.little : params_.big;
+  return p.cluster_static_w +
+         n * (p.core_static_w + core_dynamic_power(type, f_hz, u));
+}
+
+double PowerModel::board_power(const OperatingPoint& opp,
+                               const OppTable& table, double u) const {
+  return board_power_at(opp.cores, table.frequency(opp.freq_index), u);
+}
+
+double PowerModel::board_power_at(const CoreConfig& cores, double f_hz,
+                                  double u) const {
+  return params_.board_base_w +
+         cluster_power(CoreType::kLittle, cores.n_little, f_hz, u) +
+         cluster_power(CoreType::kBig, cores.n_big, f_hz, u);
+}
+
+}  // namespace pns::soc

@@ -1,0 +1,63 @@
+// Analytic board power model calibrated against Fig. 4 of the paper.
+//
+//   P_board(OPP, u) = P_base
+//                   + sum over clusters with >=1 online core:
+//                       P_cluster_static
+//                       + n * (P_core_static + u * Ceff * f * Vdd(f)^2)
+//
+// Vdd(f) is the per-cluster DVFS voltage curve, so dynamic power grows
+// super-linearly in frequency exactly as the measured curves do. `u` is
+// workload utilisation (1.0 for the paper's CPU-bound raytracer).
+// P_base covers everything outside the CPU clusters (DRAM, fan, USB, eMMC,
+// regulators) -- the reason Fig. 4 shows ~1.8 W even at 1xA7 200 MHz.
+#pragma once
+
+#include "soc/opp.hpp"
+#include "util/interp.hpp"
+
+namespace pns::soc {
+
+/// Electrical constants of one core type.
+struct CorePowerParams {
+  double c_eff_f;          ///< effective switched capacitance (F)
+  double core_static_w;    ///< per-online-core leakage (W)
+  double cluster_static_w; ///< cluster-level overhead when any core online
+  pns::PiecewiseLinear vdd_of_freq;  ///< cluster rail voltage vs f (V)
+};
+
+/// Full board power parameters.
+struct PowerModelParams {
+  double board_base_w;  ///< non-CPU board power (W)
+  CorePowerParams little;
+  CorePowerParams big;
+};
+
+/// Evaluates board power for any operating point.
+class PowerModel {
+ public:
+  explicit PowerModel(PowerModelParams params);
+
+  const PowerModelParams& params() const { return params_; }
+
+  /// Rail voltage of a cluster at frequency f (V).
+  double vdd(CoreType type, double f_hz) const;
+
+  /// Dynamic power of one core of `type` at `f_hz` and utilisation `u`.
+  double core_dynamic_power(CoreType type, double f_hz, double u) const;
+
+  /// Power contribution of a whole cluster with `n` online cores.
+  double cluster_power(CoreType type, int n, double f_hz, double u) const;
+
+  /// Total board power at an operating point with utilisation `u`.
+  double board_power(const OperatingPoint& opp, const OppTable& table,
+                     double u = 1.0) const;
+
+  /// Same, with the frequency given directly.
+  double board_power_at(const CoreConfig& cores, double f_hz,
+                        double u = 1.0) const;
+
+ private:
+  PowerModelParams params_;
+};
+
+}  // namespace pns::soc

@@ -1,0 +1,103 @@
+#include "soc/soc_state.hpp"
+
+#include "util/contracts.hpp"
+
+namespace pns::soc {
+
+const char* to_string(PowerState s) {
+  switch (s) {
+    case PowerState::kOn:
+      return "on";
+    case PowerState::kOff:
+      return "off";
+    case PowerState::kBooting:
+      return "booting";
+  }
+  return "?";
+}
+
+SocRuntime::SocRuntime(const Platform& platform, OperatingPoint initial)
+    : platform_(&platform), opp_(initial) {
+  PNS_EXPECTS(initial.freq_index < platform.opps.size());
+  PNS_EXPECTS(platform.valid_cores(initial.cores));
+}
+
+OperatingPoint SocRuntime::final_target() const {
+  return pending_.empty() ? opp_ : pending_.back().to;
+}
+
+double SocRuntime::power(double u) const {
+  switch (power_state_) {
+    case PowerState::kOff:
+      return platform_->off_power_w;
+    case PowerState::kBooting:
+      return platform_->boot_power_w;
+    case PowerState::kOn:
+      break;
+  }
+  if (!pending_.empty()) return pending_.front().power_w;
+  return platform_->power.board_power(opp_, platform_->opps, u);
+}
+
+double SocRuntime::instruction_rate(double u) const {
+  if (power_state_ != PowerState::kOn) return 0.0;
+  const double rate =
+      platform_->perf.instruction_rate(opp_, platform_->opps, u);
+  if (pending_.empty()) return rate;
+  const double stall = pending_.front().kind == TransitionKind::kHotplug
+                           ? platform_->hotplug_stall
+                           : platform_->dvfs_stall;
+  return rate * (1.0 - stall);
+}
+
+void SocRuntime::enqueue_plan(std::vector<TransitionStep> plan,
+                              double t_now) {
+  PNS_EXPECTS(power_state_ == PowerState::kOn);
+  if (plan.empty()) return;
+  PNS_EXPECTS(plan.front().from == final_target());
+  const bool was_idle = pending_.empty();
+  for (auto& step : plan) pending_.push_back(std::move(step));
+  if (was_idle) step_started_at_ = t_now;
+}
+
+double SocRuntime::next_boundary() const {
+  if (pending_.empty()) return std::numeric_limits<double>::infinity();
+  return step_started_at_ + pending_.front().duration_s;
+}
+
+void SocRuntime::complete_step(double t) {
+  PNS_EXPECTS(!pending_.empty());
+  opp_ = pending_.front().to;
+  pending_.pop_front();
+  step_started_at_ = t;
+  ++steps_done_;
+}
+
+void SocRuntime::power_off(double t) {
+  (void)t;
+  power_state_ = PowerState::kOff;
+  pending_.clear();
+  opp_ = platform_->lowest_opp();
+  ++brownouts_;
+}
+
+void SocRuntime::begin_boot(double t) {
+  PNS_EXPECTS(power_state_ == PowerState::kOff);
+  power_state_ = PowerState::kBooting;
+  boot_started_at_ = t;
+}
+
+double SocRuntime::boot_complete_time() const {
+  if (power_state_ != PowerState::kBooting)
+    return std::numeric_limits<double>::infinity();
+  return boot_started_at_ + platform_->boot_time_s;
+}
+
+void SocRuntime::complete_boot(double t) {
+  (void)t;
+  PNS_EXPECTS(power_state_ == PowerState::kBooting);
+  power_state_ = PowerState::kOn;
+  opp_ = platform_->lowest_opp();
+}
+
+}  // namespace pns::soc

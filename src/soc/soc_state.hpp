@@ -1,0 +1,96 @@
+// Runtime state machine of the SoC during co-simulation.
+//
+// Tracks the live operating point, the queue of in-flight transition steps
+// and the power on/off/boot lifecycle. The co-simulation engine asks it
+// for instantaneous power and instruction rate and tells it when step
+// boundaries or brownout/boot events occur.
+#pragma once
+
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "soc/platform.hpp"
+#include "soc/transition.hpp"
+
+namespace pns::soc {
+
+/// Power lifecycle of the board.
+enum class PowerState {
+  kOn,       ///< executing the workload
+  kOff,      ///< browned out; residual draw only
+  kBooting,  ///< recovering after brownout, not yet executing
+};
+
+const char* to_string(PowerState s);
+
+/// Mutable runtime model of one board.
+class SocRuntime {
+ public:
+  /// Borrows `platform` (must outlive the runtime).
+  SocRuntime(const Platform& platform, OperatingPoint initial);
+
+  const Platform& platform() const { return *platform_; }
+
+  /// Operating point that is currently *live* (mid-plan: the OPP reached
+  /// by the last completed step).
+  const OperatingPoint& opp() const { return opp_; }
+
+  /// Final OPP once all queued steps finish (== opp() when idle).
+  OperatingPoint final_target() const;
+
+  PowerState power_state() const { return power_state_; }
+  bool is_on() const { return power_state_ == PowerState::kOn; }
+  bool transitioning() const { return !pending_.empty(); }
+  std::size_t pending_steps() const { return pending_.size(); }
+
+  /// Instantaneous board power (W) at utilisation `u`.
+  double power(double u) const;
+
+  /// Instantaneous workload instruction rate (instr/s) at utilisation `u`
+  /// (0 when off/booting; derated by the stall factor during steps).
+  double instruction_rate(double u) const;
+
+  /// Appends a transition plan. Steps execute strictly in order after any
+  /// already queued ones. `t_now` starts the first step's clock when the
+  /// queue was empty.
+  void enqueue_plan(std::vector<TransitionStep> plan, double t_now);
+
+  /// Absolute completion time of the step at the queue head
+  /// (+infinity when idle).
+  double next_boundary() const;
+
+  /// Completes the head step (requires one pending); the live OPP becomes
+  /// the step's target, and the next step's clock starts at `t`.
+  void complete_step(double t);
+
+  /// Brownout: clears pending steps, zeroes compute. The live OPP resets
+  /// to the platform's lowest point (the PMIC comes back in its default
+  /// state).
+  void power_off(double t);
+
+  /// Begins the boot sequence (valid when off).
+  void begin_boot(double t);
+
+  /// Absolute time at which boot completes (+infinity unless booting).
+  double boot_complete_time() const;
+
+  /// Completes boot and resumes execution at the lowest OPP.
+  void complete_boot(double t);
+
+  /// Lifetime counters.
+  std::size_t transitions_completed() const { return steps_done_; }
+  std::size_t brownouts() const { return brownouts_; }
+
+ private:
+  const Platform* platform_;
+  OperatingPoint opp_;
+  PowerState power_state_ = PowerState::kOn;
+  std::deque<TransitionStep> pending_;
+  double step_started_at_ = 0.0;
+  double boot_started_at_ = 0.0;
+  std::size_t steps_done_ = 0;
+  std::size_t brownouts_ = 0;
+};
+
+}  // namespace pns::soc

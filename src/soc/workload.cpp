@@ -1,0 +1,46 @@
+#include "soc/workload.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace pns::soc {
+
+void Workload::advance(double /*t*/, double dt, double instr_rate) {
+  PNS_EXPECTS(dt >= 0.0);
+  PNS_EXPECTS(instr_rate >= 0.0);
+  instructions_ += dt * instr_rate;
+}
+
+RaytraceWorkload::RaytraceWorkload(double instr_per_frame)
+    : instr_per_frame_(instr_per_frame) {
+  PNS_EXPECTS(instr_per_frame > 0.0);
+}
+
+double RaytraceWorkload::frames_completed() const {
+  return instructions_ / instr_per_frame_;
+}
+
+PeriodicWorkload::PeriodicWorkload(double busy_s, double idle_s,
+                                   double busy_util, double idle_util)
+    : busy_s_(busy_s),
+      idle_s_(idle_s),
+      busy_util_(busy_util),
+      idle_util_(idle_util) {
+  PNS_EXPECTS(busy_s > 0.0 && idle_s >= 0.0);
+  PNS_EXPECTS(busy_util >= 0.0 && busy_util <= 1.0);
+  PNS_EXPECTS(idle_util >= 0.0 && idle_util <= 1.0);
+}
+
+double PeriodicWorkload::utilization(double t) const {
+  const double period = busy_s_ + idle_s_;
+  if (period <= 0.0) return busy_util_;
+  const double phase = std::fmod(std::max(t, 0.0), period);
+  return phase < busy_s_ ? busy_util_ : idle_util_;
+}
+
+ConstantWorkload::ConstantWorkload(double util) : util_(util) {
+  PNS_EXPECTS(util >= 0.0 && util <= 1.0);
+}
+
+}  // namespace pns::soc

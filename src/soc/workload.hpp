@@ -1,0 +1,87 @@
+// Workload models.
+//
+// The paper benchmarks with smallpt, a CPU-bound path tracer: utilisation
+// is pinned at 100 % and progress is measured in rendered frames and
+// retired instructions (Table II's "Renders/min" and "Instructions
+// Completed"). RaytraceWorkload reproduces that accounting. Duty-cycled
+// and bursty workloads are provided for exercising the utilisation-driven
+// Linux governors (ondemand/conservative/interactive) under conditions
+// where they actually modulate frequency.
+#pragma once
+
+#include <string>
+
+namespace pns::soc {
+
+/// A job running on the SoC: supplies demanded utilisation and accumulates
+/// progress from the instruction rate the platform delivers.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// Demanded CPU utilisation in [0, 1] at time t.
+  virtual double utilization(double t) const = 0;
+
+  /// Accumulates `dt` seconds of execution at `instr_rate` instr/s.
+  virtual void advance(double t, double dt, double instr_rate);
+
+  /// Total instructions retired so far.
+  double instructions() const { return instructions_; }
+
+  /// Identification for reports.
+  virtual const char* name() const = 0;
+
+  /// Clears accumulated progress.
+  virtual void reset() { instructions_ = 0.0; }
+
+ protected:
+  double instructions_ = 0.0;
+};
+
+/// Fully CPU-bound path tracer (smallpt, 5 samples/pixel).
+class RaytraceWorkload : public Workload {
+ public:
+  /// `instr_per_frame` must match the PerfModel calibration so FPS and
+  /// frame counts are consistent.
+  explicit RaytraceWorkload(double instr_per_frame);
+
+  double utilization(double /*t*/) const override { return 1.0; }
+  const char* name() const override { return "raytrace"; }
+
+  /// Frames completed (fractional; Table II reports averages like 0.246
+  /// renders/min, so fractional progress is the right unit).
+  double frames_completed() const;
+
+ private:
+  double instr_per_frame_;
+};
+
+/// Square-wave utilisation: `busy_util` for `busy_s`, then `idle_util`
+/// for `idle_s`, repeating. Exercises reactive governors.
+class PeriodicWorkload : public Workload {
+ public:
+  PeriodicWorkload(double busy_s, double idle_s, double busy_util = 1.0,
+                   double idle_util = 0.05);
+
+  double utilization(double t) const override;
+  const char* name() const override { return "periodic"; }
+
+ private:
+  double busy_s_;
+  double idle_s_;
+  double busy_util_;
+  double idle_util_;
+};
+
+/// Constant configurable utilisation (unit-test baseline).
+class ConstantWorkload : public Workload {
+ public:
+  explicit ConstantWorkload(double util);
+  double utilization(double /*t*/) const override { return util_; }
+  const char* name() const override { return "constant"; }
+
+ private:
+  double util_;
+};
+
+}  // namespace pns::soc

@@ -1,0 +1,78 @@
+#include "trace/supply_profiles.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/contracts.hpp"
+
+namespace pns::trace {
+
+SupplyProfile::SupplyProfile(double initial_volts) : v0_(initial_volts) {}
+
+SupplyProfile& SupplyProfile::hold(double duration) {
+  PNS_EXPECTS(duration >= 0.0);
+  const double v = at(t_end_);
+  segments_.push_back({Kind::kHold, t_end_, t_end_ + duration, v, v, 0, 0});
+  t_end_ += duration;
+  return *this;
+}
+
+SupplyProfile& SupplyProfile::ramp_to(double target_volts, double duration) {
+  PNS_EXPECTS(duration >= 0.0);
+  const double v = at(t_end_);
+  segments_.push_back(
+      {Kind::kRamp, t_end_, t_end_ + duration, v, target_volts, 0, 0});
+  t_end_ += duration;
+  return *this;
+}
+
+SupplyProfile& SupplyProfile::step_to(double target_volts) {
+  return ramp_to(target_volts, 0.0);
+}
+
+SupplyProfile& SupplyProfile::sine(double amplitude, double period,
+                                   double duration) {
+  PNS_EXPECTS(duration >= 0.0);
+  PNS_EXPECTS(period > 0.0);
+  const double v = at(t_end_);
+  segments_.push_back({Kind::kSine, t_end_, t_end_ + duration, v, v,
+                       amplitude, period});
+  t_end_ += duration;
+  return *this;
+}
+
+double SupplyProfile::value_of(const Segment& s, double t) const {
+  switch (s.kind) {
+    case Kind::kHold:
+      return s.v_begin;
+    case Kind::kRamp: {
+      if (s.t_end <= s.t_begin) return s.v_end;
+      const double f = (t - s.t_begin) / (s.t_end - s.t_begin);
+      return s.v_begin + f * (s.v_end - s.v_begin);
+    }
+    case Kind::kSine:
+      return s.v_begin +
+             s.amplitude *
+                 std::sin(2.0 * std::numbers::pi * (t - s.t_begin) /
+                          s.period);
+  }
+  return s.v_begin;
+}
+
+double SupplyProfile::at(double t) const {
+  if (segments_.empty()) return v0_;
+  if (t <= segments_.front().t_begin) return v0_;
+  for (const auto& s : segments_) {
+    if (t >= s.t_begin && t < s.t_end) return value_of(s, t);
+  }
+  // Past the end: the final value of the last segment.
+  const auto& last = segments_.back();
+  return value_of(last, last.t_end);
+}
+
+std::function<double(double)> SupplyProfile::as_function() const {
+  SupplyProfile copy = *this;
+  return [copy = std::move(copy)](double t) { return copy.at(t); };
+}
+
+}  // namespace pns::trace

@@ -1,0 +1,65 @@
+// Programmable supply-voltage profiles.
+//
+// Two of the paper's experiments drive the system from a *controlled*
+// source rather than the PV array: the concept illustration of Fig. 3
+// (sinusoidal source) and the bench-supply validation of Fig. 11
+// (hand-driven ramps and steps). SupplyProfile composes such waveforms
+// from primitive segments.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace pns::trace {
+
+/// Piecewise waveform builder: hold / ramp / sine segments appended in
+/// time order. Evaluation before the first segment returns the initial
+/// value; after the last, the final value.
+class SupplyProfile {
+ public:
+  /// Starts the profile at `initial_volts` at t = 0.
+  explicit SupplyProfile(double initial_volts);
+
+  /// Holds the current voltage for `duration` seconds.
+  SupplyProfile& hold(double duration);
+
+  /// Ramps linearly to `target_volts` over `duration` seconds.
+  SupplyProfile& ramp_to(double target_volts, double duration);
+
+  /// Steps instantaneously to `target_volts` (zero-duration ramp).
+  SupplyProfile& step_to(double target_volts);
+
+  /// Sinusoid around the current voltage: v(t) = v0 + amplitude *
+  /// sin(2*pi*(t-t_seg)/period), for `duration` seconds. The segment ends
+  /// at whatever phase the duration lands on.
+  SupplyProfile& sine(double amplitude, double period, double duration);
+
+  /// Total duration of all appended segments.
+  double duration() const { return t_end_; }
+
+  /// Voltage at time t.
+  double at(double t) const;
+
+  /// Returns a copyable evaluator closure over an immutable snapshot.
+  std::function<double(double)> as_function() const;
+
+ private:
+  enum class Kind { kHold, kRamp, kSine };
+  struct Segment {
+    Kind kind;
+    double t_begin;
+    double t_end;
+    double v_begin;
+    double v_end;       // ramp target (== v_begin for hold/sine)
+    double amplitude;   // sine only
+    double period;      // sine only
+  };
+
+  double value_of(const Segment& s, double t) const;
+
+  std::vector<Segment> segments_;
+  double v0_;
+  double t_end_ = 0.0;
+};
+
+}  // namespace pns::trace

@@ -1,0 +1,23 @@
+// Trace persistence: save/load sampled signals as two-column CSV.
+//
+// Lets users substitute their own measured irradiance or supply traces
+// (e.g. the paper's published dataset, DOI 10.5258/SOTON/403155) for the
+// synthetic weather generator.
+#pragma once
+
+#include <string>
+
+#include "util/interp.hpp"
+#include "util/time_series.hpp"
+
+namespace pns::trace {
+
+/// Writes "t,value" rows (with header) to `path`. Returns false on I/O
+/// failure.
+bool save_trace_csv(const std::string& path, const pns::TimeSeries& series);
+
+/// Reads a two-column CSV (header optional) into a piecewise-linear trace.
+/// Throws std::runtime_error on malformed input or unreadable file.
+pns::PiecewiseLinear load_trace_csv(const std::string& path);
+
+}  // namespace pns::trace

@@ -1,0 +1,63 @@
+// Stochastic weather synthesis ("micro" variability of Fig. 1).
+//
+// Measured solar traces show two superimposed processes (paper Fig. 1):
+// slow diurnal drift and fast, deep dips from passing clouds/shadowing.
+// We model transmittance (fraction of clear-sky irradiance reaching the
+// array) as a two-state Markov process -- CLEAR and OCCLUDED with
+// exponentially distributed dwell times -- whose target level is tracked
+// by an Ornstein-Uhlenbeck process, giving band-limited noise plus sharp
+// but finite-slope transitions, exactly the texture of the measured data.
+//
+// Four presets match the paper's test conditions (Section V.B): full sun,
+// partial sun, cloud and hail.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/irradiance.hpp"
+#include "util/interp.hpp"
+#include "util/rng.hpp"
+
+namespace pns::trace {
+
+/// Test-day weather classes used in the paper's evaluation.
+enum class WeatherCondition { kFullSun, kPartialSun, kCloud, kHail };
+
+/// Returns a human-readable name ("full-sun", ...).
+const char* to_string(WeatherCondition c);
+
+/// Parameters of the two-state Markov + OU transmittance process.
+struct WeatherParams {
+  double mean_clear_s = 300.0;     ///< mean dwell in CLEAR state
+  double mean_occluded_s = 60.0;   ///< mean dwell in OCCLUDED state
+  double clear_level = 1.0;        ///< transmittance target when clear
+  double occluded_level = 0.3;     ///< transmittance target when occluded
+  double ou_tau_s = 2.0;           ///< OU time constant (edge sharpness)
+  double ou_sigma = 0.02;          ///< OU noise intensity (flicker)
+  double level_jitter = 0.1;       ///< per-event randomisation of targets
+};
+
+/// Preset parameters for each WeatherCondition.
+WeatherParams weather_params_for(WeatherCondition c);
+
+/// Generates a transmittance trace in [0, 1] sampled every `dt` seconds
+/// over [t0, t1]. Deterministic for a given seed.
+pns::PiecewiseLinear synthesize_transmittance(const WeatherParams& params,
+                                              double t0, double t1,
+                                              double dt, std::uint64_t seed);
+
+/// Irradiance trace = clear-sky envelope x synthesized transmittance,
+/// sampled every `dt` over [t0, t1].
+pns::PiecewiseLinear synthesize_irradiance(const ClearSky& sky,
+                                           WeatherCondition condition,
+                                           double t0, double t1, double dt,
+                                           std::uint64_t seed);
+
+/// Deterministic "sudden shadowing" profile for the Fig. 6 scenario: full
+/// irradiance, a linear collapse to `depth` at t_event over t_fall seconds,
+/// a hold, and a recovery ramp. Values are transmittance in [0, 1].
+pns::PiecewiseLinear shadowing_event(double t0, double t1, double t_event,
+                                     double t_fall, double hold_s,
+                                     double t_rise, double depth);
+
+}  // namespace pns::trace

@@ -1,0 +1,44 @@
+// Lightweight contract checking (C++ Core Guidelines I.6/I.8 style).
+//
+// PNS_EXPECTS(cond)  -- precondition; throws pns::ContractViolation on failure.
+// PNS_ENSURES(cond)  -- postcondition; same behaviour.
+//
+// Throwing (rather than aborting) keeps contract failures testable with
+// gtest and recoverable in long-running sweeps.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace pns {
+
+/// Thrown when a PNS_EXPECTS / PNS_ENSURES contract is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what_arg)
+      : std::logic_error(what_arg) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace pns
+
+#define PNS_EXPECTS(cond)                                                \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::pns::detail::contract_fail("precondition", #cond, __FILE__,      \
+                                   __LINE__);                            \
+  } while (false)
+
+#define PNS_ENSURES(cond)                                                \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::pns::detail::contract_fail("postcondition", #cond, __FILE__,     \
+                                   __LINE__);                            \
+  } while (false)

@@ -1,0 +1,92 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+
+#include "util/contracts.hpp"
+
+namespace pns {
+
+CsvWriter::CsvWriter(std::ostream& os) : os_(&os) {}
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+  PNS_EXPECTS(!header_written_);
+  PNS_EXPECTS(rows_ == 0);
+  PNS_EXPECTS(!columns.empty());
+  columns_ = columns.size();
+  header_written_ = true;
+  write_cells(columns);
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.15g", v);
+    cells.emplace_back(buf);
+  }
+  row_strings(cells);
+}
+
+void CsvWriter::row_strings(const std::vector<std::string>& cells) {
+  if (header_written_) PNS_EXPECTS(cells.size() == columns_);
+  write_cells(cells);
+  ++rows_;
+}
+
+void CsvWriter::write_cells(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) (*os_) << ',';
+    (*os_) << csv_escape(cells[i]);
+  }
+  (*os_) << '\n';
+}
+
+std::string csv_escape(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+bool write_series_csv(
+    const std::string& path,
+    const std::vector<std::pair<std::string, const TimeSeries*>>& series) {
+  std::ofstream f(path);
+  if (!f) return false;
+  CsvWriter w(f);
+  std::vector<std::string> cols;
+  std::size_t max_len = 0;
+  for (const auto& [name, ts] : series) {
+    cols.push_back(name + "_t");
+    cols.push_back(name + "_v");
+    max_len = std::max(max_len, ts->size());
+  }
+  w.header(cols);
+  for (std::size_t i = 0; i < max_len; ++i) {
+    std::vector<std::string> cells;
+    for (const auto& [name, ts] : series) {
+      (void)name;
+      if (i < ts->size()) {
+        char buf[40];
+        std::snprintf(buf, sizeof buf, "%.15g", ts->times()[i]);
+        cells.emplace_back(buf);
+        std::snprintf(buf, sizeof buf, "%.15g", ts->values()[i]);
+        cells.emplace_back(buf);
+      } else {
+        cells.emplace_back("");
+        cells.emplace_back("");
+      }
+    }
+    w.row_strings(cells);
+  }
+  return true;
+}
+
+}  // namespace pns

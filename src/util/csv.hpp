@@ -1,0 +1,55 @@
+// Minimal CSV emission for experiment outputs.
+//
+// Benches and examples optionally dump full-resolution series to CSV files
+// so that plots matching the paper's figures can be regenerated with any
+// plotting tool. Only writing is needed; values are numbers or plain
+// strings (escaped per RFC 4180 when required).
+#pragma once
+
+#include <fstream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/time_series.hpp"
+
+namespace pns {
+
+/// Streams rows of comma-separated values to an std::ostream.
+class CsvWriter {
+ public:
+  /// Writes to an externally owned stream (not owned, must outlive this).
+  explicit CsvWriter(std::ostream& os);
+
+  /// Writes the header row. Must be the first row written, at most once.
+  void header(const std::vector<std::string>& columns);
+
+  /// Writes one row of doubles with full round-trip precision.
+  void row(const std::vector<double>& values);
+
+  /// Writes one row of pre-formatted cells (escaped as needed).
+  void row_strings(const std::vector<std::string>& cells);
+
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  void write_cells(const std::vector<std::string>& cells);
+
+  std::ostream* os_;
+  std::size_t columns_ = 0;
+  std::size_t rows_ = 0;
+  bool header_written_ = false;
+};
+
+/// Escapes a single CSV cell per RFC 4180 (quotes when the cell contains a
+/// comma, quote or newline).
+std::string csv_escape(const std::string& cell);
+
+/// Convenience: dumps named time series (shared time axis not required;
+/// each series contributes "<name>_t,<name>_v" column pairs, padded with
+/// empty cells) to `path`. Returns false if the file cannot be opened.
+bool write_series_csv(const std::string& path,
+                      const std::vector<std::pair<std::string,
+                                                  const TimeSeries*>>& series);
+
+}  // namespace pns

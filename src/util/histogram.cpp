@@ -1,0 +1,82 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace pns {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0.0) {
+  PNS_EXPECTS(lo < hi);
+  PNS_EXPECTS(bins >= 1);
+}
+
+void Histogram::add_weighted(double x, double weight) {
+  PNS_EXPECTS(weight >= 0.0);
+  if (weight == 0.0) return;
+  if (x < lo_) {
+    underflow_ += weight;
+  } else if (x >= hi_) {
+    overflow_ += weight;
+  } else {
+    auto idx = static_cast<std::size_t>((x - lo_) / width_);
+    idx = std::min(idx, counts_.size() - 1);  // guard FP edge at hi_
+    counts_[idx] += weight;
+  }
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  PNS_EXPECTS(i < counts_.size());
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  return bin_lo(i) + width_ / 2.0;
+}
+
+double Histogram::weight(std::size_t i) const {
+  PNS_EXPECTS(i < counts_.size());
+  return counts_[i];
+}
+
+double Histogram::total_weight() const {
+  return std::accumulate(counts_.begin(), counts_.end(), 0.0) + underflow_ +
+         overflow_;
+}
+
+double Histogram::fraction(std::size_t i) const {
+  const double total = total_weight();
+  if (total <= 0.0) return 0.0;
+  return weight(i) / total;
+}
+
+std::size_t Histogram::mode_bin() const {
+  return static_cast<std::size_t>(
+      std::max_element(counts_.begin(), counts_.end()) - counts_.begin());
+}
+
+std::string Histogram::to_string(std::size_t max_bar) const {
+  std::ostringstream os;
+  double peak = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    peak = std::max(peak, fraction(i));
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double frac = fraction(i);
+    const auto bar = peak > 0.0
+                         ? static_cast<std::size_t>(std::round(
+                               frac / peak * static_cast<double>(max_bar)))
+                         : 0;
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "%8.3f..%-8.3f %6.2f%% |", bin_lo(i),
+                  bin_lo(i) + width_, frac * 100.0);
+    os << buf << std::string(bar, '#') << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace pns

@@ -1,0 +1,66 @@
+// Uniform-bin histogram with optional sample weights.
+//
+// Used for the "time spent at each operating voltage" analysis of Fig. 13:
+// samples are voltages weighted by the dwell time at that voltage, so the
+// normalised histogram is the fraction of total time per voltage bin.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pns {
+
+/// Fixed-range uniform-bin histogram. Out-of-range samples accumulate in
+/// dedicated underflow/overflow counters so no weight is silently dropped.
+class Histogram {
+ public:
+  /// Creates `bins` equal-width bins covering [lo, hi). Requires lo < hi
+  /// and bins >= 1.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Adds a sample with weight 1.
+  void add(double x) { add_weighted(x, 1.0); }
+
+  /// Adds a sample with a non-negative weight.
+  void add_weighted(double x, double weight);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  double bin_width() const { return width_; }
+
+  /// Lower edge of bin i.
+  double bin_lo(std::size_t i) const;
+  /// Centre of bin i.
+  double bin_center(std::size_t i) const;
+
+  /// Accumulated weight in bin i.
+  double weight(std::size_t i) const;
+  /// Weight of samples below lo() / at or above hi().
+  double underflow() const { return underflow_; }
+  double overflow() const { return overflow_; }
+
+  /// Total accumulated weight including under/overflow.
+  double total_weight() const;
+
+  /// Fraction of total weight in bin i (0 if histogram is empty).
+  double fraction(std::size_t i) const;
+
+  /// Index of the heaviest bin (0 if empty).
+  std::size_t mode_bin() const;
+
+  /// Multi-line "bin_lo..bin_hi : fraction" rendering with unit bars,
+  /// useful for quick console inspection in benches.
+  std::string to_string(std::size_t max_bar = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<double> counts_;
+  double underflow_ = 0.0;
+  double overflow_ = 0.0;
+};
+
+}  // namespace pns

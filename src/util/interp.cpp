@@ -1,0 +1,104 @@
+#include "util/interp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace pns {
+
+PiecewiseLinear::PiecewiseLinear(std::vector<double> xs,
+                                 std::vector<double> ys)
+    : xs_(std::move(xs)), ys_(std::move(ys)) {
+  PNS_EXPECTS(!xs_.empty());
+  PNS_EXPECTS(xs_.size() == ys_.size());
+  for (std::size_t i = 1; i < xs_.size(); ++i) PNS_EXPECTS(xs_[i] > xs_[i - 1]);
+}
+
+PiecewiseLinear PiecewiseLinear::from_pairs(
+    std::vector<std::pair<double, double>> pts) {
+  std::sort(pts.begin(), pts.end());
+  std::vector<double> xs, ys;
+  xs.reserve(pts.size());
+  ys.reserve(pts.size());
+  for (const auto& [x, y] : pts) {
+    xs.push_back(x);
+    ys.push_back(y);
+  }
+  return PiecewiseLinear(std::move(xs), std::move(ys));
+}
+
+double PiecewiseLinear::x_front() const {
+  PNS_EXPECTS(!empty());
+  return xs_.front();
+}
+
+double PiecewiseLinear::x_back() const {
+  PNS_EXPECTS(!empty());
+  return xs_.back();
+}
+
+double PiecewiseLinear::operator()(double x) const {
+  PNS_EXPECTS(!empty());
+  if (x <= xs_.front()) return ys_.front();
+  if (x >= xs_.back()) return ys_.back();
+  const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+  const auto i = static_cast<std::size_t>(it - xs_.begin());
+  const double x0 = xs_[i - 1], x1 = xs_[i];
+  const double y0 = ys_[i - 1], y1 = ys_[i];
+  const double t = (x - x0) / (x1 - x0);
+  return y0 + t * (y1 - y0);
+}
+
+double PiecewiseLinear::slope_at(double x) const {
+  PNS_EXPECTS(!empty());
+  if (xs_.size() < 2 || x < xs_.front() || x > xs_.back()) return 0.0;
+  auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+  if (it == xs_.end()) --it;  // x == x_back: use last segment
+  auto i = static_cast<std::size_t>(it - xs_.begin());
+  if (i == 0) i = 1;
+  return (ys_[i] - ys_[i - 1]) / (xs_[i] - xs_[i - 1]);
+}
+
+double PiecewiseLinear::integrate(double a, double b) const {
+  PNS_EXPECTS(!empty());
+  PNS_EXPECTS(a <= b);
+  if (a == b) return 0.0;
+  // Integrate the clamped-extrapolated function by splitting at knots.
+  double total = 0.0;
+  double x_prev = a;
+  double y_prev = (*this)(a);
+  for (double knot : xs_) {
+    if (knot <= a) continue;
+    if (knot >= b) break;
+    const double y = (*this)(knot);
+    total += 0.5 * (y_prev + y) * (knot - x_prev);
+    x_prev = knot;
+    y_prev = y;
+  }
+  total += 0.5 * (y_prev + (*this)(b)) * (b - x_prev);
+  return total;
+}
+
+PiecewiseLinear PiecewiseLinear::scaled(double factor) const {
+  PiecewiseLinear out = *this;
+  for (auto& y : out.ys_) y *= factor;
+  return out;
+}
+
+double PiecewiseLinear::first_crossing(double level, double fallback) const {
+  PNS_EXPECTS(!empty());
+  for (std::size_t i = 1; i < xs_.size(); ++i) {
+    const double y0 = ys_[i - 1] - level;
+    const double y1 = ys_[i] - level;
+    if (y0 == 0.0) return xs_[i - 1];
+    if (y0 * y1 < 0.0) {
+      const double t = y0 / (y0 - y1);
+      return xs_[i - 1] + t * (xs_[i] - xs_[i - 1]);
+    }
+  }
+  if (ys_.back() == level) return xs_.back();
+  return fallback;
+}
+
+}  // namespace pns

@@ -1,0 +1,63 @@
+// Piecewise-linear function of one variable.
+//
+// Backbone of every table-driven model in the library: irradiance traces,
+// measured IV curves, latency tables and supply profiles are all
+// PiecewiseLinear instances. Evaluation clamps outside the knot range
+// (constant extrapolation), which is the physically sensible behaviour for
+// all of those uses.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace pns {
+
+/// Immutable-after-build piecewise-linear function y(x) defined by knots
+/// with strictly increasing x. Evaluation is O(log n).
+class PiecewiseLinear {
+ public:
+  PiecewiseLinear() = default;
+
+  /// Builds from parallel knot vectors. Requires equal non-zero sizes and
+  /// strictly increasing xs.
+  PiecewiseLinear(std::vector<double> xs, std::vector<double> ys);
+
+  /// Builds from (x, y) pairs; pairs are sorted by x first.
+  static PiecewiseLinear from_pairs(
+      std::vector<std::pair<double, double>> pts);
+
+  /// Number of knots.
+  std::size_t size() const { return xs_.size(); }
+  bool empty() const { return xs_.empty(); }
+
+  double x_front() const;
+  double x_back() const;
+
+  const std::vector<double>& xs() const { return xs_; }
+  const std::vector<double>& ys() const { return ys_; }
+
+  /// Interpolated value; clamps to the end values outside [x_front, x_back].
+  double operator()(double x) const;
+
+  /// Derivative dy/dx of the segment containing x (one-sided at knots,
+  /// 0 outside the knot range).
+  double slope_at(double x) const;
+
+  /// Trapezoidal integral of y dx over [a, b] (a <= b), with the same
+  /// clamped extrapolation as operator().
+  double integrate(double a, double b) const;
+
+  /// Returns a new function with every y multiplied by `factor`.
+  PiecewiseLinear scaled(double factor) const;
+
+  /// Smallest x in [x_front, x_back] where y crosses `level`, searching
+  /// segment by segment; returns `fallback` when no crossing exists.
+  double first_crossing(double level, double fallback) const;
+
+ private:
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+};
+
+}  // namespace pns

@@ -1,0 +1,80 @@
+// Unit-literal helpers.
+//
+// All physical quantities in this library are plain `double` in SI base
+// units (volts, amps, watts, farads, seconds, hertz, joules, coulombs).
+// These user-defined literals make call sites self-documenting without the
+// overhead or template noise of a strong-unit type system:
+//
+//   using namespace pns::literals;
+//   double c = 47.0_mF;      // farads
+//   double f = 1.4_GHz;      // hertz
+//   double v = 5.3_V;        // volts
+//
+// Guideline rationale: zero-overhead (Per.*) and interface clarity (I.4)
+// without forcing every arithmetic expression through a unit wrapper.
+#pragma once
+
+namespace pns::literals {
+
+// --- voltage -------------------------------------------------------------
+constexpr double operator""_V(long double v) { return static_cast<double>(v); }
+constexpr double operator""_V(unsigned long long v) { return static_cast<double>(v); }
+constexpr double operator""_mV(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_mV(unsigned long long v) { return static_cast<double>(v) * 1e-3; }
+
+// --- current -------------------------------------------------------------
+constexpr double operator""_A(long double v) { return static_cast<double>(v); }
+constexpr double operator""_A(unsigned long long v) { return static_cast<double>(v); }
+constexpr double operator""_mA(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_mA(unsigned long long v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_uA(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_uA(unsigned long long v) { return static_cast<double>(v) * 1e-6; }
+
+// --- power ---------------------------------------------------------------
+constexpr double operator""_W(long double v) { return static_cast<double>(v); }
+constexpr double operator""_W(unsigned long long v) { return static_cast<double>(v); }
+constexpr double operator""_mW(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_mW(unsigned long long v) { return static_cast<double>(v) * 1e-3; }
+
+// --- capacitance ---------------------------------------------------------
+constexpr double operator""_F(long double v) { return static_cast<double>(v); }
+constexpr double operator""_mF(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_mF(unsigned long long v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_uF(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_uF(unsigned long long v) { return static_cast<double>(v) * 1e-6; }
+
+// --- resistance ----------------------------------------------------------
+constexpr double operator""_Ohm(long double v) { return static_cast<double>(v); }
+constexpr double operator""_Ohm(unsigned long long v) { return static_cast<double>(v); }
+constexpr double operator""_kOhm(long double v) { return static_cast<double>(v) * 1e3; }
+constexpr double operator""_kOhm(unsigned long long v) { return static_cast<double>(v) * 1e3; }
+constexpr double operator""_MOhm(long double v) { return static_cast<double>(v) * 1e6; }
+constexpr double operator""_MOhm(unsigned long long v) { return static_cast<double>(v) * 1e6; }
+
+// --- time ----------------------------------------------------------------
+constexpr double operator""_s(long double v) { return static_cast<double>(v); }
+constexpr double operator""_s(unsigned long long v) { return static_cast<double>(v); }
+constexpr double operator""_ms(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_ms(unsigned long long v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_us(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_us(unsigned long long v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_min(long double v) { return static_cast<double>(v) * 60.0; }
+constexpr double operator""_min(unsigned long long v) { return static_cast<double>(v) * 60.0; }
+constexpr double operator""_h(long double v) { return static_cast<double>(v) * 3600.0; }
+constexpr double operator""_h(unsigned long long v) { return static_cast<double>(v) * 3600.0; }
+
+// --- frequency -----------------------------------------------------------
+constexpr double operator""_Hz(long double v) { return static_cast<double>(v); }
+constexpr double operator""_Hz(unsigned long long v) { return static_cast<double>(v); }
+constexpr double operator""_kHz(long double v) { return static_cast<double>(v) * 1e3; }
+constexpr double operator""_kHz(unsigned long long v) { return static_cast<double>(v) * 1e3; }
+constexpr double operator""_MHz(long double v) { return static_cast<double>(v) * 1e6; }
+constexpr double operator""_MHz(unsigned long long v) { return static_cast<double>(v) * 1e6; }
+constexpr double operator""_GHz(long double v) { return static_cast<double>(v) * 1e9; }
+constexpr double operator""_GHz(unsigned long long v) { return static_cast<double>(v) * 1e9; }
+
+// --- irradiance (W/m^2) --------------------------------------------------
+constexpr double operator""_Wm2(long double v) { return static_cast<double>(v); }
+constexpr double operator""_Wm2(unsigned long long v) { return static_cast<double>(v); }
+
+}  // namespace pns::literals

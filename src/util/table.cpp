@@ -1,0 +1,71 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/contracts.hpp"
+
+namespace pns {
+
+ConsoleTable::ConsoleTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  PNS_EXPECTS(!headers_.empty());
+}
+
+void ConsoleTable::add_row(std::vector<std::string> cells) {
+  PNS_EXPECTS(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void ConsoleTable::print(std::ostream& os, const std::string& title) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "| ";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c] << std::string(widths[c] - row[c].size(), ' ');
+      os << (c + 1 < row.size() ? " | " : " |");
+    }
+    os << '\n';
+  };
+
+  std::size_t total = 1;
+  for (std::size_t w : widths) total += w + 3;
+
+  if (!title.empty()) os << title << '\n';
+  os << std::string(total, '-') << '\n';
+  print_row(headers_);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+  os << std::string(total, '-') << '\n';
+}
+
+std::string fmt_double(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+std::string fmt_mmss(double seconds) {
+  const long total = std::lround(std::max(0.0, seconds));
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%02ld:%02ld", total / 60, total % 60);
+  return buf;
+}
+
+std::string fmt_hhmm(double seconds_since_midnight) {
+  long total = std::lround(std::max(0.0, seconds_since_midnight));
+  total %= 24 * 3600;
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%02ld:%02ld", total / 3600,
+                (total % 3600) / 60);
+  return buf;
+}
+
+}  // namespace pns

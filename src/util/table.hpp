@@ -1,0 +1,42 @@
+// Console table rendering for the benchmark harnesses.
+//
+// Every bench binary prints the rows/series of the paper table or figure it
+// reproduces; ConsoleTable gives them a uniform, aligned plain-text format.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pns {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+class ConsoleTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit ConsoleTable(std::vector<std::string> headers);
+
+  /// Adds a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with column alignment, a header separator and optional title.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimal places.
+std::string fmt_double(double v, int digits = 3);
+
+/// Formats a duration in seconds as "mm:ss" (rounded to whole seconds),
+/// matching the lifetime column of Table II.
+std::string fmt_mmss(double seconds);
+
+/// Formats a time-of-day in seconds-since-midnight as "HH:mm".
+std::string fmt_hhmm(double seconds_since_midnight);
+
+}  // namespace pns

@@ -1,0 +1,142 @@
+#include "util/time_series.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace pns {
+
+void TimeSeries::append(double t, double value) {
+  PNS_EXPECTS(ts_.empty() || t >= ts_.back());
+  ts_.push_back(t);
+  vs_.push_back(value);
+}
+
+double TimeSeries::t_front() const {
+  PNS_EXPECTS(!empty());
+  return ts_.front();
+}
+
+double TimeSeries::t_back() const {
+  PNS_EXPECTS(!empty());
+  return ts_.back();
+}
+
+double TimeSeries::duration() const {
+  return size() < 2 ? 0.0 : ts_.back() - ts_.front();
+}
+
+double TimeSeries::at(double t) const {
+  PNS_EXPECTS(!empty());
+  if (t <= ts_.front()) return vs_.front();
+  if (t >= ts_.back()) return vs_.back();
+  const auto it = std::upper_bound(ts_.begin(), ts_.end(), t);
+  const auto i = static_cast<std::size_t>(it - ts_.begin());
+  const double t0 = ts_[i - 1], t1 = ts_[i];
+  if (t1 == t0) return vs_[i];
+  const double f = (t - t0) / (t1 - t0);
+  return vs_[i - 1] + f * (vs_[i] - vs_[i - 1]);
+}
+
+double TimeSeries::integral() const {
+  if (size() < 2) return 0.0;
+  return integral(ts_.front(), ts_.back());
+}
+
+double TimeSeries::integral(double a, double b) const {
+  PNS_EXPECTS(!empty());
+  PNS_EXPECTS(a <= b);
+  if (a == b) return 0.0;
+  double total = 0.0;
+  double t_prev = a;
+  double v_prev = at(a);
+  for (std::size_t i = 0; i < ts_.size(); ++i) {
+    if (ts_[i] <= a) continue;
+    if (ts_[i] >= b) break;
+    total += 0.5 * (v_prev + vs_[i]) * (ts_[i] - t_prev);
+    t_prev = ts_[i];
+    v_prev = vs_[i];
+  }
+  total += 0.5 * (v_prev + at(b)) * (b - t_prev);
+  return total;
+}
+
+double TimeSeries::time_weighted_mean() const {
+  if (empty()) return 0.0;
+  const double d = duration();
+  if (d <= 0.0) return vs_.back();
+  return integral() / d;
+}
+
+double TimeSeries::fraction_within(double lo, double hi) const {
+  PNS_EXPECTS(lo <= hi);
+  if (size() < 2) return 0.0;
+  double inside = 0.0;
+  for (std::size_t i = 1; i < ts_.size(); ++i) {
+    const double dt = ts_[i] - ts_[i - 1];
+    if (dt <= 0.0) continue;
+    double v0 = vs_[i - 1];
+    double v1 = vs_[i];
+    if (v0 > v1) std::swap(v0, v1);  // segment range [v0, v1]
+    if (v1 <= lo || v0 >= hi) {
+      if ((v0 >= lo && v1 <= hi)) inside += dt;  // degenerate equal-edge case
+      continue;
+    }
+    if (v1 == v0) {
+      if (v0 >= lo && v0 <= hi) inside += dt;
+      continue;
+    }
+    // Fraction of the segment's value span that overlaps [lo, hi]; since the
+    // reconstruction is linear in t, value-fraction == time-fraction.
+    const double span = v1 - v0;
+    const double overlap = std::min(v1, hi) - std::max(v0, lo);
+    if (overlap > 0.0) inside += dt * overlap / span;
+  }
+  const double d = duration();
+  return d > 0.0 ? inside / d : 0.0;
+}
+
+double TimeSeries::min_value() const {
+  PNS_EXPECTS(!empty());
+  return *std::min_element(vs_.begin(), vs_.end());
+}
+
+double TimeSeries::max_value() const {
+  PNS_EXPECTS(!empty());
+  return *std::max_element(vs_.begin(), vs_.end());
+}
+
+void TimeSeries::fill_histogram(Histogram& h) const {
+  for (std::size_t i = 1; i < ts_.size(); ++i) {
+    const double dt = ts_[i] - ts_[i - 1];
+    if (dt <= 0.0) continue;
+    h.add_weighted(0.5 * (vs_[i] + vs_[i - 1]), dt);
+  }
+}
+
+RunningStats TimeSeries::segment_stats() const {
+  RunningStats rs;
+  for (std::size_t i = 1; i < ts_.size(); ++i) {
+    const double dt = ts_[i] - ts_[i - 1];
+    if (dt <= 0.0) continue;
+    rs.add_weighted(0.5 * (vs_[i] + vs_[i - 1]), dt);
+  }
+  return rs;
+}
+
+TimeSeries TimeSeries::downsampled(std::size_t max_points) const {
+  PNS_EXPECTS(max_points >= 2);
+  if (size() <= max_points) return *this;
+  TimeSeries out;
+  const double step = static_cast<double>(size() - 1) /
+                      static_cast<double>(max_points - 1);
+  for (std::size_t k = 0; k < max_points; ++k) {
+    const auto i = static_cast<std::size_t>(
+        std::llround(static_cast<double>(k) * step));
+    out.append(ts_[std::min(i, size() - 1)], vs_[std::min(i, size() - 1)]);
+  }
+  return out;
+}
+
+}  // namespace pns

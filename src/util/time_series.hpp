@@ -1,0 +1,76 @@
+// Append-only sampled time series.
+//
+// Simulation recorders append (t, value) pairs with non-decreasing t;
+// analysis code then computes time-weighted statistics (how long the
+// voltage stayed in a band, average consumed power, total charge, ...).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/histogram.hpp"
+#include "util/interp.hpp"
+#include "util/stats.hpp"
+
+namespace pns {
+
+/// Sampled signal: parallel vectors of time stamps (non-decreasing) and
+/// values. Between samples the signal is treated as linearly interpolated.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+
+  /// Appends a sample; t must be >= the last appended t.
+  void append(double t, double value);
+
+  std::size_t size() const { return ts_.size(); }
+  bool empty() const { return ts_.empty(); }
+
+  const std::vector<double>& times() const { return ts_; }
+  const std::vector<double>& values() const { return vs_; }
+
+  double t_front() const;
+  double t_back() const;
+  /// Total covered duration (t_back - t_front); 0 for fewer than 2 samples.
+  double duration() const;
+
+  /// Linear interpolation at time t (clamped outside the sample range).
+  double at(double t) const;
+
+  /// Trapezoidal integral of the signal over its full duration
+  /// (e.g. power series -> energy in joules).
+  double integral() const;
+
+  /// Trapezoidal integral over [a, b].
+  double integral(double a, double b) const;
+
+  /// Time-weighted mean over the full duration; plain mean for < 2 samples.
+  double time_weighted_mean() const;
+
+  /// Fraction of total duration during which the (interpolated) signal lies
+  /// within [lo, hi]. Crossings inside a sampling interval are resolved by
+  /// linear interpolation, so the result is exact for the piecewise-linear
+  /// reconstruction.
+  double fraction_within(double lo, double hi) const;
+
+  /// Minimum / maximum sampled value (contract violation when empty).
+  double min_value() const;
+  double max_value() const;
+
+  /// Accumulates the series into a histogram, weighting each segment's
+  /// midpoint value by the segment duration ("time spent at each value").
+  void fill_histogram(Histogram& h) const;
+
+  /// Time-weighted running statistics over all segments.
+  RunningStats segment_stats() const;
+
+  /// Returns a copy downsampled to at most `max_points` samples (always
+  /// keeps first and last). Used to bound bench output sizes.
+  TimeSeries downsampled(std::size_t max_points) const;
+
+ private:
+  std::vector<double> ts_;
+  std::vector<double> vs_;
+};
+
+}  // namespace pns

@@ -1,0 +1,234 @@
+// Tests for the power-neutral controller ISR (core/controller): the Fig. 5
+// flowchart end to end against a real monitor model.
+#include "core/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "soc/platform.hpp"
+
+namespace pns::ctl {
+namespace {
+
+const soc::Platform& xu4() {
+  static soc::Platform p = soc::Platform::odroid_xu4();
+  return p;
+}
+
+struct Rig {
+  hw::VoltageMonitor monitor;
+  PowerNeutralController controller;
+
+  explicit Rig(ControllerConfig cfg = {})
+      : controller(xu4(), monitor, cfg) {}
+};
+
+TEST(Controller, CalibrateProgramsMonitorPerEq1) {
+  Rig rig;
+  rig.controller.calibrate(5.0, 0.0);
+  EXPECT_NEAR(rig.controller.thresholds().v_low(), 5.0 - 0.072, 1e-9);
+  EXPECT_NEAR(rig.controller.thresholds().v_high(), 5.0 + 0.072, 1e-9);
+  // The monitor was programmed to the (quantised) tracker values.
+  EXPECT_NEAR(rig.monitor.low_threshold(),
+              rig.controller.thresholds().v_low(), 0.02);
+  EXPECT_NEAR(rig.monitor.high_threshold(),
+              rig.controller.thresholds().v_high(), 0.02);
+}
+
+TEST(Controller, LowCrossingStepsFrequencyDown) {
+  Rig rig;
+  rig.controller.calibrate(5.0, 0.0);
+  const soc::OperatingPoint cur{4, {4, 0}};
+  // Slow crossing (tau = 1 s >> Vq/alpha): DVFS only.
+  const auto plan =
+      rig.controller.on_interrupt(hw::MonitorEdge::kLowFalling, 1.0, cur);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].kind, soc::TransitionKind::kDvfs);
+  EXPECT_EQ(plan[0].to.freq_index, 3u);
+  EXPECT_EQ(plan[0].to.cores, cur.cores);
+}
+
+TEST(Controller, FirstCrossingAfterCalibrateNeverHotplugs) {
+  // One isolated crossing carries no trend information: the derivative
+  // response needs two same-direction crossings.
+  Rig rig;
+  rig.controller.calibrate(5.0, 0.0);
+  const auto plan = rig.controller.on_interrupt(
+      hw::MonitorEdge::kLowFalling, 0.01, {4, {4, 2}});
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].kind, soc::TransitionKind::kDvfs);
+}
+
+TEST(Controller, AlternatingCrossingsUseDvfsOnly) {
+  // A stationary limit cycle (low, high, low, high...) must not churn
+  // cores no matter how fast it runs -- the paper observes core scaling
+  // far rarer than frequency scaling (Fig. 11).
+  Rig rig;
+  rig.controller.calibrate(5.0, 0.0);
+  soc::OperatingPoint cur{4, {4, 2}};
+  double t = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    t += 0.03;  // fast enough that tau < Vq/beta every time
+    const auto edge = i % 2 ? hw::MonitorEdge::kHighRising
+                            : hw::MonitorEdge::kLowFalling;
+    const auto plan = rig.controller.on_interrupt(edge, t, cur);
+    for (const auto& step : plan)
+      EXPECT_EQ(step.kind, soc::TransitionKind::kDvfs) << "iteration " << i;
+    if (!plan.empty()) cur = plan.back().to;
+  }
+  EXPECT_EQ(rig.controller.stats().hotplug_steps, 0u);
+}
+
+TEST(Controller, HighCrossingStepsFrequencyUp) {
+  Rig rig;
+  rig.controller.calibrate(5.0, 0.0);
+  const soc::OperatingPoint cur{4, {4, 0}};
+  const auto plan =
+      rig.controller.on_interrupt(hw::MonitorEdge::kHighRising, 1.0, cur);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].to.freq_index, 5u);
+}
+
+TEST(Controller, FastLowCrossingsRemoveBigCore) {
+  Rig rig;
+  rig.controller.calibrate(5.0, 0.0);
+  // Two consecutive LOW crossings tau = 0.05 s apart (< Vq/beta = 0.1 s):
+  // the second fires the big-core response.
+  (void)rig.controller.on_interrupt(hw::MonitorEdge::kLowFalling, 1.0,
+                                    {5, {4, 2}});
+  const auto plan = rig.controller.on_interrupt(
+      hw::MonitorEdge::kLowFalling, 1.05, {4, {4, 2}});
+  ASSERT_EQ(plan.size(), 2u);
+  // Core-first ordering: hot-plug before DVFS.
+  EXPECT_EQ(plan[0].kind, soc::TransitionKind::kHotplug);
+  EXPECT_EQ(plan[0].to.cores, (soc::CoreConfig{4, 1}));
+  EXPECT_EQ(plan[1].kind, soc::TransitionKind::kDvfs);
+  EXPECT_EQ(plan[1].to.freq_index, 3u);
+}
+
+TEST(Controller, ModerateLowCrossingsRemoveLittleCore) {
+  Rig rig;
+  rig.controller.calibrate(5.0, 0.0);
+  // Consecutive LOW crossings with Vq/beta = 0.1 < tau = 0.2 < Vq/alpha:
+  // LITTLE response on the second.
+  (void)rig.controller.on_interrupt(hw::MonitorEdge::kLowFalling, 1.0,
+                                    {5, {4, 0}});
+  const auto plan = rig.controller.on_interrupt(
+      hw::MonitorEdge::kLowFalling, 1.2, {4, {4, 0}});
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan[0].to.cores, (soc::CoreConfig{3, 0}));
+}
+
+TEST(Controller, TauMeasuredBetweenConsecutiveCrossings) {
+  Rig rig;
+  rig.controller.calibrate(5.0, 0.0);
+  // Three LOW crossings: slow gap (1.0 s, no cores), then fast gap
+  // (0.05 s, big-core response) -- tau resets at every crossing.
+  (void)rig.controller.on_interrupt(hw::MonitorEdge::kLowFalling, 1.0,
+                                    {5, {4, 2}});
+  const auto slow = rig.controller.on_interrupt(
+      hw::MonitorEdge::kLowFalling, 2.0, {4, {4, 2}});
+  ASSERT_EQ(slow.size(), 1u);  // DVFS only
+  const auto fast = rig.controller.on_interrupt(
+      hw::MonitorEdge::kLowFalling, 2.05, {3, {4, 2}});
+  ASSERT_FALSE(fast.empty());
+  EXPECT_EQ(fast[0].kind, soc::TransitionKind::kHotplug);
+  EXPECT_EQ(fast[0].to.cores, (soc::CoreConfig{4, 1}));
+}
+
+TEST(Controller, ThresholdsShiftDownByVqOnLowCrossing) {
+  Rig rig;
+  rig.controller.calibrate(5.0, 0.0);
+  const double lo = rig.controller.thresholds().v_low();
+  (void)rig.controller.on_interrupt(hw::MonitorEdge::kLowFalling, 1.0,
+                                    {4, {4, 0}});
+  EXPECT_NEAR(rig.controller.thresholds().v_low(), lo - 0.0479, 1e-9);
+}
+
+TEST(Controller, ThresholdsShiftUpOnHighCrossing) {
+  Rig rig;
+  rig.controller.calibrate(5.0, 0.0);
+  const double hi = rig.controller.thresholds().v_high();
+  (void)rig.controller.on_interrupt(hw::MonitorEdge::kHighRising, 1.0,
+                                    {4, {4, 0}});
+  EXPECT_NEAR(rig.controller.thresholds().v_high(), hi + 0.0479, 1e-9);
+}
+
+TEST(Controller, ReArmEdgesIgnored) {
+  Rig rig;
+  rig.controller.calibrate(5.0, 0.0);
+  EXPECT_TRUE(rig.controller
+                  .on_interrupt(hw::MonitorEdge::kLowRising, 1.0, {4, {4, 0}})
+                  .empty());
+  EXPECT_TRUE(rig.controller
+                  .on_interrupt(hw::MonitorEdge::kHighFalling, 1.0,
+                                {4, {4, 0}})
+                  .empty());
+  EXPECT_EQ(rig.controller.stats().interrupts, 0u);
+}
+
+TEST(Controller, EmptyPlanAtLadderFloorSlowCrossing) {
+  Rig rig;
+  rig.controller.calibrate(4.5, 0.0);
+  // Already at min frequency and min cores; slow crossing -> nothing to do.
+  const auto plan = rig.controller.on_interrupt(
+      hw::MonitorEdge::kLowFalling, 10.0, xu4().lowest_opp());
+  EXPECT_TRUE(plan.empty());
+  // But the thresholds still tracked downwards.
+  EXPECT_LT(rig.controller.thresholds().v_low(), 4.5);
+}
+
+TEST(Controller, StatsAccounting) {
+  Rig rig;
+  rig.controller.calibrate(5.0, 0.0);
+  (void)rig.controller.on_interrupt(hw::MonitorEdge::kLowFalling, 1.0,
+                                    {4, {4, 2}});
+  (void)rig.controller.on_interrupt(hw::MonitorEdge::kLowFalling, 1.05,
+                                    {3, {4, 2}});
+  const auto& s = rig.controller.stats();
+  EXPECT_EQ(s.interrupts, 2u);
+  EXPECT_EQ(s.dvfs_steps, 2u);
+  EXPECT_EQ(s.hotplug_steps, 1u);
+  EXPECT_EQ(s.big_ops, 1u);
+  EXPECT_EQ(s.little_ops, 0u);
+  EXPECT_GT(s.isr_busy_s, 0.0);
+  // calibrate + 2 interrupts = 3 threshold programming passes
+  EXPECT_EQ(s.threshold_moves, 3u);
+}
+
+TEST(Controller, CpuOverheadTinyFraction) {
+  Rig rig;
+  rig.controller.calibrate(5.0, 0.0);
+  for (int i = 0; i < 100; ++i) {
+    (void)rig.controller.on_interrupt(hw::MonitorEdge::kLowFalling,
+                                      i * 0.5 + 0.5, {4, {4, 0}});
+  }
+  // 100 ISRs in 50 s of wall time: overhead far below 1 % (Fig. 15).
+  EXPECT_LT(rig.controller.stats().cpu_overhead(50.0), 0.01);
+  EXPECT_GT(rig.controller.stats().cpu_overhead(50.0), 0.0);
+}
+
+TEST(Controller, FreqFirstOrderingHonoured) {
+  ControllerConfig cfg;
+  cfg.ordering = soc::OrderingPolicy::kFreqFirst;
+  Rig rig(cfg);
+  rig.controller.calibrate(5.0, 0.0);
+  (void)rig.controller.on_interrupt(hw::MonitorEdge::kLowFalling, 1.0,
+                                    {5, {4, 2}});
+  const auto plan = rig.controller.on_interrupt(
+      hw::MonitorEdge::kLowFalling, 1.05, {4, {4, 2}});
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan[0].kind, soc::TransitionKind::kDvfs);
+  EXPECT_EQ(plan[1].kind, soc::TransitionKind::kHotplug);
+}
+
+TEST(Controller, DefaultConfigMatchesPaperOptimum) {
+  ControllerConfig cfg;
+  EXPECT_DOUBLE_EQ(cfg.v_width, 0.144);
+  EXPECT_DOUBLE_EQ(cfg.v_q, 0.0479);
+  EXPECT_DOUBLE_EQ(cfg.alpha, 0.120);
+  EXPECT_DOUBLE_EQ(cfg.beta, 0.479);
+  EXPECT_EQ(cfg.ordering, soc::OrderingPolicy::kCoreFirst);
+}
+
+}  // namespace
+}  // namespace pns::ctl

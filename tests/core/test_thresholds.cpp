@@ -1,0 +1,135 @@
+// Tests for the dynamic threshold tracker (core/thresholds) -- eq. 1 and
+// the tracking shifts.
+#include "core/thresholds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace pns::ctl {
+namespace {
+
+ThresholdConfig config() {
+  return ThresholdConfig{.v_width = 0.144,
+                         .v_q = 0.0479,
+                         .v_floor = 4.1,
+                         .v_ceil = 5.7};
+}
+
+TEST(ThresholdTracker, CalibrationCentresWindow) {
+  ThresholdTracker t(config());
+  t.calibrate(5.0);
+  // eq. 1: Vhigh = Vc + w/2, Vlow = Vc - w/2.
+  EXPECT_NEAR(t.v_low(), 5.0 - 0.072, 1e-12);
+  EXPECT_NEAR(t.v_high(), 5.0 + 0.072, 1e-12);
+  EXPECT_FALSE(t.saturated());
+}
+
+TEST(ThresholdTracker, WidthPreserved) {
+  ThresholdTracker t(config());
+  t.calibrate(5.0);
+  for (int i = 0; i < 10; ++i) {
+    t.shift_down();
+    EXPECT_NEAR(t.v_high() - t.v_low(), 0.144, 1e-12);
+  }
+}
+
+TEST(ThresholdTracker, ShiftDownMovesBothByVq) {
+  ThresholdTracker t(config());
+  t.calibrate(5.0);
+  const double lo = t.v_low(), hi = t.v_high();
+  t.shift_down();
+  EXPECT_NEAR(t.v_low(), lo - 0.0479, 1e-12);
+  EXPECT_NEAR(t.v_high(), hi - 0.0479, 1e-12);
+}
+
+TEST(ThresholdTracker, ShiftUpMovesBothByVq) {
+  ThresholdTracker t(config());
+  t.calibrate(5.0);
+  const double lo = t.v_low();
+  t.shift_up();
+  EXPECT_NEAR(t.v_low(), lo + 0.0479, 1e-12);
+}
+
+TEST(ThresholdTracker, ClampsAtFloor) {
+  ThresholdTracker t(config());
+  t.calibrate(4.2);
+  for (int i = 0; i < 20; ++i) t.shift_down();
+  EXPECT_NEAR(t.v_low(), 4.1, 1e-12);
+  EXPECT_NEAR(t.v_high(), 4.1 + 0.144, 1e-12);
+  EXPECT_TRUE(t.saturated());
+}
+
+TEST(ThresholdTracker, ClampsAtCeiling) {
+  ThresholdTracker t(config());
+  t.calibrate(5.6);
+  for (int i = 0; i < 20; ++i) t.shift_up();
+  EXPECT_NEAR(t.v_high(), 5.7, 1e-12);
+  EXPECT_NEAR(t.v_low(), 5.7 - 0.144, 1e-12);
+  EXPECT_TRUE(t.saturated());
+}
+
+TEST(ThresholdTracker, SaturationClearsOnShiftAway) {
+  ThresholdTracker t(config());
+  t.calibrate(4.15);  // calibration itself clamps at the floor
+  EXPECT_TRUE(t.saturated());
+  t.shift_up();
+  EXPECT_FALSE(t.saturated());
+}
+
+TEST(ThresholdTracker, CalibrationClampsOutOfRangeVc) {
+  ThresholdTracker t(config());
+  t.calibrate(3.0);
+  EXPECT_GE(t.v_low(), 4.1);
+  t.calibrate(7.0);
+  EXPECT_LE(t.v_high(), 5.7);
+}
+
+TEST(ThresholdTracker, ConfigContracts) {
+  EXPECT_THROW(ThresholdTracker({.v_width = 0.0,
+                                 .v_q = 0.01,
+                                 .v_floor = 4.0,
+                                 .v_ceil = 5.0}),
+               pns::ContractViolation);
+  EXPECT_THROW(ThresholdTracker({.v_width = 0.1,
+                                 .v_q = 0.0,
+                                 .v_floor = 4.0,
+                                 .v_ceil = 5.0}),
+               pns::ContractViolation);
+  EXPECT_THROW(ThresholdTracker({.v_width = 0.1,
+                                 .v_q = 0.01,
+                                 .v_floor = 5.0,
+                                 .v_ceil = 4.0}),
+               pns::ContractViolation);
+  // Window wider than the allowed range cannot fit.
+  EXPECT_THROW(ThresholdTracker({.v_width = 2.0,
+                                 .v_q = 0.01,
+                                 .v_floor = 4.0,
+                                 .v_ceil = 5.0}),
+               pns::ContractViolation);
+}
+
+class TrackerShiftSweep : public ::testing::TestWithParam<int> {};
+
+// Property: after any number of shifts in any direction the invariants
+// floor <= v_low < v_high <= ceil and width preservation hold.
+TEST_P(TrackerShiftSweep, InvariantsHold) {
+  ThresholdTracker t(config());
+  t.calibrate(5.0);
+  const int n = GetParam();
+  for (int i = 0; i < n; ++i) {
+    if (i % 3 == 0)
+      t.shift_up();
+    else
+      t.shift_down();
+    EXPECT_GE(t.v_low(), 4.1 - 1e-12);
+    EXPECT_LE(t.v_high(), 5.7 + 1e-12);
+    EXPECT_NEAR(t.v_high() - t.v_low(), 0.144, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ShiftCounts, TrackerShiftSweep,
+                         ::testing::Values(1, 5, 17, 64, 333));
+
+}  // namespace
+}  // namespace pns::ctl

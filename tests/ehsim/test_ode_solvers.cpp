@@ -1,0 +1,253 @@
+// Tests for the ODE integrators (ehsim/rk23, ehsim/fixed_step):
+// convergence orders on analytic systems and event localisation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "ehsim/fixed_step.hpp"
+#include "ehsim/ode.hpp"
+#include "ehsim/rk23.hpp"
+
+namespace pns::ehsim {
+namespace {
+
+/// y' = -k y, y(0) = 1 -> y(t) = exp(-k t).
+class ExpDecay : public OdeSystem {
+ public:
+  explicit ExpDecay(double k) : k_(k) {}
+  std::size_t dimension() const override { return 1; }
+  void derivatives(double, std::span<const double> y,
+                   std::span<double> dydt) const override {
+    dydt[0] = -k_ * y[0];
+  }
+
+ private:
+  double k_;
+};
+
+/// Harmonic oscillator: y'' = -w^2 y as a 2-state system.
+class Oscillator : public OdeSystem {
+ public:
+  explicit Oscillator(double w) : w_(w) {}
+  std::size_t dimension() const override { return 2; }
+  void derivatives(double, std::span<const double> y,
+                   std::span<double> dydt) const override {
+    dydt[0] = y[1];
+    dydt[1] = -w_ * w_ * y[0];
+  }
+
+ private:
+  double w_;
+};
+
+double euler_error(double h) {
+  ExpDecay sys(1.0);
+  std::vector<double> y{1.0};
+  integrate_euler(sys, 0.0, y, 1.0, h);
+  return std::abs(y[0] - std::exp(-1.0));
+}
+
+double rk4_error(double h) {
+  ExpDecay sys(1.0);
+  std::vector<double> y{1.0};
+  integrate_rk4(sys, 0.0, y, 1.0, h);
+  return std::abs(y[0] - std::exp(-1.0));
+}
+
+TEST(FixedStep, EulerFirstOrderConvergence) {
+  const double e1 = euler_error(0.01);
+  const double e2 = euler_error(0.005);
+  const double order = std::log2(e1 / e2);
+  EXPECT_NEAR(order, 1.0, 0.15);
+}
+
+TEST(FixedStep, Rk4FourthOrderConvergence) {
+  const double e1 = rk4_error(0.05);
+  const double e2 = rk4_error(0.025);
+  const double order = std::log2(e1 / e2);
+  EXPECT_NEAR(order, 4.0, 0.3);
+}
+
+TEST(FixedStep, HandlesPartialFinalStep) {
+  ExpDecay sys(1.0);
+  std::vector<double> y{1.0};
+  integrate_rk4(sys, 0.0, y, 0.95, 0.1);  // 9 full + 1 half step
+  EXPECT_NEAR(y[0], std::exp(-0.95), 1e-6);
+}
+
+TEST(Rk23, AccurateOnExpDecay) {
+  ExpDecay sys(2.0);
+  Rk23Options opt;
+  opt.rel_tol = 1e-8;
+  opt.abs_tol = 1e-10;
+  Rk23Integrator ig(sys, opt);
+  const double y0 = 1.0;
+  ig.reset(0.0, std::span<const double>(&y0, 1));
+  const auto res = ig.advance(2.0);
+  EXPECT_FALSE(res.event_fired);
+  EXPECT_DOUBLE_EQ(ig.time(), 2.0);
+  EXPECT_NEAR(ig.state()[0], std::exp(-4.0), 1e-7);
+}
+
+TEST(Rk23, EnergyPreservedOnOscillator) {
+  Oscillator sys(2.0 * std::numbers::pi);  // 1 Hz
+  Rk23Options opt;
+  opt.rel_tol = 1e-9;
+  opt.abs_tol = 1e-12;
+  Rk23Integrator ig(sys, opt);
+  const std::vector<double> y0{1.0, 0.0};
+  ig.reset(0.0, y0);
+  ig.advance(5.0);  // 5 full periods
+  EXPECT_NEAR(ig.state()[0], 1.0, 1e-5);
+  EXPECT_NEAR(ig.state()[1], 0.0, 1e-4);
+}
+
+TEST(Rk23, ToleranceControlsError) {
+  ExpDecay sys(1.0);
+  auto run = [&](double rtol) {
+    Rk23Options opt;
+    opt.rel_tol = rtol;
+    opt.abs_tol = rtol * 1e-3;
+    Rk23Integrator ig(sys, opt);
+    const double y0 = 1.0;
+    ig.reset(0.0, std::span<const double>(&y0, 1));
+    ig.advance(1.0);
+    return std::abs(ig.state()[0] - std::exp(-1.0));
+  };
+  EXPECT_LT(run(1e-9), run(1e-4));
+  EXPECT_LT(run(1e-4), 1e-3);
+}
+
+TEST(Rk23, LooserToleranceTakesFewerSteps) {
+  ExpDecay sys(1.0);
+  auto steps = [&](double rtol) {
+    Rk23Options opt;
+    opt.rel_tol = rtol;
+    opt.abs_tol = 1e-12;
+    Rk23Integrator ig(sys, opt);
+    const double y0 = 1.0;
+    ig.reset(0.0, std::span<const double>(&y0, 1));
+    ig.advance(10.0);
+    return ig.total_steps();
+  };
+  EXPECT_LT(steps(1e-3), steps(1e-8));
+}
+
+TEST(Rk23, RespectsMaxStep) {
+  ExpDecay sys(1e-6);  // nearly constant -> wants huge steps
+  Rk23Options opt;
+  opt.max_step = 0.125;
+  Rk23Integrator ig(sys, opt);
+  const double y0 = 1.0;
+  ig.reset(0.0, std::span<const double>(&y0, 1));
+  const auto res = ig.advance(1.0);
+  EXPECT_GE(res.steps_taken, 8u);
+}
+
+TEST(Rk23, EventLocalisedAccurately) {
+  // y = exp(-t) crosses 0.5 at t = ln 2.
+  ExpDecay sys(1.0);
+  Rk23Integrator ig(sys);
+  const double y0 = 1.0;
+  ig.reset(0.0, std::span<const double>(&y0, 1));
+  EventSpec ev{[](double, std::span<const double> y) { return y[0] - 0.5; },
+               EventDirection::kFalling, 42};
+  const auto res = ig.advance(5.0, std::span<const EventSpec>(&ev, 1));
+  ASSERT_TRUE(res.event_fired);
+  EXPECT_EQ(res.event_tag, 42);
+  EXPECT_NEAR(res.t, std::numbers::ln2, 1e-5);
+  EXPECT_NEAR(ig.state()[0], 0.5, 1e-5);
+}
+
+TEST(Rk23, RisingEventIgnoredOnFallingSignal) {
+  ExpDecay sys(1.0);
+  Rk23Integrator ig(sys);
+  const double y0 = 1.0;
+  ig.reset(0.0, std::span<const double>(&y0, 1));
+  EventSpec ev{[](double, std::span<const double> y) { return y[0] - 0.5; },
+               EventDirection::kRising, 1};
+  const auto res = ig.advance(3.0, std::span<const EventSpec>(&ev, 1));
+  EXPECT_FALSE(res.event_fired);
+  EXPECT_DOUBLE_EQ(res.t, 3.0);
+}
+
+TEST(Rk23, ContinuesAfterEvent) {
+  ExpDecay sys(1.0);
+  Rk23Integrator ig(sys);
+  const double y0 = 1.0;
+  ig.reset(0.0, std::span<const double>(&y0, 1));
+  EventSpec ev{[](double, std::span<const double> y) { return y[0] - 0.5; },
+               EventDirection::kFalling, 1};
+  auto res = ig.advance(5.0, std::span<const EventSpec>(&ev, 1));
+  ASSERT_TRUE(res.event_fired);
+  // Advance again; the same event function is already below zero, so no
+  // new crossing fires and the run completes.
+  res = ig.advance(5.0, std::span<const EventSpec>(&ev, 1));
+  EXPECT_FALSE(res.event_fired);
+  EXPECT_NEAR(ig.state()[0], std::exp(-5.0), 1e-6);
+}
+
+TEST(Rk23, EarliestOfMultipleEventsWins) {
+  ExpDecay sys(1.0);
+  Rk23Integrator ig(sys);
+  const double y0 = 1.0;
+  ig.reset(0.0, std::span<const double>(&y0, 1));
+  std::vector<EventSpec> evs{
+      {[](double, std::span<const double> y) { return y[0] - 0.3; },
+       EventDirection::kFalling, 1},
+      {[](double, std::span<const double> y) { return y[0] - 0.7; },
+       EventDirection::kFalling, 2},
+  };
+  const auto res = ig.advance(5.0, evs);
+  ASSERT_TRUE(res.event_fired);
+  EXPECT_EQ(res.event_tag, 2);  // 0.7 crossed first
+  EXPECT_NEAR(res.t, -std::log(0.7), 1e-5);
+}
+
+TEST(Rk23, TimeBasedEventOnStiffFlatState) {
+  ExpDecay sys(0.0);  // constant state
+  Rk23Integrator ig(sys);
+  const double y0 = 1.0;
+  ig.reset(0.0, std::span<const double>(&y0, 1));
+  EventSpec ev{[](double t, std::span<const double>) { return t - 0.5; },
+               EventDirection::kRising, 9};
+  const auto res = ig.advance(2.0, std::span<const EventSpec>(&ev, 1));
+  ASSERT_TRUE(res.event_fired);
+  EXPECT_NEAR(res.t, 0.5, 1e-6);
+}
+
+TEST(Rk23, AdvancePastEndIsNoop) {
+  ExpDecay sys(1.0);
+  Rk23Integrator ig(sys);
+  const double y0 = 1.0;
+  ig.reset(1.0, std::span<const double>(&y0, 1));
+  const auto res = ig.advance(0.5);
+  EXPECT_EQ(res.steps_taken, 0u);
+  EXPECT_DOUBLE_EQ(ig.time(), 1.0);
+}
+
+class Rk23ToleranceSweep : public ::testing::TestWithParam<double> {};
+
+// Property: the achieved global error stays within two orders of magnitude
+// of the requested relative tolerance for this smooth problem.
+TEST_P(Rk23ToleranceSweep, ErrorTracksTolerance) {
+  const double rtol = GetParam();
+  ExpDecay sys(1.5);
+  Rk23Options opt;
+  opt.rel_tol = rtol;
+  opt.abs_tol = rtol * 1e-2;
+  Rk23Integrator ig(sys, opt);
+  const double y0 = 2.0;
+  ig.reset(0.0, std::span<const double>(&y0, 1));
+  ig.advance(1.0);
+  const double err = std::abs(ig.state()[0] - 2.0 * std::exp(-1.5));
+  EXPECT_LT(err, rtol * 100.0 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Tolerances, Rk23ToleranceSweep,
+                         ::testing::Values(1e-3, 1e-4, 1e-5, 1e-6, 1e-7,
+                                           1e-8));
+
+}  // namespace
+}  // namespace pns::ehsim

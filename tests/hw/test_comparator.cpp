@@ -1,0 +1,79 @@
+// Tests for the comparator model (hw/comparator).
+#include "hw/comparator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace pns::hw {
+namespace {
+
+TEST(Comparator, TripLevelsBracketReference) {
+  Comparator c;
+  EXPECT_GT(c.rising_trip(), c.params().v_ref);
+  EXPECT_LT(c.falling_trip(), c.rising_trip());
+  EXPECT_NEAR(c.rising_trip() - c.falling_trip(), c.params().hysteresis_v,
+              1e-12);
+}
+
+TEST(Comparator, StartsLow) {
+  Comparator c;
+  EXPECT_FALSE(c.output());
+}
+
+TEST(Comparator, RisesOnlyAboveRisingTrip) {
+  Comparator c;
+  EXPECT_FALSE(c.update(c.rising_trip() - 1e-6));
+  EXPECT_TRUE(c.update(c.rising_trip() + 1e-6));
+}
+
+TEST(Comparator, HysteresisPreventsChatter) {
+  Comparator c;
+  c.update(c.rising_trip() + 1e-3);  // go high
+  // Small dip below the rising trip but above the falling trip: stays high.
+  EXPECT_TRUE(c.update(c.params().v_ref));
+  // Below the falling trip: goes low.
+  EXPECT_FALSE(c.update(c.falling_trip() - 1e-6));
+  // Rising back just above falling trip: stays low.
+  EXPECT_FALSE(c.update(c.params().v_ref));
+}
+
+TEST(Comparator, OffsetShiftsBothTrips) {
+  ComparatorParams p;
+  p.offset_v = 0.01;
+  Comparator biased(p);
+  ComparatorParams q;
+  q.offset_v = 0.0;
+  Comparator ideal(q);
+  EXPECT_NEAR(biased.rising_trip() - ideal.rising_trip(), 0.01, 1e-12);
+  EXPECT_NEAR(biased.falling_trip() - ideal.falling_trip(), 0.01, 1e-12);
+}
+
+TEST(Comparator, ResetForcesState) {
+  Comparator c;
+  c.reset(true);
+  EXPECT_TRUE(c.output());
+  c.reset(false);
+  EXPECT_FALSE(c.output());
+}
+
+TEST(Comparator, ZeroHysteresisSwitchesAtReference) {
+  ComparatorParams p;
+  p.hysteresis_v = 0.0;
+  p.offset_v = 0.0;
+  Comparator c(p);
+  EXPECT_TRUE(c.update(p.v_ref + 1e-9));
+  EXPECT_FALSE(c.update(p.v_ref - 1e-9));
+}
+
+TEST(Comparator, ContractChecks) {
+  ComparatorParams p;
+  p.v_ref = 0.0;
+  EXPECT_THROW(Comparator{p}, pns::ContractViolation);
+  ComparatorParams q;
+  q.hysteresis_v = -1.0;
+  EXPECT_THROW(Comparator{q}, pns::ContractViolation);
+}
+
+}  // namespace
+}  // namespace pns::hw

@@ -1,0 +1,127 @@
+// Tests for parameter search (opt/*): grid and random drivers on synthetic
+// objectives, plus a smoke test of the simulation-backed objective.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "opt/grid_search.hpp"
+#include "opt/objective.hpp"
+#include "opt/random_search.hpp"
+#include "util/contracts.hpp"
+
+namespace pns::opt {
+namespace {
+
+// Synthetic unimodal objective peaked at the paper's optimum.
+double synthetic(const ParamSet& p) {
+  if (!p.valid()) return -1.0;
+  auto gauss = [](double x, double mu, double s) {
+    const double d = (x - mu) / s;
+    return std::exp(-0.5 * d * d);
+  };
+  return gauss(p.v_width, 0.144, 0.1) * gauss(p.v_q, 0.048, 0.03) *
+         gauss(p.alpha, 0.12, 0.1) * gauss(p.beta, 0.48, 0.3);
+}
+
+TEST(ParamSet, ValidityRules) {
+  EXPECT_TRUE((ParamSet{0.144, 0.048, 0.12, 0.48}).valid());
+  EXPECT_FALSE((ParamSet{0.0, 0.048, 0.12, 0.48}).valid());   // width
+  EXPECT_FALSE((ParamSet{0.144, 0.0, 0.12, 0.48}).valid());   // vq
+  EXPECT_FALSE((ParamSet{0.144, 0.2, 0.12, 0.48}).valid());   // vq >= width
+  EXPECT_FALSE((ParamSet{0.144, 0.048, 0.0, 0.48}).valid());  // alpha
+  EXPECT_FALSE((ParamSet{0.144, 0.048, 0.5, 0.48}).valid());  // beta<=alpha
+}
+
+TEST(GridSearch, FindsPeakCell) {
+  const auto grid = GridSpec::paper_neighbourhood();
+  const auto result = grid_search(synthetic, grid);
+  EXPECT_EQ(result.evaluated.size(), grid.size());
+  // The peak cell of the synthetic objective is the paper's optimum.
+  EXPECT_DOUBLE_EQ(result.best.v_width, 0.144);
+  EXPECT_DOUBLE_EQ(result.best.v_q, 0.048);
+  EXPECT_DOUBLE_EQ(result.best.alpha, 0.12);
+  EXPECT_DOUBLE_EQ(result.best.beta, 0.48);
+  EXPECT_GT(result.best_score, 0.9);
+}
+
+TEST(GridSearch, KeepsAllEvaluations) {
+  GridSpec grid{{0.1, 0.2}, {0.05}, {0.1}, {0.3}};
+  const auto result = grid_search(synthetic, grid);
+  ASSERT_EQ(result.evaluated.size(), 2u);
+  for (const auto& e : result.evaluated) EXPECT_LE(e.score, result.best_score);
+}
+
+TEST(GridSearch, EmptyAxisRejected) {
+  GridSpec grid{{}, {0.05}, {0.1}, {0.3}};
+  EXPECT_THROW(grid_search(synthetic, grid), pns::ContractViolation);
+}
+
+TEST(GridSearch, InvalidCombosScoredNegative) {
+  // vq > width for one combination.
+  GridSpec grid{{0.1}, {0.05, 0.2}, {0.1}, {0.3}};
+  const auto result = grid_search(synthetic, grid);
+  int invalid = 0;
+  for (const auto& e : result.evaluated)
+    if (e.score < 0.0) ++invalid;
+  EXPECT_EQ(invalid, 1);
+}
+
+TEST(RandomSearch, DeterministicForSeed) {
+  RandomSearchSpec spec;
+  spec.iterations = 32;
+  spec.seed = 99;
+  const auto a = random_search(synthetic, spec);
+  const auto b = random_search(synthetic, spec);
+  ASSERT_EQ(a.evaluated.size(), b.evaluated.size());
+  EXPECT_DOUBLE_EQ(a.best_score, b.best_score);
+  EXPECT_DOUBLE_EQ(a.best.v_width, b.best.v_width);
+}
+
+TEST(RandomSearch, SamplesValidParamsWithinRanges) {
+  RandomSearchSpec spec;
+  spec.iterations = 64;
+  const auto result = random_search(synthetic, spec);
+  EXPECT_EQ(result.evaluated.size(), 64u);
+  for (const auto& e : result.evaluated) {
+    EXPECT_TRUE(e.params.valid());
+    EXPECT_GE(e.params.v_width, spec.v_width_lo);
+    EXPECT_LE(e.params.v_width, spec.v_width_hi);
+    EXPECT_GE(e.params.beta, spec.beta_lo);
+    EXPECT_LE(e.params.beta, spec.beta_hi);
+  }
+}
+
+TEST(RandomSearch, MoreIterationsNeverWorse) {
+  RandomSearchSpec small;
+  small.iterations = 8;
+  small.seed = 7;
+  RandomSearchSpec large;
+  large.iterations = 64;
+  large.seed = 7;
+  const auto a = random_search(synthetic, small);
+  const auto b = random_search(synthetic, large);
+  EXPECT_GE(b.best_score, a.best_score);  // same stream prefix
+}
+
+TEST(StabilityObjective, ScoresRealSimulation) {
+  // Tiny scenario to keep the test fast: 2 simulated minutes.
+  static soc::Platform platform = soc::Platform::odroid_xu4();
+  sim::SolarScenario scenario;
+  scenario.condition = trace::WeatherCondition::kFullSun;
+  scenario.t_start = 12.0 * 3600.0;
+  scenario.t_end = scenario.t_start + 120.0;
+  auto cfg = sim::solar_sim_config(scenario);
+  cfg.record_series = false;
+  StabilityObjective obj(platform, scenario, cfg);
+
+  const double good = obj(ParamSet{0.144, 0.0479, 0.120, 0.479});
+  EXPECT_GE(good, 0.0);
+  EXPECT_LE(good, 1.0);
+  EXPECT_GT(good, 0.3);  // paper-tuned parameters hold the band mostly
+
+  const double invalid = obj(ParamSet{0.1, 0.2, 0.1, 0.5});
+  EXPECT_DOUBLE_EQ(invalid, -1.0);
+}
+
+}  // namespace
+}  // namespace pns::opt

@@ -1,0 +1,134 @@
+// Tests for metric accumulation (sim/metrics).
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace pns::sim {
+namespace {
+
+TEST(BandOverlap, FullyInside) {
+  EXPECT_DOUBLE_EQ(band_overlap_fraction(5.0, 5.1, 4.9, 5.2), 1.0);
+}
+
+TEST(BandOverlap, FullyOutside) {
+  EXPECT_DOUBLE_EQ(band_overlap_fraction(4.0, 4.5, 4.9, 5.2), 0.0);
+  EXPECT_DOUBLE_EQ(band_overlap_fraction(5.5, 6.0, 4.9, 5.2), 0.0);
+}
+
+TEST(BandOverlap, PartialCrossing) {
+  // Segment 4.8 -> 5.2 against band [5.0, 5.4]: half inside.
+  EXPECT_NEAR(band_overlap_fraction(4.8, 5.2, 5.0, 5.4), 0.5, 1e-12);
+}
+
+TEST(BandOverlap, DirectionIrrelevant) {
+  EXPECT_DOUBLE_EQ(band_overlap_fraction(4.8, 5.2, 5.0, 5.4),
+                   band_overlap_fraction(5.2, 4.8, 5.0, 5.4));
+}
+
+TEST(BandOverlap, FlatSegmentInsideAndOnEdge) {
+  EXPECT_DOUBLE_EQ(band_overlap_fraction(5.0, 5.0, 4.9, 5.1), 1.0);
+  EXPECT_DOUBLE_EQ(band_overlap_fraction(4.9, 4.9, 4.9, 5.1), 1.0);
+  EXPECT_DOUBLE_EQ(band_overlap_fraction(4.0, 4.0, 4.9, 5.1), 0.0);
+}
+
+TEST(BandOverlap, SpanningWholeBand) {
+  // Segment 4.0 -> 6.0 against band [4.9, 5.1]: 0.2 / 2.0 = 0.1.
+  EXPECT_NEAR(band_overlap_fraction(4.0, 6.0, 4.9, 5.1), 0.1, 1e-12);
+}
+
+TEST(BandOverlap, RejectsInvertedBand) {
+  EXPECT_THROW(band_overlap_fraction(1.0, 2.0, 3.0, 2.0),
+               pns::ContractViolation);
+}
+
+TEST(MetricsAccumulator, EnergyIntegrals) {
+  MetricsAccumulator acc(0.0, 0.0, 0.05);
+  // 2 s at 3 W harvested (flat), 2 W consumed.
+  acc.add_segment(0.0, 2.0, 5.0, 5.0, 3.0, 3.0, 2.0, 1e9, true);
+  const auto m = acc.finish(2.0, 1e10);
+  EXPECT_NEAR(m.energy_harvested_j, 6.0, 1e-12);
+  EXPECT_NEAR(m.energy_consumed_j, 4.0, 1e-12);
+  EXPECT_NEAR(m.instructions, 2e9, 1e-3);
+  EXPECT_NEAR(m.frames, 0.2, 1e-12);
+  EXPECT_NEAR(m.uptime_s, 2.0, 1e-12);
+  EXPECT_NEAR(m.avg_power_consumed_w(), 2.0, 1e-12);
+}
+
+TEST(MetricsAccumulator, TrapezoidalHarvest) {
+  MetricsAccumulator acc(0.0, 0.0, 0.05);
+  acc.add_segment(0.0, 2.0, 5.0, 5.0, 1.0, 3.0, 0.0, 0.0, true);
+  const auto m = acc.finish(2.0, 1.0);
+  EXPECT_NEAR(m.energy_harvested_j, 4.0, 1e-12);  // mean 2 W over 2 s
+}
+
+TEST(MetricsAccumulator, BandTimeTracked) {
+  MetricsAccumulator acc(0.0, 5.0, 0.05);  // band [4.75, 5.25]
+  acc.add_segment(0.0, 1.0, 5.0, 5.1, 0, 0, 0, 0, true);   // inside
+  acc.add_segment(1.0, 2.0, 5.1, 6.0, 0, 0, 0, 0, true);   // partially
+  const auto m = acc.finish(2.0, 1.0);
+  const double expected = 1.0 + (5.25 - 5.1) / (6.0 - 5.1);
+  EXPECT_NEAR(m.time_in_band_s, expected, 1e-9);
+  EXPECT_NEAR(m.fraction_in_band(), expected / 2.0, 1e-9);
+}
+
+TEST(MetricsAccumulator, BandDisabledWhenTargetZero) {
+  MetricsAccumulator acc(0.0, 0.0, 0.05);
+  acc.add_segment(0.0, 1.0, 5.0, 5.0, 0, 0, 0, 0, true);
+  EXPECT_DOUBLE_EQ(acc.finish(1.0, 1.0).time_in_band_s, 0.0);
+}
+
+TEST(MetricsAccumulator, LifetimeUntilFirstBrownout) {
+  MetricsAccumulator acc(10.0, 0.0, 0.05);
+  acc.add_segment(10.0, 12.0, 5.0, 4.0, 0, 0, 0, 0, true);
+  acc.on_brownout(12.0);
+  acc.add_segment(12.0, 15.0, 4.0, 4.5, 0, 0, 0, 0, false);
+  acc.on_brownout(14.5);  // second brownout does not move lifetime
+  const auto m = acc.finish(15.0, 1.0);
+  EXPECT_NEAR(m.lifetime_s, 2.0, 1e-12);
+  EXPECT_EQ(m.brownouts, 2u);
+  EXPECT_NEAR(m.uptime_s, 2.0, 1e-12);
+}
+
+TEST(MetricsAccumulator, LifetimeFullDurationWithoutBrownout) {
+  MetricsAccumulator acc(0.0, 0.0, 0.05);
+  acc.add_segment(0.0, 60.0, 5.0, 5.0, 0, 0, 0, 0, true);
+  const auto m = acc.finish(60.0, 1.0);
+  EXPECT_NEAR(m.lifetime_s, 60.0, 1e-12);
+  EXPECT_EQ(m.brownouts, 0u);
+}
+
+TEST(MetricsAccumulator, HistogramAttachment) {
+  pns::Histogram h(0.0, 8.0, 16);
+  MetricsAccumulator acc(0.0, 0.0, 0.05);
+  acc.attach_histogram(&h);
+  acc.add_segment(0.0, 3.0, 5.0, 5.0, 0, 0, 0, 0, true);
+  EXPECT_NEAR(h.total_weight(), 3.0, 1e-12);
+  EXPECT_NEAR(h.weight(10), 3.0, 1e-12);  // 5.0 V lands in bin [5.0, 5.5)
+}
+
+TEST(MetricsAccumulator, VcStatsTimeWeighted) {
+  MetricsAccumulator acc(0.0, 0.0, 0.05);
+  acc.add_segment(0.0, 3.0, 4.0, 4.0, 0, 0, 0, 0, true);
+  acc.add_segment(3.0, 4.0, 6.0, 6.0, 0, 0, 0, 0, true);
+  const auto m = acc.finish(4.0, 1.0);
+  EXPECT_NEAR(m.vc_stats.mean(), 4.5, 1e-12);
+}
+
+TEST(MetricsAccumulator, RendersPerMinute) {
+  MetricsAccumulator acc(0.0, 0.0, 0.05);
+  acc.add_segment(0.0, 60.0, 5.0, 5.0, 0, 0, 0, 5e9, true);
+  const auto m = acc.finish(60.0, 1e10);
+  EXPECT_NEAR(m.renders_per_min(), 30.0, 1e-6);
+}
+
+TEST(MetricsAccumulator, ZeroLengthSegmentIgnored) {
+  MetricsAccumulator acc(0.0, 5.0, 0.05);
+  acc.add_segment(1.0, 1.0, 5.0, 5.0, 1.0, 1.0, 1.0, 1.0, true);
+  const auto m = acc.finish(1.0, 1.0);
+  EXPECT_DOUBLE_EQ(m.energy_consumed_j, 0.0);
+}
+
+}  // namespace
+}  // namespace pns::sim

@@ -1,0 +1,110 @@
+// Tests for DVFS / hot-plug latency (soc/latency_model) against the
+// Fig. 10 anchors.
+#include "soc/latency_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+#include "util/literals.hpp"
+
+namespace pns::soc {
+namespace {
+
+using namespace pns::literals;
+
+LatencyModel model() { return LatencyModel(LatencyModelParams{}); }
+
+TEST(LatencyModel, Fig10HotplugAnchorHighFreq) {
+  // ~8-12 ms at 1.4 GHz.
+  const double t =
+      model().hotplug_latency(CoreType::kLittle, false, 1.4_GHz, {4, 0});
+  EXPECT_GT(t, 5e-3);
+  EXPECT_LT(t, 15e-3);
+}
+
+TEST(LatencyModel, Fig10HotplugAnchorMidFreq) {
+  // ~15-20 ms at 800 MHz.
+  const double t =
+      model().hotplug_latency(CoreType::kLittle, false, 0.8_GHz, {4, 0});
+  EXPECT_GT(t, 9e-3);
+  EXPECT_LT(t, 22e-3);
+}
+
+TEST(LatencyModel, Fig10HotplugAnchorLowFreq) {
+  // ~30-40 ms at 200 MHz.
+  const double t =
+      model().hotplug_latency(CoreType::kLittle, false, 0.2_GHz, {4, 0});
+  EXPECT_GT(t, 25e-3);
+  EXPECT_LT(t, 45e-3);
+}
+
+TEST(LatencyModel, HotplugLatencyDecreasesWithFrequency) {
+  double prev = 1e9;
+  for (double f : {0.2_GHz, 0.45_GHz, 0.92_GHz, 1.4_GHz}) {
+    const double t =
+        model().hotplug_latency(CoreType::kLittle, true, f, {2, 0});
+    EXPECT_LT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(LatencyModel, BigCoreCostsMore) {
+  const double t_l =
+      model().hotplug_latency(CoreType::kLittle, false, 1.0_GHz, {4, 2});
+  const double t_b =
+      model().hotplug_latency(CoreType::kBig, false, 1.0_GHz, {4, 2});
+  EXPECT_GT(t_b, t_l);
+}
+
+TEST(LatencyModel, ClusterPowerSwitchAddsCost) {
+  // First big core up (0 -> 1) pays the cluster switch...
+  const double first_on =
+      model().hotplug_latency(CoreType::kBig, true, 1.0_GHz, {4, 0});
+  // ...second does not.
+  const double second_on =
+      model().hotplug_latency(CoreType::kBig, true, 1.0_GHz, {4, 1});
+  EXPECT_GT(first_on, second_on);
+  // Last big core down (1 -> 0) pays it too.
+  const double last_off =
+      model().hotplug_latency(CoreType::kBig, false, 1.0_GHz, {4, 1});
+  const double mid_off =
+      model().hotplug_latency(CoreType::kBig, false, 1.0_GHz, {4, 3});
+  EXPECT_GT(last_off, mid_off);
+}
+
+TEST(LatencyModel, Fig10DvfsRange) {
+  // DVFS transitions are 1-3 ms.
+  for (int n = 1; n <= 8; ++n) {
+    const double down = model().dvfs_latency(1.0_GHz, 0.8_GHz, n);
+    const double up = model().dvfs_latency(0.8_GHz, 1.0_GHz, n);
+    EXPECT_GT(down, 0.5e-3);
+    EXPECT_LT(up, 3.5e-3);
+  }
+}
+
+TEST(LatencyModel, DvfsUpCostsMoreThanDown) {
+  const double up = model().dvfs_latency(0.8_GHz, 1.0_GHz, 4);
+  const double down = model().dvfs_latency(1.0_GHz, 0.8_GHz, 4);
+  EXPECT_GT(up, down);
+}
+
+TEST(LatencyModel, DvfsGrowsWithActiveCores) {
+  const double few = model().dvfs_latency(1.0_GHz, 0.8_GHz, 1);
+  const double many = model().dvfs_latency(1.0_GHz, 0.8_GHz, 8);
+  EXPECT_GT(many, few);
+}
+
+TEST(LatencyModel, ContractChecks) {
+  EXPECT_THROW(model().hotplug_latency(CoreType::kBig, true, 0.0, {1, 0}),
+               pns::ContractViolation);
+  EXPECT_THROW(model().dvfs_latency(0.0, 1.0_GHz, 1),
+               pns::ContractViolation);
+  EXPECT_THROW(model().dvfs_latency(1.0_GHz, 1.0_GHz, -1),
+               pns::ContractViolation);
+  LatencyModelParams bad;
+  bad.big_factor = 0.5;
+  EXPECT_THROW(LatencyModel{bad}, pns::ContractViolation);
+}
+
+}  // namespace
+}  // namespace pns::soc

@@ -1,0 +1,96 @@
+// Tests for OPP ladder and core-config vocabulary (soc/opp, soc/core_types).
+#include "soc/opp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+#include "util/literals.hpp"
+
+namespace pns::soc {
+namespace {
+
+using namespace pns::literals;
+
+TEST(OppTable, PaperLadderContents) {
+  auto t = OppTable::paper_ladder();
+  ASSERT_EQ(t.size(), 8u);
+  EXPECT_DOUBLE_EQ(t.frequency(0), 0.2_GHz);
+  EXPECT_DOUBLE_EQ(t.frequency(1), 0.45_GHz);
+  EXPECT_DOUBLE_EQ(t.frequency(2), 0.72_GHz);
+  EXPECT_DOUBLE_EQ(t.frequency(3), 0.92_GHz);
+  EXPECT_DOUBLE_EQ(t.frequency(4), 1.1_GHz);
+  EXPECT_DOUBLE_EQ(t.frequency(5), 1.2_GHz);
+  EXPECT_DOUBLE_EQ(t.frequency(6), 1.3_GHz);
+  EXPECT_DOUBLE_EQ(t.frequency(7), 1.4_GHz);
+}
+
+TEST(OppTable, RequiresAscendingPositive) {
+  EXPECT_THROW(OppTable({}), pns::ContractViolation);
+  EXPECT_THROW(OppTable({0.0}), pns::ContractViolation);
+  EXPECT_THROW(OppTable({2e9, 1e9}), pns::ContractViolation);
+  EXPECT_THROW(OppTable({1e9, 1e9}), pns::ContractViolation);
+}
+
+TEST(OppTable, StepSaturatesAtEnds) {
+  auto t = OppTable::paper_ladder();
+  EXPECT_EQ(t.step_down(0), 0u);
+  EXPECT_EQ(t.step_down(3), 2u);
+  EXPECT_EQ(t.step_up(7), 7u);
+  EXPECT_EQ(t.step_up(3), 4u);
+}
+
+TEST(OppTable, NearestIndex) {
+  auto t = OppTable::paper_ladder();
+  EXPECT_EQ(t.nearest_index(0.1_GHz), 0u);
+  EXPECT_EQ(t.nearest_index(0.46_GHz), 1u);
+  EXPECT_EQ(t.nearest_index(1.15_GHz), 4u);
+  EXPECT_EQ(t.nearest_index(9.0_GHz), 7u);
+}
+
+TEST(OppTable, IndexOutOfRangeThrows) {
+  auto t = OppTable::paper_ladder();
+  EXPECT_THROW(t.frequency(8), pns::ContractViolation);
+  EXPECT_THROW(t.step_up(8), pns::ContractViolation);
+}
+
+TEST(CoreConfig, TotalsAndCounts) {
+  CoreConfig c{3, 2};
+  EXPECT_EQ(c.total(), 5);
+  EXPECT_EQ(c.count(CoreType::kLittle), 3);
+  EXPECT_EQ(c.count(CoreType::kBig), 2);
+}
+
+TEST(CoreConfig, WithDelta) {
+  CoreConfig c{2, 1};
+  EXPECT_EQ(c.with_delta(CoreType::kBig, 1), (CoreConfig{2, 2}));
+  EXPECT_EQ(c.with_delta(CoreType::kLittle, -1), (CoreConfig{1, 1}));
+  EXPECT_EQ(c, (CoreConfig{2, 1}));  // original untouched
+}
+
+TEST(CoreConfig, Within) {
+  CoreConfig lo{1, 0}, hi{4, 4};
+  EXPECT_TRUE((CoreConfig{1, 0}).within(lo, hi));
+  EXPECT_TRUE((CoreConfig{4, 4}).within(lo, hi));
+  EXPECT_FALSE((CoreConfig{0, 0}).within(lo, hi));
+  EXPECT_FALSE((CoreConfig{4, 5}).within(lo, hi));
+}
+
+TEST(CoreConfig, ToStringFormat) {
+  EXPECT_EQ((CoreConfig{4, 2}).to_string(), "4L+2B");
+}
+
+TEST(CoreType, Names) {
+  EXPECT_STREQ(to_string(CoreType::kLittle), "LITTLE");
+  EXPECT_STREQ(to_string(CoreType::kBig), "big");
+}
+
+TEST(OperatingPoint, EqualityAndToString) {
+  auto t = OppTable::paper_ladder();
+  OperatingPoint a{4, {4, 1}}, b{4, {4, 1}}, c{5, {4, 1}};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(to_string(a, t), "4L+1B @ 1.10 GHz");
+}
+
+}  // namespace
+}  // namespace pns::soc

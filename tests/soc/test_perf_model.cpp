@@ -1,0 +1,130 @@
+// Tests for the raytrace throughput model (soc/perf_model) including the
+// Fig. 7 calibration anchors.
+#include "soc/perf_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "soc/platform.hpp"
+#include "util/contracts.hpp"
+#include "util/literals.hpp"
+
+namespace pns::soc {
+namespace {
+
+using namespace pns::literals;
+
+const Platform& xu4() {
+  static Platform p = Platform::odroid_xu4();
+  return p;
+}
+
+TEST(PerfModel, Fig7AnchorSingleLittle) {
+  // ~0.018 FPS for 1xA7 @ 1.4 GHz.
+  EXPECT_NEAR(xu4().perf.fps({1, 0}, 1.4_GHz), 0.018, 0.004);
+}
+
+TEST(PerfModel, Fig7AnchorFourLittle) {
+  // ~0.066 FPS for 4xA7 @ 1.4 GHz.
+  EXPECT_NEAR(xu4().perf.fps({4, 0}, 1.4_GHz), 0.066, 0.012);
+}
+
+TEST(PerfModel, Fig7AnchorAllCores) {
+  // ~0.25 FPS for 4xA7+4xA15 @ 1.4 GHz.
+  EXPECT_NEAR(xu4().perf.fps({4, 4}, 1.4_GHz), 0.25, 0.05);
+}
+
+TEST(PerfModel, RateLinearInFrequency) {
+  const double r1 = xu4().perf.instruction_rate({4, 2}, 0.5_GHz);
+  const double r2 = xu4().perf.instruction_rate({4, 2}, 1.0_GHz);
+  EXPECT_NEAR(r2, 2.0 * r1, 1e-3 * r2);
+}
+
+TEST(PerfModel, BigCoreFasterThanLittle) {
+  const double r_l = xu4().perf.instruction_rate({2, 0}, 1.0_GHz);
+  const double r_b = xu4().perf.instruction_rate({1, 1}, 1.0_GHz);
+  EXPECT_GT(r_b, r_l);
+}
+
+TEST(PerfModel, MoreCoresMoreThroughputDespiteOverhead) {
+  double prev = 0.0;
+  for (int nb = 0; nb <= 4; ++nb) {
+    const double r = xu4().perf.instruction_rate({4, nb}, 1.4_GHz);
+    EXPECT_GT(r, prev);
+    prev = r;
+  }
+}
+
+TEST(PerfModel, ParallelEfficiencyDecreasing) {
+  double prev = 1.1;
+  for (int n = 1; n <= 8; ++n) {
+    const double e = xu4().perf.parallel_efficiency(n);
+    EXPECT_LT(e, prev);
+    EXPECT_GT(e, 0.7);  // mild overhead for an embarrassingly parallel job
+    prev = e;
+  }
+  EXPECT_DOUBLE_EQ(xu4().perf.parallel_efficiency(1), 1.0);
+  EXPECT_DOUBLE_EQ(xu4().perf.parallel_efficiency(0), 1.0);
+}
+
+TEST(PerfModel, UtilizationScalesRate) {
+  const double full = xu4().perf.instruction_rate({4, 0}, 1.0_GHz, 1.0);
+  const double half = xu4().perf.instruction_rate({4, 0}, 1.0_GHz, 0.5);
+  EXPECT_NEAR(half, 0.5 * full, 1e-9);
+}
+
+TEST(PerfModel, OppOverloadsConsistent) {
+  OperatingPoint opp{5, {4, 1}};
+  EXPECT_DOUBLE_EQ(
+      xu4().perf.instruction_rate(opp, xu4().opps),
+      xu4().perf.instruction_rate(opp.cores,
+                                  xu4().opps.frequency(opp.freq_index)));
+  EXPECT_DOUBLE_EQ(xu4().perf.fps(opp, xu4().opps),
+                   xu4().perf.fps(opp.cores,
+                                  xu4().opps.frequency(opp.freq_index)));
+}
+
+TEST(PerfModel, FpsConsistentWithInstrPerFrame) {
+  const double rate = xu4().perf.instruction_rate({4, 4}, 1.4_GHz);
+  EXPECT_NEAR(xu4().perf.fps({4, 4}, 1.4_GHz),
+              rate / xu4().perf.params().instr_per_frame, 1e-12);
+}
+
+TEST(PerfModel, ConstructorContracts) {
+  PerfModelParams p;
+  p.ipc_little = 0.0;
+  EXPECT_THROW(PerfModel{p}, pns::ContractViolation);
+  PerfModelParams q;
+  q.parallel_overhead = 1.0;
+  EXPECT_THROW(PerfModel{q}, pns::ContractViolation);
+  PerfModelParams r;
+  r.instr_per_frame = 0.0;
+  EXPECT_THROW(PerfModel{r}, pns::ContractViolation);
+}
+
+TEST(PerfModel, InvalidUtilizationRejected) {
+  EXPECT_THROW(xu4().perf.instruction_rate({1, 0}, 1.0_GHz, 1.0001),
+               pns::ContractViolation);
+}
+
+// Property: performance-per-watt of LITTLE-only configs beats big-cluster
+// configs at equal frequency (the whole point of big.LITTLE).
+class EfficiencySweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EfficiencySweep, LittleClusterMoreEfficient) {
+  const auto fi = GetParam();
+  const double f = xu4().opps.frequency(fi);
+  const double perf_l = xu4().perf.instruction_rate({4, 0}, f);
+  const double pow_l = xu4().power.board_power_at({4, 0}, f) -
+                       xu4().power.params().board_base_w;
+  const double perf_b = xu4().perf.instruction_rate({4, 4}, f);
+  const double pow_b = xu4().power.board_power_at({4, 4}, f) -
+                       xu4().power.params().board_base_w;
+  EXPECT_GT(perf_l / pow_l, perf_b / pow_b) << "at index " << fi;
+}
+
+INSTANTIATE_TEST_SUITE_P(Frequencies, EfficiencySweep,
+                         ::testing::Values(std::size_t{0}, std::size_t{2},
+                                           std::size_t{4}, std::size_t{7}));
+
+}  // namespace
+}  // namespace pns::soc

@@ -1,0 +1,132 @@
+// Tests for the board power model (soc/power_model) including the Fig. 4
+// calibration anchors of the ODROID XU4 platform.
+#include "soc/power_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "soc/platform.hpp"
+#include "util/contracts.hpp"
+#include "util/literals.hpp"
+
+namespace pns::soc {
+namespace {
+
+using namespace pns::literals;
+
+const Platform& xu4() {
+  static Platform p = Platform::odroid_xu4();
+  return p;
+}
+
+TEST(PowerModel, Fig4AnchorSingleLittleLowFreq) {
+  // Fig. 4: ~1.8 W at 1xA7 @ 0.2 GHz.
+  const double p = xu4().power.board_power_at({1, 0}, 0.2_GHz);
+  EXPECT_NEAR(p, 1.8, 0.15);
+}
+
+TEST(PowerModel, Fig4AnchorFourLittleTopFreq) {
+  // Fig. 4: ~2.7-2.8 W at 4xA7 @ 1.4 GHz.
+  const double p = xu4().power.board_power_at({4, 0}, 1.4_GHz);
+  EXPECT_NEAR(p, 2.75, 0.3);
+}
+
+TEST(PowerModel, Fig4AnchorAllCoresTopFreq) {
+  // Fig. 4: ~7 W at 4xA7 + 4xA15 @ 1.4 GHz.
+  const double p = xu4().power.board_power_at({4, 4}, 1.4_GHz);
+  EXPECT_NEAR(p, 7.0, 0.7);
+}
+
+TEST(PowerModel, MonotoneInFrequency) {
+  for (int nb = 0; nb <= 4; ++nb) {
+    double prev = 0.0;
+    for (std::size_t i = 0; i < xu4().opps.size(); ++i) {
+      const double p = xu4().power.board_power({i, {4, nb}}, xu4().opps);
+      EXPECT_GT(p, prev) << "config 4L+" << nb << "B index " << i;
+      prev = p;
+    }
+  }
+}
+
+TEST(PowerModel, MonotoneInLittleCores) {
+  double prev = 0.0;
+  for (int nl = 1; nl <= 4; ++nl) {
+    const double p = xu4().power.board_power_at({nl, 0}, 1.1_GHz);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(PowerModel, MonotoneInBigCores) {
+  double prev = 0.0;
+  for (int nb = 0; nb <= 4; ++nb) {
+    const double p = xu4().power.board_power_at({4, nb}, 1.1_GHz);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(PowerModel, BigCoreCostsMoreThanLittle) {
+  const double p_l = xu4().power.core_dynamic_power(CoreType::kLittle,
+                                                    1.4_GHz, 1.0);
+  const double p_b =
+      xu4().power.core_dynamic_power(CoreType::kBig, 1.4_GHz, 1.0);
+  EXPECT_GT(p_b, 3.0 * p_l);
+}
+
+TEST(PowerModel, OffClusterConsumesNothing) {
+  EXPECT_DOUBLE_EQ(xu4().power.cluster_power(CoreType::kBig, 0, 1.4_GHz, 1.0),
+                   0.0);
+}
+
+TEST(PowerModel, UtilizationScalesDynamicOnly) {
+  const double busy = xu4().power.board_power_at({4, 4}, 1.4_GHz, 1.0);
+  const double idle = xu4().power.board_power_at({4, 4}, 1.4_GHz, 0.0);
+  EXPECT_GT(busy, idle);
+  // Idle still pays base + statics.
+  EXPECT_GT(idle, xu4().power.params().board_base_w);
+}
+
+TEST(PowerModel, UtilizationOutOfRangeRejected) {
+  EXPECT_THROW(xu4().power.board_power_at({1, 0}, 1.0_GHz, 1.5),
+               pns::ContractViolation);
+  EXPECT_THROW(xu4().power.board_power_at({1, 0}, 1.0_GHz, -0.1),
+               pns::ContractViolation);
+}
+
+TEST(PowerModel, VddCurveRisesWithFrequency) {
+  EXPECT_LT(xu4().power.vdd(CoreType::kBig, 0.2_GHz),
+            xu4().power.vdd(CoreType::kBig, 1.4_GHz));
+  EXPECT_LT(xu4().power.vdd(CoreType::kLittle, 0.2_GHz),
+            xu4().power.vdd(CoreType::kLittle, 1.4_GHz));
+}
+
+TEST(PowerModel, DynamicPowerSuperlinearInFrequency) {
+  // Because Vdd rises with f, P(2f) > 2 P(f).
+  const double p1 =
+      xu4().power.core_dynamic_power(CoreType::kBig, 0.6_GHz, 1.0);
+  const double p2 =
+      xu4().power.core_dynamic_power(CoreType::kBig, 1.2_GHz, 1.0);
+  EXPECT_GT(p2, 2.0 * p1);
+}
+
+// Property sweep: power is positive and bounded for every valid OPP.
+class PowerAllConfigs
+    : public ::testing::TestWithParam<std::tuple<int, int, std::size_t>> {};
+
+TEST_P(PowerAllConfigs, PositiveAndBounded) {
+  const auto [nl, nb, fi] = GetParam();
+  const double p =
+      xu4().power.board_power({fi, {nl, nb}}, xu4().opps);
+  EXPECT_GT(p, 1.0);   // board base alone exceeds 1 W
+  EXPECT_LT(p, 12.0);  // sanity ceiling for this platform
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PowerAllConfigs,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(0, 1, 2, 3, 4),
+                       ::testing::Values(std::size_t{0}, std::size_t{3},
+                                         std::size_t{7})));
+
+}  // namespace
+}  // namespace pns::soc

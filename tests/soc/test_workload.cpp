@@ -1,0 +1,77 @@
+// Tests for workload models (soc/workload).
+#include "soc/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace pns::soc {
+namespace {
+
+TEST(RaytraceWorkload, AlwaysFullUtilisation) {
+  RaytraceWorkload w(1e10);
+  EXPECT_DOUBLE_EQ(w.utilization(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(w.utilization(12345.0), 1.0);
+}
+
+TEST(RaytraceWorkload, AccumulatesInstructions) {
+  RaytraceWorkload w(1e10);
+  w.advance(0.0, 2.0, 5e9);
+  w.advance(2.0, 1.0, 1e9);
+  EXPECT_DOUBLE_EQ(w.instructions(), 1.1e10);
+  EXPECT_DOUBLE_EQ(w.frames_completed(), 1.1);
+}
+
+TEST(RaytraceWorkload, ResetClearsProgress) {
+  RaytraceWorkload w(1e10);
+  w.advance(0.0, 1.0, 1e9);
+  w.reset();
+  EXPECT_DOUBLE_EQ(w.instructions(), 0.0);
+  EXPECT_DOUBLE_EQ(w.frames_completed(), 0.0);
+}
+
+TEST(RaytraceWorkload, RejectsBadAdvance) {
+  RaytraceWorkload w(1e10);
+  EXPECT_THROW(w.advance(0.0, -1.0, 1e9), pns::ContractViolation);
+  EXPECT_THROW(w.advance(0.0, 1.0, -1e9), pns::ContractViolation);
+  EXPECT_THROW(RaytraceWorkload(0.0), pns::ContractViolation);
+}
+
+TEST(PeriodicWorkload, SquareWavePhases) {
+  PeriodicWorkload w(2.0, 3.0, 0.9, 0.1);
+  EXPECT_DOUBLE_EQ(w.utilization(0.0), 0.9);
+  EXPECT_DOUBLE_EQ(w.utilization(1.99), 0.9);
+  EXPECT_DOUBLE_EQ(w.utilization(2.01), 0.1);
+  EXPECT_DOUBLE_EQ(w.utilization(4.99), 0.1);
+  EXPECT_DOUBLE_EQ(w.utilization(5.01), 0.9);  // wraps
+}
+
+TEST(PeriodicWorkload, NegativeTimeTreatedAsStart) {
+  PeriodicWorkload w(2.0, 3.0);
+  EXPECT_DOUBLE_EQ(w.utilization(-5.0), w.utilization(0.0));
+}
+
+TEST(PeriodicWorkload, ValidatesArguments) {
+  EXPECT_THROW(PeriodicWorkload(0.0, 1.0), pns::ContractViolation);
+  EXPECT_THROW(PeriodicWorkload(1.0, -1.0), pns::ContractViolation);
+  EXPECT_THROW(PeriodicWorkload(1.0, 1.0, 1.5), pns::ContractViolation);
+}
+
+TEST(ConstantWorkload, HoldsValue) {
+  ConstantWorkload w(0.42);
+  EXPECT_DOUBLE_EQ(w.utilization(0.0), 0.42);
+  EXPECT_DOUBLE_EQ(w.utilization(99.0), 0.42);
+  EXPECT_THROW(ConstantWorkload(1.5), pns::ContractViolation);
+}
+
+TEST(Workload, NamesStable) {
+  RaytraceWorkload r(1e10);
+  PeriodicWorkload p(1.0, 1.0);
+  ConstantWorkload c(0.5);
+  EXPECT_STREQ(r.name(), "raytrace");
+  EXPECT_STREQ(p.name(), "periodic");
+  EXPECT_STREQ(c.name(), "constant");
+}
+
+}  // namespace
+}  // namespace pns::soc

@@ -1,0 +1,113 @@
+// Tests for CSV emission and console-table rendering (util/csv, util/table).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/contracts.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace pns {
+namespace {
+
+TEST(CsvEscape, PlainCellUnchanged) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+}
+
+TEST(CsvEscape, CommaQuoted) { EXPECT_EQ(csv_escape("a,b"), "\"a,b\""); }
+
+TEST(CsvEscape, QuoteDoubled) {
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscape, NewlineQuoted) { EXPECT_EQ(csv_escape("a\nb"), "\"a\nb\""); }
+
+TEST(CsvWriter, HeaderAndRows) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.header({"t", "v"});
+  w.row({1.0, 2.5});
+  w.row({2.0, 3.5});
+  EXPECT_EQ(os.str(), "t,v\n1,2.5\n2,3.5\n");
+  EXPECT_EQ(w.rows_written(), 2u);
+}
+
+TEST(CsvWriter, RowWidthEnforcedAfterHeader) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.header({"a", "b"});
+  EXPECT_THROW(w.row({1.0}), ContractViolation);
+}
+
+TEST(CsvWriter, DoubleHeaderRejected) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.header({"a"});
+  EXPECT_THROW(w.header({"b"}), ContractViolation);
+}
+
+TEST(CsvWriter, FullPrecisionRoundTrip) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row({0.1234567890123});
+  EXPECT_NE(os.str().find("0.1234567890123"), std::string::npos);
+}
+
+TEST(WriteSeriesCsv, WritesPairsWithPadding) {
+  TimeSeries a, b;
+  a.append(0.0, 1.0);
+  a.append(1.0, 2.0);
+  b.append(0.0, 5.0);
+  const std::string path = ::testing::TempDir() + "/pns_series_test.csv";
+  ASSERT_TRUE(write_series_csv(path, {{"a", &a}, {"b", &b}}));
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "a_t,a_v,b_t,b_v");
+  std::getline(f, line);
+  EXPECT_EQ(line, "0,1,0,5");
+  std::getline(f, line);
+  EXPECT_EQ(line, "1,2,,");
+  std::remove(path.c_str());
+}
+
+TEST(ConsoleTable, RendersAlignedRows) {
+  ConsoleTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  std::ostringstream os;
+  t.print(os, "My Table");
+  const std::string s = os.str();
+  EXPECT_NE(s.find("My Table"), std::string::npos);
+  EXPECT_NE(s.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(s.find("| b     | 22    |"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(ConsoleTable, RowWidthEnforced) {
+  ConsoleTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(FmtHelpers, FmtDouble) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(-1.0, 0), "-1");
+}
+
+TEST(FmtHelpers, FmtMmss) {
+  EXPECT_EQ(fmt_mmss(0.0), "00:00");
+  EXPECT_EQ(fmt_mmss(5.0), "00:05");
+  EXPECT_EQ(fmt_mmss(3600.0), "60:00");
+  EXPECT_EQ(fmt_mmss(-3.0), "00:00");
+}
+
+TEST(FmtHelpers, FmtHhmm) {
+  EXPECT_EQ(fmt_hhmm(10.5 * 3600.0), "10:30");
+  EXPECT_EQ(fmt_hhmm(0.0), "00:00");
+  EXPECT_EQ(fmt_hhmm(25.0 * 3600.0), "01:00");  // wraps past midnight
+}
+
+}  // namespace
+}  // namespace pns

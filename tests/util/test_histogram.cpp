@@ -1,0 +1,95 @@
+// Tests for the uniform-bin histogram (util/histogram).
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace pns {
+namespace {
+
+TEST(Histogram, ConstructionContracts) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), ContractViolation);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), ContractViolation);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), ContractViolation);
+}
+
+TEST(Histogram, BinGeometry) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.bin_count(), 5u);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(2), 5.0);
+}
+
+TEST(Histogram, SamplesLandInCorrectBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.0);   // bin 0
+  h.add(1.99);  // bin 0
+  h.add(2.0);   // bin 1
+  h.add(9.99);  // bin 4
+  EXPECT_DOUBLE_EQ(h.weight(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.weight(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.weight(4), 1.0);
+}
+
+TEST(Histogram, UnderOverflowTracked) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-0.5);
+  h.add(1.0);  // hi edge counts as overflow (half-open range)
+  h.add(2.0);
+  EXPECT_DOUBLE_EQ(h.underflow(), 1.0);
+  EXPECT_DOUBLE_EQ(h.overflow(), 2.0);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 3.0);
+}
+
+TEST(Histogram, FractionNormalises) {
+  Histogram h(0.0, 4.0, 4);
+  h.add_weighted(0.5, 3.0);
+  h.add_weighted(2.5, 1.0);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.75);
+  EXPECT_DOUBLE_EQ(h.fraction(2), 0.25);
+  EXPECT_DOUBLE_EQ(h.fraction(1), 0.0);
+}
+
+TEST(Histogram, FractionOfEmptyIsZero) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+}
+
+TEST(Histogram, ModeBin) {
+  Histogram h(0.0, 3.0, 3);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  EXPECT_EQ(h.mode_bin(), 1u);
+}
+
+TEST(Histogram, WeightedAddRejectsNegative) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW(h.add_weighted(0.5, -1.0), ContractViolation);
+}
+
+TEST(Histogram, ZeroWeightIsNoop) {
+  Histogram h(0.0, 1.0, 2);
+  h.add_weighted(0.5, 0.0);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 0.0);
+}
+
+TEST(Histogram, ToStringContainsBars) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  const std::string s = h.to_string(10);
+  EXPECT_NE(s.find('#'), std::string::npos);
+  EXPECT_NE(s.find('%'), std::string::npos);
+}
+
+TEST(Histogram, OutOfRangeBinAccessThrows) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW(h.weight(2), ContractViolation);
+  EXPECT_THROW(h.bin_lo(2), ContractViolation);
+}
+
+}  // namespace
+}  // namespace pns

@@ -1,0 +1,118 @@
+// Tests for piecewise-linear interpolation (util/interp).
+#include "util/interp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace pns {
+namespace {
+
+PiecewiseLinear ramp() { return PiecewiseLinear({0.0, 1.0, 3.0}, {0.0, 2.0, 2.0}); }
+
+TEST(PiecewiseLinear, RejectsBadKnots) {
+  EXPECT_THROW(PiecewiseLinear({}, {}), ContractViolation);
+  EXPECT_THROW(PiecewiseLinear({0.0, 0.0}, {1.0, 2.0}), ContractViolation);
+  EXPECT_THROW(PiecewiseLinear({1.0, 0.0}, {1.0, 2.0}), ContractViolation);
+  EXPECT_THROW(PiecewiseLinear({0.0, 1.0}, {1.0}), ContractViolation);
+}
+
+TEST(PiecewiseLinear, EvaluatesAtKnots) {
+  auto f = ramp();
+  EXPECT_DOUBLE_EQ(f(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(f(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(f(3.0), 2.0);
+}
+
+TEST(PiecewiseLinear, InterpolatesBetweenKnots) {
+  auto f = ramp();
+  EXPECT_DOUBLE_EQ(f(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(f(2.0), 2.0);
+}
+
+TEST(PiecewiseLinear, ClampsOutsideRange) {
+  auto f = ramp();
+  EXPECT_DOUBLE_EQ(f(-5.0), 0.0);
+  EXPECT_DOUBLE_EQ(f(99.0), 2.0);
+}
+
+TEST(PiecewiseLinear, SlopePerSegment) {
+  auto f = ramp();
+  EXPECT_DOUBLE_EQ(f.slope_at(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(f.slope_at(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.slope_at(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.slope_at(4.0), 0.0);
+}
+
+TEST(PiecewiseLinear, IntegrateFullRange) {
+  auto f = ramp();
+  // triangle 0..1 (area 1) + rectangle 1..3 (area 4)
+  EXPECT_NEAR(f.integrate(0.0, 3.0), 5.0, 1e-12);
+}
+
+TEST(PiecewiseLinear, IntegratePartialAndClamped) {
+  auto f = ramp();
+  EXPECT_NEAR(f.integrate(0.0, 0.5), 0.25, 1e-12);
+  // extrapolated flat at 2.0 beyond x=3
+  EXPECT_NEAR(f.integrate(3.0, 5.0), 4.0, 1e-12);
+  // extrapolated flat at 0.0 before x=0
+  EXPECT_NEAR(f.integrate(-2.0, 0.0), 0.0, 1e-12);
+}
+
+TEST(PiecewiseLinear, IntegrateRejectsInvertedRange) {
+  auto f = ramp();
+  EXPECT_THROW(f.integrate(1.0, 0.0), ContractViolation);
+}
+
+TEST(PiecewiseLinear, FromPairsSorts) {
+  auto f = PiecewiseLinear::from_pairs({{2.0, 20.0}, {0.0, 0.0}, {1.0, 10.0}});
+  EXPECT_DOUBLE_EQ(f(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(f(1.5), 15.0);
+}
+
+TEST(PiecewiseLinear, ScaledMultipliesValues) {
+  auto f = ramp().scaled(3.0);
+  EXPECT_DOUBLE_EQ(f(1.0), 6.0);
+  EXPECT_DOUBLE_EQ(f(0.5), 3.0);
+}
+
+TEST(PiecewiseLinear, FirstCrossingFindsRoot) {
+  auto f = ramp();
+  EXPECT_NEAR(f.first_crossing(1.0, -1.0), 0.5, 1e-12);
+}
+
+TEST(PiecewiseLinear, FirstCrossingFallback) {
+  auto f = ramp();
+  EXPECT_DOUBLE_EQ(f.first_crossing(5.0, -1.0), -1.0);
+}
+
+TEST(PiecewiseLinear, FirstCrossingAtKnotStart) {
+  PiecewiseLinear f({0.0, 1.0}, {1.0, 2.0});
+  EXPECT_DOUBLE_EQ(f.first_crossing(1.0, -1.0), 0.0);
+}
+
+TEST(PiecewiseLinear, SingleKnotBehavesAsConstant) {
+  PiecewiseLinear f({2.0}, {7.0});
+  EXPECT_DOUBLE_EQ(f(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(f(5.0), 7.0);
+  EXPECT_DOUBLE_EQ(f.slope_at(2.0), 0.0);
+}
+
+class InterpLinearityProperty : public ::testing::TestWithParam<double> {};
+
+// Property: for any query point inside a segment, the interpolated value
+// lies between the segment endpoint values.
+TEST_P(InterpLinearityProperty, ValueBoundedByEndpoints) {
+  auto f = PiecewiseLinear({0.0, 1.0, 2.0, 4.0}, {1.0, -3.0, 5.0, 0.0});
+  const double x = GetParam();
+  const double y = f(x);
+  EXPECT_GE(y, -3.0);
+  EXPECT_LE(y, 5.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(QueryPoints, InterpLinearityProperty,
+                         ::testing::Values(0.0, 0.3, 0.9, 1.0, 1.5, 2.7,
+                                           3.999, 4.0));
+
+}  // namespace
+}  // namespace pns
