@@ -6,55 +6,51 @@
 // controller the frequency steps down, cores unplug in proportion to
 // dVC/dt, and VC stays above Vmin. Uses the paper's simulation parameters
 // Vwidth=0.2 V, Vq=80 mV, alpha=0.1 V/s, beta=0.12 V/s.
+//
+// Both runs are ScenarioSpecs executed by sweep::SweepRunner (in parallel
+// when cores allow); the bench only does the reporting.
 #include <cstdio>
 #include <iostream>
 
-#include "ehsim/sources.hpp"
-#include "sim/engine.hpp"
-#include "sim/experiment.hpp"
-#include "trace/weather.hpp"
+#include "sweep/presets.hpp"
+#include "sweep/runner.hpp"
 #include "util/table.hpp"
 
 int main() {
   using namespace pns;
   const soc::Platform board = soc::Platform::odroid_xu4();
-  const auto cell = sim::paper_pv_array();
 
-  // Sudden shadowing: full sun collapses to 40 % between t=2 s and t=6 s
-  // (the array still supplies slightly more than the lowest OPP needs, as
-  // in the paper's scenario where control keeps VC above Vmin).
-  const auto shade =
-      trace::shadowing_event(0.0, 10.0, 2.0, 0.4, 3.2, 0.4, 0.40);
+  // Sudden shadowing (see sweep::fig6_shadowing_base): full sun collapses
+  // to 40 % between t=2 s and t=6 s (the array still supplies slightly
+  // more than the lowest OPP needs, as in the paper's scenario where
+  // control keeps VC above Vmin).
+  sweep::ScenarioSpec base = sweep::fig6_shadowing_base();
+  base.record_series = true;
+  base.record_interval_s = 0.02;
 
-  auto run = [&](bool controlled) {
-    ehsim::PvSource source(
-        cell, [&shade](double t) { return 1000.0 * shade(t); });
-    soc::RaytraceWorkload workload(board.perf.params().instr_per_frame);
-    sim::SimConfig cfg;
-    cfg.t_end = 10.0;
-    cfg.vc0 = 5.3;
-    cfg.v_target = 0.0;
-    cfg.enable_reboot = false;
-    cfg.record_interval_s = 0.02;
-    cfg.initial_opp = soc::OperatingPoint{4, {4, 2}};  // ~4.5 W draw
-    if (!controlled) {
-      sim::SimEngine engine(board, source, workload, cfg);
-      return engine.run();
-    }
-    ctl::ControllerConfig ctl_cfg;  // the paper's Fig. 6 parameters
-    ctl_cfg.v_width = 0.2;
-    ctl_cfg.v_q = 0.080;
-    ctl_cfg.alpha = 0.10;
-    ctl_cfg.beta = 0.12;
-    sim::SimEngine engine(board, source, workload, cfg, ctl_cfg);
-    return engine.run();
-  };
+  sweep::ScenarioSpec uncontrolled = base;
+  uncontrolled.label = "static";
+  uncontrolled.control = sweep::ControlSpec::static_opp_point(*base.initial_opp);
+
+  sweep::ScenarioSpec controlled = base;
+  controlled.label = "controlled";
+  controlled.control =
+      sweep::ControlSpec::power_neutral(sweep::fig6_controller_config());
 
   std::printf(
       "Fig. 6: sudden shadowing at t=2 s (irradiance drops to 40%%), "
       "Vwidth=0.2 V Vq=80 mV alpha=0.1 beta=0.12\n\n");
-  const auto off = run(false);
-  const auto on = run(true);
+  const auto outcomes =
+      sweep::SweepRunner().run({uncontrolled, controlled});
+  for (const auto& o : outcomes) {
+    if (!o.ok) {
+      std::fprintf(stderr, "scenario %s failed: %s\n", o.spec.label.c_str(),
+                   o.error.c_str());
+      return 1;
+    }
+  }
+  const auto& off = outcomes[0].result;
+  const auto& on = outcomes[1].result;
 
   ConsoleTable traj({"t (s)", "VC static (V)", "VC controlled (V)",
                      "f (GHz)", "LITTLE", "big"});

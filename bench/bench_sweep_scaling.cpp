@@ -1,0 +1,84 @@
+// Sweep-throughput scaling micro-bench.
+//
+// Runs the same 32-scenario governor sweep at 1, 2, 4 and
+// hardware_concurrency() worker threads and reports scenarios/second and
+// speedup vs the serial run. Scenarios are embarrassingly parallel
+// (engine-per-task, no shared state), so on an N-core machine the sweep
+// should scale close to linearly until N saturates the cores; on a
+// single-core machine all rows collapse to ~1x, which is itself the
+// correctness statement (threading adds no overhead worth seeing).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "sweep/runner.hpp"
+#include "sweep/scenario.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace pns;
+
+  // 32 scenarios: 4 schemes x 2 weather conditions x 4 seeds, over a
+  // 5-simulated-minute midday window (long enough that a scenario costs
+  // real work, short enough that the bench finishes promptly).
+  sweep::SweepSpec sw;
+  sw.base.t_start = 12.0 * 3600.0;
+  sw.base.t_end = sw.base.t_start + 5.0 * 60.0;
+  sw.base.record_series = false;
+  sw.controls = {sweep::ControlSpec::power_neutral(),
+                 sweep::ControlSpec::linux_governor("powersave"),
+                 sweep::ControlSpec::linux_governor("ondemand"),
+                 sweep::ControlSpec::linux_governor("conservative")};
+  sw.conditions = {trace::WeatherCondition::kFullSun,
+                   trace::WeatherCondition::kCloud};
+  sw.seeds = {1, 2, 3, 4};
+  const auto specs = sw.expand();
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<unsigned> thread_counts = {1, 2, 4, hw};
+  std::sort(thread_counts.begin(), thread_counts.end());
+  thread_counts.erase(
+      std::unique(thread_counts.begin(), thread_counts.end()),
+      thread_counts.end());
+
+  std::printf("sweep scaling: %zu scenarios (%zu schemes x %zu conditions "
+              "x %zu seeds), hardware_concurrency = %u\n\n",
+              specs.size(), sw.controls.size(), sw.conditions.size(),
+              sw.seeds.size(), hw);
+
+  ConsoleTable table(
+      {"threads", "wall (s)", "scenarios/s", "speedup vs 1T"});
+  double serial_wall = 0.0;
+  for (unsigned t : thread_counts) {
+    sweep::SweepRunnerOptions opt;
+    opt.threads = t;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto outcomes = sweep::SweepRunner(opt).run(specs);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    std::size_t failed = 0;
+    for (const auto& o : outcomes)
+      if (!o.ok) ++failed;
+    if (failed != 0) {
+      std::fprintf(stderr, "%zu scenarios failed at %u threads\n", failed,
+                   t);
+      return 1;
+    }
+    if (t == 1) serial_wall = wall;
+    table.add_row({std::to_string(t), fmt_double(wall, 2),
+                   fmt_double(specs.size() / wall, 2),
+                   fmt_double(serial_wall > 0.0 ? serial_wall / wall : 1.0,
+                              2)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nscenarios are engine-per-task with no shared mutable state, so\n"
+      "throughput scales with cores until the pool saturates them; the\n"
+      "aggregate rows are bit-identical at every thread count (see\n"
+      "tests/sweep/test_sweep.cpp).\n");
+  return 0;
+}

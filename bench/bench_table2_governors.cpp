@@ -6,60 +6,58 @@
 // the governors as in stock Linux). Reported per scheme: average
 // performance (renders/min), lifetime during the test, and instructions
 // completed -- the paper's headline is +69 % instructions vs powersave.
+//
+// The scheme loop is a declarative sweep executed by sweep::SweepRunner
+// across all available cores; the rows come back in spec order.
 #include <cstdio>
 #include <iostream>
 #include <vector>
 
-#include "governors/registry.hpp"
-#include "sim/experiment.hpp"
+#include "sweep/presets.hpp"
+#include "sweep/runner.hpp"
 #include "util/table.hpp"
 
 int main() {
   using namespace pns;
-  const soc::Platform board = soc::Platform::odroid_xu4();
 
-  // A late-afternoon hour: the sun is well past zenith, so the margin over
-  // the powersave floor is moderate -- the regime the paper's +69 % figure
-  // reflects (at peak sun the proposed approach's advantage is far larger).
-  sim::SolarScenario scenario;
-  scenario.condition = trace::WeatherCondition::kFullSun;
-  scenario.t_start = 16.5 * 3600.0;
-  scenario.t_end = scenario.t_start + 3600.0;  // 60 minutes
-  auto cfg = sim::solar_sim_config(scenario);
-  cfg.record_series = false;
-  cfg.enable_reboot = false;  // lifetime = time to first brownout
+  // A late-afternoon hour (see sweep::table2_sweep): the sun is well past
+  // zenith, so the margin over the powersave floor is moderate -- the
+  // regime the paper's +69 % figure reflects (at peak sun the proposed
+  // approach's advantage is far larger).
+  const sweep::SweepSpec sw = sweep::table2_sweep();
 
   std::printf("Table II: 60-minute harvesting test per scheme "
               "(full sun)\n\n");
 
-  struct Row {
-    std::string name;
-    sim::SimMetrics m;
-  };
-  std::vector<Row> rows;
-  for (const char* name :
-       {"performance", "ondemand", "interactive", "conservative",
-        "powersave"}) {
-    const auto r = sim::run_solar_governor(board, scenario, name, cfg);
-    rows.push_back({std::string("Linux ") + name, r.metrics});
-  }
-  const auto proposed = sim::run_solar_power_neutral(board, scenario, cfg);
-  rows.push_back({"Proposed Approach", proposed.metrics});
+  const auto outcomes = sweep::SweepRunner().run(sw);
 
   ConsoleTable table({"power management scheme", "avg perf (renders/min)",
                       "lifetime (mm:ss)", "instructions (billions)"});
   double powersave_instr = 0.0;
-  for (const auto& row : rows) {
-    if (row.name == "Linux powersave") powersave_instr = row.m.instructions;
-    table.add_row({row.name, fmt_double(row.m.renders_per_min(), 4),
-                   fmt_mmss(row.m.lifetime_s),
-                   fmt_double(row.m.instructions / 1e9, 1)});
+  double proposed_instr = 0.0;
+  for (const auto& o : outcomes) {
+    if (!o.ok) {
+      std::fprintf(stderr, "scenario %s failed: %s\n", o.spec.label.c_str(),
+                   o.error.c_str());
+      return 1;
+    }
+    const bool is_proposed =
+        o.spec.control.kind == sim::ControlKind::kPowerNeutral;
+    const std::string name = is_proposed
+                                 ? "Proposed Approach"
+                                 : "Linux " + o.spec.control.governor;
+    const auto& m = o.result.metrics;
+    if (o.spec.control.governor == "powersave")
+      powersave_instr = m.instructions;
+    if (is_proposed) proposed_instr = m.instructions;
+    table.add_row({name, fmt_double(m.renders_per_min(), 4),
+                   fmt_mmss(m.lifetime_s),
+                   fmt_double(m.instructions / 1e9, 1)});
   }
   table.print(std::cout);
 
   if (powersave_instr > 0.0) {
-    const double gain =
-        (proposed.metrics.instructions / powersave_instr - 1.0) * 100.0;
+    const double gain = (proposed_instr / powersave_instr - 1.0) * 100.0;
     std::printf("\nproposed vs powersave: %+.1f %% instructions "
                 "(paper: +69.0 %%)\n", gain);
     std::printf(

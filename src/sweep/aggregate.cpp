@@ -1,0 +1,198 @@
+#include "sweep/aggregate.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "util/csv.hpp"
+#include "util/json.hpp"
+
+namespace pns::sweep {
+
+namespace {
+
+// Shortest representation that parses back to the exact same double, so
+// CSV/JSON outputs round-trip bit-for-bit (tests/sweep/test_sweep.cpp).
+std::string fmt_g(double v) { return shortest_double(v); }
+
+}  // namespace
+
+SummaryRow summarize(const SweepOutcome& outcome) {
+  SummaryRow row;
+  row.label = outcome.spec.label;
+  row.condition = outcome.spec.source == SourceKind::kShadowing
+                      ? to_string(outcome.spec.source)
+                      : trace::to_string(outcome.spec.condition);
+  row.control = outcome.spec.control.label();
+  row.capacitance_f = outcome.spec.capacitance_f;
+  row.seed = outcome.spec.seed;
+  row.ok = outcome.ok;
+  row.error = outcome.error;
+  if (!outcome.ok) return row;
+
+  const auto& m = outcome.result.metrics;
+  row.duration_s = m.duration();
+  row.lifetime_s = m.lifetime_s;
+  row.brownouts = m.brownouts;
+  row.renders_per_min = m.renders_per_min();
+  row.instructions = m.instructions;
+  row.energy_harvested_j = m.energy_harvested_j;
+  row.energy_consumed_j = m.energy_consumed_j;
+  row.neutrality_error =
+      m.energy_harvested_j > 0.0
+          ? (m.energy_consumed_j - m.energy_harvested_j) /
+                m.energy_harvested_j
+          : 0.0;
+  row.fraction_in_band = m.fraction_in_band();
+  row.vc_mean = m.vc_stats.mean();
+  row.vc_stddev = m.vc_stats.stddev();
+  row.vc_min = m.vc_stats.min();
+  row.vc_max = m.vc_stats.max();
+  const auto& h = outcome.result.voltage_histogram;
+  row.dwell_mode_v = h.total_weight() > 0.0
+                         ? h.bin_center(h.mode_bin())
+                         : 0.0;
+  if (outcome.result.used_controller) {
+    row.interrupts = outcome.result.controller.interrupts;
+    row.cpu_overhead = outcome.result.controller.cpu_overhead(row.duration_s);
+  }
+  return row;
+}
+
+Aggregator::Aggregator(const std::vector<SweepOutcome>& outcomes) {
+  rows_.reserve(outcomes.size());
+  for (const auto& o : outcomes) rows_.push_back(summarize(o));
+}
+
+std::size_t Aggregator::failed_count() const {
+  std::size_t n = 0;
+  for (const auto& r : rows_)
+    if (!r.ok) ++n;
+  return n;
+}
+
+const std::vector<std::string>& Aggregator::columns() {
+  static const std::vector<std::string> cols = {
+      "label",          "condition",          "control",
+      "capacitance_f",  "seed",               "ok",
+      "error",          "duration_s",         "lifetime_s",
+      "brownouts",      "renders_per_min",    "instructions",
+      "energy_harvested_j", "energy_consumed_j", "neutrality_error",
+      "fraction_in_band",   "vc_mean",        "vc_stddev",
+      "vc_min",         "vc_max",             "dwell_mode_v",
+      "interrupts",     "cpu_overhead"};
+  return cols;
+}
+
+namespace {
+
+std::vector<std::string> cells_of(const SummaryRow& r) {
+  return {r.label,
+          r.condition,
+          r.control,
+          fmt_g(r.capacitance_f),
+          std::to_string(r.seed),
+          r.ok ? "1" : "0",
+          r.error,
+          fmt_g(r.duration_s),
+          fmt_g(r.lifetime_s),
+          std::to_string(r.brownouts),
+          fmt_g(r.renders_per_min),
+          fmt_g(r.instructions),
+          fmt_g(r.energy_harvested_j),
+          fmt_g(r.energy_consumed_j),
+          fmt_g(r.neutrality_error),
+          fmt_g(r.fraction_in_band),
+          fmt_g(r.vc_mean),
+          fmt_g(r.vc_stddev),
+          fmt_g(r.vc_min),
+          fmt_g(r.vc_max),
+          fmt_g(r.dwell_mode_v),
+          std::to_string(r.interrupts),
+          fmt_g(r.cpu_overhead)};
+}
+
+}  // namespace
+
+void Aggregator::write_csv(std::ostream& os) const {
+  CsvWriter w(os);
+  w.header(columns());
+  for (const auto& r : rows_) w.row_strings(cells_of(r));
+}
+
+void Aggregator::write_json(std::ostream& os) const {
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("total", rows_.size());
+  w.kv("failed", failed_count());
+  w.key("rows");
+  w.begin_array();
+  for (const auto& r : rows_) {
+    w.begin_object();
+    w.kv("label", r.label);
+    w.kv("condition", r.condition);
+    w.kv("control", r.control);
+    w.kv("capacitance_f", r.capacitance_f);
+    w.kv("seed", static_cast<std::uint64_t>(r.seed));
+    w.kv("ok", r.ok);
+    if (!r.ok) w.kv("error", r.error);
+    w.kv("duration_s", r.duration_s);
+    w.kv("lifetime_s", r.lifetime_s);
+    w.kv("brownouts", static_cast<std::uint64_t>(r.brownouts));
+    w.kv("renders_per_min", r.renders_per_min);
+    w.kv("instructions", r.instructions);
+    w.kv("energy_harvested_j", r.energy_harvested_j);
+    w.kv("energy_consumed_j", r.energy_consumed_j);
+    w.kv("neutrality_error", r.neutrality_error);
+    w.kv("fraction_in_band", r.fraction_in_band);
+    w.kv("vc_mean", r.vc_mean);
+    w.kv("vc_stddev", r.vc_stddev);
+    w.kv("vc_min", r.vc_min);
+    w.kv("vc_max", r.vc_max);
+    w.kv("dwell_mode_v", r.dwell_mode_v);
+    w.kv("interrupts", static_cast<std::uint64_t>(r.interrupts));
+    w.kv("cpu_overhead", r.cpu_overhead);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+bool Aggregator::write_csv_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  write_csv(f);
+  return true;
+}
+
+bool Aggregator::write_json_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  write_json(f);
+  return true;
+}
+
+ConsoleTable Aggregator::console_table() const {
+  ConsoleTable table({"scenario", "lifetime", "brownouts", "renders/min",
+                      "instr (G)", "neutrality", "in-band", "mode V"});
+  for (const auto& r : rows_) {
+    if (!r.ok) {
+      table.add_row({r.label, "FAILED: " + r.error, "-", "-", "-", "-", "-",
+                     "-"});
+      continue;
+    }
+    char pct[32];
+    std::snprintf(pct, sizeof pct, "%+.1f%%", r.neutrality_error * 100.0);
+    char band[32];
+    std::snprintf(band, sizeof band, "%.1f%%", r.fraction_in_band * 100.0);
+    table.add_row({r.label, fmt_mmss(r.lifetime_s),
+                   std::to_string(r.brownouts),
+                   fmt_double(r.renders_per_min, 3),
+                   fmt_double(r.instructions / 1e9, 2), pct, band,
+                   fmt_double(r.dwell_mode_v, 2)});
+  }
+  return table;
+}
+
+}  // namespace pns::sweep

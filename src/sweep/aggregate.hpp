@@ -1,0 +1,85 @@
+// Reduction of sweep outcomes into report-ready summary rows.
+//
+// One SummaryRow per scenario, carrying the paper's evaluation metrics:
+// energy-neutrality error (Fig. 14), throughput (Table II), lifetime and
+// brownouts (Table II), voltage-band dwell and dwell-mode voltage
+// (Figs. 12-13). Rows serialise to CSV (util/csv) and JSON (util/json)
+// and render to a ConsoleTable. Every serialised field is a deterministic
+// function of the ScenarioSpec, so sweep outputs are byte-stable across
+// thread counts and re-runs.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sweep/runner.hpp"
+#include "util/table.hpp"
+
+namespace pns::sweep {
+
+/// Flattened per-scenario summary.
+struct SummaryRow {
+  std::string label;
+  std::string condition;    ///< weather name, or "shadowing"
+  std::string control;      ///< ControlSpec::label()
+  double capacitance_f = 0.0;
+  std::uint64_t seed = 0;
+
+  bool ok = false;
+  std::string error;  ///< empty when ok
+
+  double duration_s = 0.0;
+  double lifetime_s = 0.0;
+  std::uint64_t brownouts = 0;
+  double renders_per_min = 0.0;
+  double instructions = 0.0;
+  double energy_harvested_j = 0.0;
+  double energy_consumed_j = 0.0;
+  /// (consumed - harvested) / harvested; 0 when nothing was harvested.
+  /// Negative = left energy on the table, positive = ran a deficit.
+  double neutrality_error = 0.0;
+  double fraction_in_band = 0.0;
+  double vc_mean = 0.0;
+  double vc_stddev = 0.0;
+  double vc_min = 0.0;
+  double vc_max = 0.0;
+  /// Centre of the heaviest voltage-dwell histogram bin (Fig. 13).
+  double dwell_mode_v = 0.0;
+  std::uint64_t interrupts = 0;   ///< 0 unless the PNS controller ran
+  double cpu_overhead = 0.0;      ///< ISR busy fraction (Fig. 15)
+};
+
+/// Reduces one outcome to its summary row.
+SummaryRow summarize(const SweepOutcome& outcome);
+
+/// Reduces outcomes into rows (spec order preserved) and serialises them.
+class Aggregator {
+ public:
+  explicit Aggregator(const std::vector<SweepOutcome>& outcomes);
+
+  const std::vector<SummaryRow>& rows() const { return rows_; }
+  std::size_t failed_count() const;
+
+  /// Column names, in serialisation order (shared by CSV and table).
+  static const std::vector<std::string>& columns();
+
+  /// Writes a CSV document (header + one line per row).
+  void write_csv(std::ostream& os) const;
+  /// Writes `{"rows": [...], "failed": K, "total": N}` as JSON.
+  void write_json(std::ostream& os) const;
+
+  /// Opens `path` and writes; returns false when the file cannot be
+  /// opened. Existing contents are replaced.
+  bool write_csv_file(const std::string& path) const;
+  bool write_json_file(const std::string& path) const;
+
+  /// Compact console rendering (a curated subset of columns).
+  ConsoleTable console_table() const;
+
+ private:
+  std::vector<SummaryRow> rows_;
+};
+
+}  // namespace pns::sweep

@@ -1,0 +1,43 @@
+// Named sweep presets for the paper's experiment families.
+//
+// The Table II schemes-comparison and the Fig. 6 shadowing scenario are
+// each exercised from three places (their bench, the pns_sweep CLI and
+// the sweep tests); defining them once here keeps the bench, the CLI and
+// the tests reproducing the *same* experiment when a parameter is tuned.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sweep/scenario.hpp"
+
+namespace pns::sweep {
+
+/// The paper's Fig. 6 controller tuning: Vwidth=0.2 V, Vq=80 mV,
+/// alpha=0.1 V/s, beta=0.12 V/s.
+ctl::ControllerConfig fig6_controller_config();
+
+/// The Fig. 6 sudden-shadowing base scenario: 10 s window, full sun
+/// collapsing to 40 % between t=2 s and t=6 s, warm-started at the ~4.5 W
+/// operating point {4, {4, 2}}, no reboot. Callers pick the control and
+/// any recording options.
+ScenarioSpec fig6_shadowing_base();
+
+/// Table II's 60-minute late-afternoon test: every stock governor (in the
+/// paper's row order) plus the proposed controller. `seeds` empty keeps
+/// the base seed (42, the benches' configuration); pass several to
+/// replicate the test across weather draws.
+SweepSpec table2_sweep(double minutes = 60.0,
+                       std::vector<std::uint64_t> seeds = {});
+
+/// Storage-buffer sizing sweep (Table I context): capacitances x weather
+/// under the power-neutral controller, midday window.
+SweepSpec capacitance_sweep(double minutes = 60.0);
+
+/// Fig. 6 swept over shadow depth, with and without the controller.
+SweepSpec fig6_depth_sweep();
+
+/// Weather conditions x {pns, ondemand, powersave}, midday window.
+SweepSpec weather_sweep(double minutes = 60.0);
+
+}  // namespace pns::sweep

@@ -1,0 +1,74 @@
+#include "sweep/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace pns::sweep {
+
+SweepRunner::SweepRunner(SweepRunnerOptions options)
+    : options_(std::move(options)) {}
+
+unsigned SweepRunner::effective_threads(std::size_t n) const {
+  unsigned t = options_.threads;
+  if (t == 0) t = std::max(1u, std::thread::hardware_concurrency());
+  return static_cast<unsigned>(
+      std::min<std::size_t>(t, std::max<std::size_t>(n, 1)));
+}
+
+std::vector<SweepOutcome> SweepRunner::run(
+    const std::vector<ScenarioSpec>& specs) const {
+  std::vector<SweepOutcome> outcomes(specs.size());
+  if (specs.empty()) return outcomes;
+
+  std::atomic<std::size_t> next{0};
+  std::size_t done = 0;  // guarded by progress_mutex
+  std::mutex progress_mutex;
+
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= specs.size()) return;
+      SweepOutcome& out = outcomes[i];
+      out.spec = specs[i];
+      const auto t0 = std::chrono::steady_clock::now();
+      try {
+        out.result = run_scenario(specs[i]);
+        out.ok = true;
+      } catch (const std::exception& e) {
+        out.error = e.what();
+      } catch (...) {
+        out.error = "unknown exception";
+      }
+      out.wall_s = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+      if (options_.progress) {
+        // Count and report under one lock so completion counts reach the
+        // callback in order.
+        std::lock_guard<std::mutex> lock(progress_mutex);
+        options_.progress(++done, specs.size());
+      }
+    }
+  };
+
+  const unsigned n_threads = effective_threads(specs.size());
+  if (n_threads <= 1) {
+    worker();
+    return outcomes;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(n_threads);
+  for (unsigned t = 0; t < n_threads; ++t) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+  return outcomes;
+}
+
+std::vector<SweepOutcome> SweepRunner::run(const SweepSpec& sweep) const {
+  return run(sweep.expand());
+}
+
+}  // namespace pns::sweep

@@ -1,0 +1,60 @@
+// Multi-threaded sweep execution.
+//
+// A SweepRunner executes N independent scenarios over a fixed pool of
+// std::thread workers. Scenarios are embarrassingly parallel: every task
+// builds its own one-shot SimEngine (engines are single-use and not
+// thread-safe), its own weather trace from the spec's seed, and writes its
+// outcome to a pre-sized slot -- so results arrive in spec order and a
+// run's aggregate output is bit-identical whether it executed on 1 thread
+// or N (verified by tests/sweep/test_sweep.cpp).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sweep/scenario.hpp"
+
+namespace pns::sweep {
+
+/// What one scenario produced. `ok == false` means run_scenario threw;
+/// the exception text is preserved and the sweep continues (one diverging
+/// configuration must not sink a thousand-point overnight run).
+struct SweepOutcome {
+  ScenarioSpec spec;
+  sim::SimResult result;  ///< valid only when ok
+  bool ok = false;
+  std::string error;
+  double wall_s = 0.0;  ///< execution wall-clock (excluded from aggregates)
+};
+
+struct SweepRunnerOptions {
+  /// Worker count; 0 means std::thread::hardware_concurrency() (and never
+  /// more threads than scenarios).
+  unsigned threads = 0;
+  /// Optional progress callback, invoked after each scenario completes
+  /// with (completed, total). Called from worker threads under a mutex.
+  std::function<void(std::size_t, std::size_t)> progress;
+};
+
+/// Fixed-pool batch executor for simulation scenarios.
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepRunnerOptions options = {});
+
+  /// Executes every spec and returns outcomes in spec order.
+  std::vector<SweepOutcome> run(const std::vector<ScenarioSpec>& specs) const;
+
+  /// Convenience: expand + run.
+  std::vector<SweepOutcome> run(const SweepSpec& sweep) const;
+
+  /// The worker count run() will actually use for `n` scenarios.
+  unsigned effective_threads(std::size_t n) const;
+
+ private:
+  SweepRunnerOptions options_;
+};
+
+}  // namespace pns::sweep

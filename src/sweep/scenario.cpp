@@ -1,0 +1,255 @@
+#include "sweep/scenario.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "ehsim/sources.hpp"
+#include "governors/registry.hpp"
+#include "util/contracts.hpp"
+
+namespace pns::sweep {
+
+const char* to_string(SourceKind k) {
+  switch (k) {
+    case SourceKind::kSolarWeather: return "solar";
+    case SourceKind::kShadowing: return "shadowing";
+  }
+  return "?";
+}
+
+std::string ControlSpec::label() const {
+  switch (kind) {
+    case sim::ControlKind::kPowerNeutral: return "pns";
+    case sim::ControlKind::kGovernor: return "gov:" + governor;
+    case sim::ControlKind::kStatic: return "static";
+  }
+  return "?";
+}
+
+ControlSpec ControlSpec::power_neutral(ctl::ControllerConfig config) {
+  ControlSpec c;
+  c.kind = sim::ControlKind::kPowerNeutral;
+  c.controller = config;
+  return c;
+}
+
+ControlSpec ControlSpec::linux_governor(std::string name) {
+  ControlSpec c;
+  c.kind = sim::ControlKind::kGovernor;
+  c.governor = std::move(name);
+  return c;
+}
+
+ControlSpec ControlSpec::static_opp_point(soc::OperatingPoint opp) {
+  ControlSpec c;
+  c.kind = sim::ControlKind::kStatic;
+  c.static_opp = opp;
+  return c;
+}
+
+sim::SimConfig make_sim_config(const ScenarioSpec& spec) {
+  sim::SimConfig cfg;
+  cfg.t_start = spec.t_start;
+  cfg.t_end = spec.t_end;
+  cfg.capacitance_f = spec.capacitance_f;
+  cfg.band_fraction = spec.band_fraction;
+  cfg.vc0 = spec.vc0;
+  // Solar scenarios regulate around the array MPP as in the paper;
+  // shadowing scenarios disable the band (Fig. 6 reports raw VC).
+  const double default_target =
+      spec.source == SourceKind::kSolarWeather ? 5.3 : 0.0;
+  cfg.v_target = spec.v_target.value_or(default_target);
+  cfg.enable_reboot = spec.enable_reboot;
+  cfg.record_series = spec.record_series;
+  cfg.record_interval_s = spec.record_interval_s;
+  cfg.initial_opp = spec.initial_opp;
+  return cfg;
+}
+
+namespace {
+
+sim::SolarScenario solar_scenario_of(const ScenarioSpec& spec) {
+  sim::SolarScenario s;
+  s.condition = spec.condition;
+  s.t_start = spec.t_start;
+  s.t_end = spec.t_end;
+  s.seed = spec.seed;
+  s.trace_dt_s = spec.trace_dt_s;
+  return s;
+}
+
+sim::SimResult run_solar(const ScenarioSpec& spec) {
+  const auto scenario = solar_scenario_of(spec);
+  auto cfg = make_sim_config(spec);
+  switch (spec.control.kind) {
+    case sim::ControlKind::kPowerNeutral:
+      return sim::run_solar_power_neutral(spec.platform, scenario,
+                                          std::move(cfg),
+                                          spec.control.controller);
+    case sim::ControlKind::kGovernor:
+      return sim::run_solar_governor(spec.platform, scenario,
+                                     spec.control.governor, std::move(cfg));
+    case sim::ControlKind::kStatic: {
+      const auto opp = spec.control.static_opp.value_or(
+          spec.initial_opp.value_or(spec.platform.lowest_opp()));
+      return sim::run_solar_static(spec.platform, scenario, opp,
+                                   std::move(cfg));
+    }
+  }
+  PNS_EXPECTS(false && "unreachable: unknown ControlKind");
+  return {};
+}
+
+sim::SimResult run_shadowing(const ScenarioSpec& spec) {
+  const auto& sh = spec.shadow;
+  // Shadow times are offsets from t_start (see ShadowingSpec).
+  const auto shade = trace::shadowing_event(
+      spec.t_start, spec.t_end, spec.t_start + sh.t_event_s, sh.t_fall_s,
+      sh.hold_s, sh.t_rise_s, sh.depth);
+  ehsim::PvSource source(sim::paper_pv_array(),
+                         [shade, peak = sh.peak_wm2](double t) {
+                           return peak * shade(t);
+                         });
+  soc::RaytraceWorkload workload(
+      spec.platform.perf.params().instr_per_frame);
+  auto cfg = make_sim_config(spec);
+  switch (spec.control.kind) {
+    case sim::ControlKind::kPowerNeutral: {
+      sim::SimEngine engine(spec.platform, source, workload, std::move(cfg),
+                            spec.control.controller);
+      return engine.run();
+    }
+    case sim::ControlKind::kGovernor: {
+      sim::SimEngine engine(
+          spec.platform, source, workload, std::move(cfg),
+          gov::make_governor(spec.control.governor, spec.platform));
+      return engine.run();
+    }
+    case sim::ControlKind::kStatic: {
+      if (spec.control.static_opp) cfg.initial_opp = spec.control.static_opp;
+      sim::SimEngine engine(spec.platform, source, workload,
+                            std::move(cfg));
+      return engine.run();
+    }
+  }
+  PNS_EXPECTS(false && "unreachable: unknown ControlKind");
+  return {};
+}
+
+std::string fmt_mf(double farads) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%gmF", farads * 1e3);
+  return buf;
+}
+
+}  // namespace
+
+sim::SimResult run_scenario(const ScenarioSpec& spec) {
+  PNS_EXPECTS(spec.t_end > spec.t_start);
+  PNS_EXPECTS(spec.capacitance_f > 0.0);
+  switch (spec.source) {
+    case SourceKind::kSolarWeather: return run_solar(spec);
+    case SourceKind::kShadowing: return run_shadowing(spec);
+  }
+  PNS_EXPECTS(false && "unreachable: unknown SourceKind");
+  return {};
+}
+
+std::size_t SweepSpec::size() const {
+  auto axis = [](std::size_t n) { return n == 0 ? std::size_t{1} : n; };
+  // The depth axis only means something for shadowing sources; ignoring it
+  // otherwise keeps a reused spec from multiplying out identical runs.
+  const std::size_t depth_axis = base.source == SourceKind::kShadowing
+                                     ? axis(shadow_depths.size())
+                                     : 1;
+  return axis(conditions.size()) * axis(controls.size()) *
+         axis(capacitances_f.size()) * depth_axis * axis(seeds.size());
+}
+
+std::vector<ScenarioSpec> SweepSpec::expand() const {
+  // Materialise every axis, substituting the base value for empty ones so
+  // the nested product below stays uniform.
+  const std::vector<trace::WeatherCondition> conds =
+      conditions.empty() ? std::vector{base.condition} : conditions;
+  const std::vector<ControlSpec> ctls =
+      controls.empty() ? std::vector{base.control} : controls;
+  const std::vector<double> caps =
+      capacitances_f.empty() ? std::vector{base.capacitance_f}
+                             : capacitances_f;
+  const std::vector<double> depths =
+      base.source == SourceKind::kShadowing && !shadow_depths.empty()
+          ? shadow_depths
+          : std::vector{base.shadow.depth};
+  const std::vector<std::uint64_t> sds =
+      seeds.empty() ? std::vector{base.seed} : seeds;
+
+  // Controls that differ only in configuration (e.g. two controller
+  // tunings) share a ControlSpec::label(); suffix duplicates with their
+  // axis position so every expanded scenario keeps a unique label.
+  std::vector<std::string> ctl_labels;
+  ctl_labels.reserve(ctls.size());
+  for (const auto& c : ctls) ctl_labels.push_back(c.label());
+  for (std::size_t i = 0; i < ctl_labels.size(); ++i) {
+    std::size_t dups = 0;
+    for (std::size_t j = 0; j < ctl_labels.size(); ++j)
+      dups += j != i && ctls[j].label() == ctls[i].label();
+    if (dups > 0) {
+      ctl_labels[i] += "#";
+      ctl_labels[i] += std::to_string(i);
+    }
+  }
+
+  std::vector<ScenarioSpec> out;
+  out.reserve(size());
+  for (const auto& cond : conds) {
+    for (std::size_t ci = 0; ci < ctls.size(); ++ci) {
+      const auto& ctl = ctls[ci];
+      for (double cap : caps) {
+        for (double depth : depths) {
+          for (std::uint64_t seed : sds) {
+            ScenarioSpec s = base;
+            s.condition = cond;
+            s.control = ctl;
+            s.capacitance_f = cap;
+            s.shadow.depth = depth;
+            s.seed = seed;
+            // Compose a label from the axes that actually vary (always
+            // include the control: it is the row identity in reports).
+            std::string label = s.source == SourceKind::kSolarWeather
+                                    ? trace::to_string(cond)
+                                    : to_string(s.source);
+            label += "/";
+            label += ctl_labels[ci];
+            if (s.source == SourceKind::kShadowing) {
+              if (shadow_depths.size() > 1) {
+                char buf[32];
+                std::snprintf(buf, sizeof buf, "/depth=%g", depth);
+                label += buf;
+              }
+            }
+            if (capacitances_f.size() > 1) {
+              label += "/";
+              label += fmt_mf(cap);
+            }
+            if (seeds.size() > 1) {
+              label += "/seed=";
+              label += std::to_string(seed);
+            }
+            if (base.label.empty()) {
+              s.label = std::move(label);
+            } else {
+              s.label = base.label;
+              s.label += "/";
+              s.label += label;
+            }
+            out.push_back(std::move(s));
+          }
+        }
+      }
+    }
+  }
+  PNS_ENSURES(out.size() == size());
+  return out;
+}
+
+}  // namespace pns::sweep

@@ -1,0 +1,134 @@
+// Declarative scenario specification for batch simulation.
+//
+// Every headline result of the paper is a *sweep* -- governors x weather x
+// capacitances x operating points (Figs. 6-15, Tables I-II). A
+// ScenarioSpec names one fully determined simulation point as plain data;
+// a SweepSpec expands a cartesian product of axes into a vector of specs.
+// Because specs are data, a sweep can be executed serially, across a
+// thread pool (sweep/runner.hpp), or -- later -- sharded across machines,
+// without the experiment code changing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/controller.hpp"
+#include "sim/engine.hpp"
+#include "sim/experiment.hpp"
+#include "soc/platform.hpp"
+#include "trace/weather.hpp"
+
+namespace pns::sweep {
+
+/// What feeds the storage node during a scenario.
+enum class SourceKind {
+  kSolarWeather,  ///< clear-sky envelope x stochastic weather (Figs. 12-14)
+  kShadowing,     ///< deterministic shadowing event (Fig. 6)
+};
+
+const char* to_string(SourceKind k);
+
+/// Parameters of the deterministic shadowing-event source (Fig. 6): full
+/// irradiance, a linear collapse to `depth` at `t_event`, a hold, and a
+/// recovery ramp. All times are offsets relative to the scenario's
+/// t_start, so shifting the window shifts the event with it.
+struct ShadowingSpec {
+  double t_event_s = 2.0;
+  double t_fall_s = 0.4;
+  double hold_s = 3.2;
+  double t_rise_s = 0.4;
+  double depth = 0.40;       ///< transmittance floor during the shadow
+  double peak_wm2 = 1000.0;  ///< irradiance outside the shadow
+};
+
+/// Control selection plus everything it needs: the governor name for
+/// ControlKind::kGovernor, the controller tuning for
+/// ControlKind::kPowerNeutral, and the pinned operating point for
+/// ControlKind::kStatic.
+struct ControlSpec {
+  sim::ControlKind kind = sim::ControlKind::kPowerNeutral;
+  std::string governor;                          ///< kGovernor only
+  ctl::ControllerConfig controller{};            ///< kPowerNeutral only
+  std::optional<soc::OperatingPoint> static_opp; ///< kStatic; platform's
+                                                 ///< lowest OPP when unset
+
+  /// "pns", "gov:<name>" or "static" -- used in labels and reports.
+  std::string label() const;
+
+  static ControlSpec power_neutral(ctl::ControllerConfig config = {});
+  static ControlSpec linux_governor(std::string name);
+  static ControlSpec static_opp_point(soc::OperatingPoint opp);
+};
+
+/// One fully determined simulation point. Value semantics throughout: a
+/// spec can be copied, stored, compared in logs and shipped to a worker.
+struct ScenarioSpec {
+  /// Human-readable identity; SweepSpec::expand() composes one from the
+  /// axis values when empty.
+  std::string label;
+
+  soc::Platform platform = soc::Platform::odroid_xu4();
+
+  SourceKind source = SourceKind::kSolarWeather;
+  trace::WeatherCondition condition = trace::WeatherCondition::kFullSun;
+  ShadowingSpec shadow{};  ///< used when source == kShadowing
+
+  ControlSpec control{};
+
+  // Time window and weather synthesis (defaults: the paper's 10:30-16:30
+  // recording window).
+  double t_start = 10.5 * 3600.0;
+  double t_end = 16.5 * 3600.0;
+  std::uint64_t seed = 42;
+  double trace_dt_s = 0.1;
+
+  // Storage node and regulation band.
+  double capacitance_f = 47e-3;
+  double band_fraction = 0.05;
+  double vc0 = 5.3;
+  /// Band centre; when unset: 5.3 V (the array MPP) for solar scenarios,
+  /// 0 (disabled) for shadowing scenarios, matching the paper's setups.
+  std::optional<double> v_target;
+
+  // Run semantics.
+  bool enable_reboot = true;
+  bool record_series = false;
+  double record_interval_s = 0.25;
+  /// Initial operating point; the experiment helpers' warm-start defaults
+  /// apply when unset (see sim/experiment.hpp).
+  std::optional<soc::OperatingPoint> initial_opp;
+
+  double duration() const { return t_end - t_start; }
+};
+
+/// Builds the SimConfig a spec resolves to (exposed for tests and for
+/// callers that need to tweak numerics before running).
+sim::SimConfig make_sim_config(const ScenarioSpec& spec);
+
+/// Runs one scenario to completion on the calling thread. Constructs a
+/// fresh one-shot SimEngine internally; thread-safe with respect to other
+/// concurrent run_scenario calls on distinct specs.
+sim::SimResult run_scenario(const ScenarioSpec& spec);
+
+/// Cartesian product of sweep axes over a base scenario. An empty axis
+/// means "hold the base value"; non-empty axes multiply. Expansion order
+/// is deterministic: conditions (outermost), controls, capacitances,
+/// shadow depths, seeds (innermost).
+struct SweepSpec {
+  ScenarioSpec base;
+  std::vector<trace::WeatherCondition> conditions;
+  std::vector<ControlSpec> controls;
+  std::vector<double> capacitances_f;
+  std::vector<double> shadow_depths;  ///< shadowing scenarios only
+  std::vector<std::uint64_t> seeds;
+
+  /// Number of scenarios expand() will produce.
+  std::size_t size() const;
+
+  /// Expands the product into concrete specs with composed labels.
+  std::vector<ScenarioSpec> expand() const;
+};
+
+}  // namespace pns::sweep

@@ -1,0 +1,160 @@
+#include "util/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/contracts.hpp"
+
+namespace pns {
+
+JsonWriter::JsonWriter(std::ostream& os) : os_(&os) {}
+
+void JsonWriter::begin_object() {
+  before_value();
+  stack_.push_back(Scope::kObject);
+  has_items_.push_back(false);
+  (*os_) << '{';
+}
+
+void JsonWriter::end_object() {
+  PNS_EXPECTS(!stack_.empty() && stack_.back() == Scope::kObject);
+  PNS_EXPECTS(!key_pending_);
+  const bool had_items = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had_items) {
+    (*os_) << '\n';
+    indent();
+  }
+  (*os_) << '}';
+}
+
+void JsonWriter::begin_array() {
+  before_value();
+  stack_.push_back(Scope::kArray);
+  has_items_.push_back(false);
+  (*os_) << '[';
+}
+
+void JsonWriter::end_array() {
+  PNS_EXPECTS(!stack_.empty() && stack_.back() == Scope::kArray);
+  const bool had_items = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had_items) {
+    (*os_) << '\n';
+    indent();
+  }
+  (*os_) << ']';
+}
+
+void JsonWriter::key(const std::string& k) {
+  PNS_EXPECTS(!stack_.empty() && stack_.back() == Scope::kObject);
+  PNS_EXPECTS(!key_pending_);
+  if (has_items_.back()) (*os_) << ',';
+  has_items_.back() = true;
+  (*os_) << '\n';
+  indent();
+  (*os_) << json_escape(k) << ": ";
+  key_pending_ = true;
+}
+
+void JsonWriter::value(double v) {
+  before_value();
+  if (!std::isfinite(v)) {
+    (*os_) << "null";
+    return;
+  }
+  (*os_) << shortest_double(v);
+}
+
+void JsonWriter::value(std::int64_t v) {
+  before_value();
+  (*os_) << v;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  before_value();
+  (*os_) << v;
+}
+
+void JsonWriter::value(bool v) {
+  before_value();
+  (*os_) << (v ? "true" : "false");
+}
+
+void JsonWriter::value(const std::string& v) {
+  before_value();
+  (*os_) << json_escape(v);
+}
+
+void JsonWriter::null() {
+  before_value();
+  (*os_) << "null";
+}
+
+bool JsonWriter::complete() const {
+  return stack_.empty() && root_written_ && !key_pending_;
+}
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) {
+    // Top level: exactly one value per document.
+    PNS_EXPECTS(!root_written_);
+    root_written_ = true;
+    return;
+  }
+  if (stack_.back() == Scope::kObject) {
+    // Object members must come through key().
+    PNS_EXPECTS(key_pending_);
+    key_pending_ = false;
+    return;
+  }
+  // Array element.
+  if (has_items_.back()) (*os_) << ',';
+  has_items_.back() = true;
+  (*os_) << '\n';
+  indent();
+}
+
+void JsonWriter::indent() {
+  for (std::size_t i = 0; i < stack_.size(); ++i) (*os_) << "  ";
+}
+
+std::string shortest_double(double v) {
+  char buf[40];
+  if (!std::isfinite(v)) {
+    std::snprintf(buf, sizeof buf, "%g", v);
+    return buf;
+  }
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  return std::string(buf, res.ptr);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out = "\"";
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace pns

@@ -1,0 +1,78 @@
+// Minimal streaming JSON emission for experiment outputs.
+//
+// Sweep aggregates are dumped as JSON so downstream analysis (notebooks,
+// dashboards) can ingest them without a CSV dialect guessing game. Only
+// writing is needed; the writer tracks container nesting and comma
+// placement so callers just emit keys and values in order.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pns {
+
+/// Streams a single JSON document to an std::ostream. Containers are
+/// opened/closed explicitly; the writer inserts commas, newlines and
+/// two-space indentation. Misuse (a value where a key is required, close
+/// without open, ...) trips a contract violation rather than emitting
+/// malformed output.
+class JsonWriter {
+ public:
+  /// Writes to an externally owned stream (not owned, must outlive this).
+  explicit JsonWriter(std::ostream& os);
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Emits the key of the next object member. Must be inside an object.
+  void key(const std::string& k);
+
+  void value(double v);  ///< non-finite values are emitted as null
+  void value(std::int64_t v);
+  void value(std::uint64_t v);  ///< also covers std::size_t
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(bool v);
+  void value(const std::string& v);
+  void value(const char* v) { value(std::string(v)); }
+  void null();
+
+  /// Convenience: key(k) followed by value(v).
+  template <typename T>
+  void kv(const std::string& k, const T& v) {
+    key(k);
+    value(v);
+  }
+
+  /// True when every opened container has been closed and a top-level
+  /// value was written (i.e. the document is complete).
+  bool complete() const;
+
+ private:
+  enum class Scope { kObject, kArray };
+
+  void before_value();  ///< comma/indent bookkeeping shared by all values
+  void indent();
+
+  std::ostream* os_;
+  std::vector<Scope> stack_;
+  std::vector<bool> has_items_;
+  bool key_pending_ = false;
+  bool root_written_ = false;
+};
+
+/// Escapes a string per RFC 8259 (quotes, backslash, control characters)
+/// and wraps it in double quotes.
+std::string json_escape(const std::string& s);
+
+/// Shortest decimal representation that parses back to the exact same
+/// double (std::to_chars). Shared by the JSON writer and the sweep
+/// aggregator's CSV cells so both formats round-trip bit-for-bit and
+/// never drift from each other. Non-finite values render via printf %g
+/// ("inf"/"nan"); JSON callers must handle those separately.
+std::string shortest_double(double v);
+
+}  // namespace pns

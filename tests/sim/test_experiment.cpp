@@ -110,9 +110,10 @@ TEST(BalancedOpp, PicksHighestThroughputWithinBudget) {
     for (int nb = 0; nb <= 4; ++nb)
       for (std::size_t fi = 0; fi < xu4().opps.size(); ++fi) {
         const soc::OperatingPoint opp{fi, {nl, nb}};
-        if (xu4().power.board_power(opp, xu4().opps, 1.0) <= budget)
+        if (xu4().power.board_power(opp, xu4().opps, 1.0) <= budget) {
           EXPECT_LE(xu4().perf.instruction_rate(opp, xu4().opps, 1.0),
                     rate + 1e-6);
+        }
       }
 }
 

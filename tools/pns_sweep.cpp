@@ -1,0 +1,159 @@
+// pns_sweep -- batch scenario-sweep driver.
+//
+// Runs a built-in named sweep (the paper's headline experiment families)
+// across a thread pool and prints the aggregate table, optionally dumping
+// CSV/JSON for downstream analysis:
+//
+//   pns_sweep table2                # Table II: schemes x seeds
+//   pns_sweep capacitance           # Table I-style: buffer sizes x weather
+//   pns_sweep fig6 --threads 4      # Fig. 6: shadow depths x {static,pns}
+//   pns_sweep weather --json out.json --csv out.csv
+//
+// Sweep outputs are bit-identical across thread counts (verified by
+// tests/sweep/test_sweep.cpp), so --threads only changes wall-clock.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sweep/aggregate.hpp"
+#include "sweep/presets.hpp"
+#include "sweep/runner.hpp"
+#include "sweep/scenario.hpp"
+
+namespace {
+
+using namespace pns;
+
+struct Options {
+  std::string sweep_name;
+  unsigned threads = 0;  // 0 = hardware_concurrency
+  double minutes = 60.0;
+  std::string csv_path;
+  std::string json_path;
+  bool quiet = false;
+};
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s <sweep> [options]\n"
+      "\n"
+      "sweeps:\n"
+      "  table2       power-management schemes x 3 seeds (18 scenarios)\n"
+      "  capacitance  buffer sizes x weather, PNS controller\n"
+      "  fig6         shadowing depths x {static, controlled}\n"
+      "  weather      weather conditions x control schemes\n"
+      "\n"
+      "options:\n"
+      "  --threads N   worker threads (default: hardware concurrency)\n"
+      "  --minutes M   simulated window length where applicable "
+      "(default 60)\n"
+      "  --csv PATH    write the aggregate rows as CSV\n"
+      "  --json PATH   write the aggregate rows as JSON\n"
+      "  --quiet       suppress per-scenario progress\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage(argv[0]);
+    return 2;
+  }
+  Options opt;
+  opt.sweep_name = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--threads")
+      opt.threads = static_cast<unsigned>(std::atoi(next()));
+    else if (arg == "--minutes")
+      opt.minutes = std::atof(next());
+    else if (arg == "--csv")
+      opt.csv_path = next();
+    else if (arg == "--json")
+      opt.json_path = next();
+    else if (arg == "--quiet")
+      opt.quiet = true;
+    else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  sweep::SweepSpec sw;
+  if (opt.sweep_name == "table2")
+    sw = sweep::table2_sweep(opt.minutes, {42, 43, 44});
+  else if (opt.sweep_name == "capacitance")
+    sw = sweep::capacitance_sweep(opt.minutes);
+  else if (opt.sweep_name == "fig6")
+    sw = sweep::fig6_depth_sweep();
+  else if (opt.sweep_name == "weather")
+    sw = sweep::weather_sweep(opt.minutes);
+  else {
+    std::fprintf(stderr, "unknown sweep: %s\n", opt.sweep_name.c_str());
+    usage(argv[0]);
+    return 2;
+  }
+
+  const auto specs = sw.expand();
+  sweep::SweepRunnerOptions ropt;
+  ropt.threads = opt.threads;
+  if (!opt.quiet) {
+    ropt.progress = [](std::size_t done, std::size_t total) {
+      std::fprintf(stderr, "\r[%zu/%zu]", done, total);
+      if (done == total) std::fprintf(stderr, "\n");
+    };
+  }
+  sweep::SweepRunner runner(ropt);
+
+  std::printf("sweep '%s': %zu scenarios on %u thread(s)\n\n",
+              opt.sweep_name.c_str(), specs.size(),
+              runner.effective_threads(specs.size()));
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto outcomes = runner.run(specs);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  sweep::Aggregator agg(outcomes);
+  agg.console_table().print(std::cout);
+  std::printf("\n%zu scenarios in %.2f s (%.2f scenarios/s), %zu failed\n",
+              outcomes.size(), wall,
+              wall > 0.0 ? outcomes.size() / wall : 0.0,
+              agg.failed_count());
+
+  bool write_failed = false;
+  if (!opt.csv_path.empty()) {
+    if (agg.write_csv_file(opt.csv_path)) {
+      std::printf("wrote %s\n", opt.csv_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", opt.csv_path.c_str());
+      write_failed = true;
+    }
+  }
+  if (!opt.json_path.empty()) {
+    if (agg.write_json_file(opt.json_path)) {
+      std::printf("wrote %s\n", opt.json_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", opt.json_path.c_str());
+      write_failed = true;
+    }
+  }
+  return agg.failed_count() == 0 && !write_failed ? 0 : 1;
+}
