@@ -33,6 +33,46 @@ void BM_SolarCellNewtonSolve(benchmark::State& state) {
 }
 BENCHMARK(BM_SolarCellNewtonSolve);
 
+void BM_SolarCellNewtonSolveWarmSeed(benchmark::State& state) {
+  // The tabulated mode's off-table fallback: Newton seeded with the last
+  // converged current of a nearby operating point.
+  const auto cell = sim::paper_pv_array();
+  double v = 4.1;
+  double seed = cell.current(v, 850.0);
+  for (auto _ : state) {
+    const double il = cell.photo_current(850.0);
+    seed = cell.current_from_photo_seeded(v, il, seed);
+    benchmark::DoNotOptimize(seed);
+    v += 0.01;
+    if (v > 6.5) v = 4.1;
+  }
+}
+BENCHMARK(BM_SolarCellNewtonSolveWarmSeed);
+
+void BM_PvSourceExactRepeatedPoint(benchmark::State& state) {
+  // The memo path: the co-simulation loop re-evaluates the source at the
+  // same (v, t) at every FSAL restart and segment boundary.
+  const ehsim::PvSource source(sim::paper_pv_array(),
+                               [](double) { return 850.0; });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(source.current(5.1, 0.0));
+  }
+}
+BENCHMARK(BM_PvSourceExactRepeatedPoint);
+
+void BM_PvSourceTabulated(benchmark::State& state) {
+  const ehsim::PvSource source(sim::paper_pv_array(),
+                               [](double) { return 850.0; },
+                               ehsim::PvSource::Mode::kTabulated);
+  double v = 4.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(source.current(v, 0.0));
+    v += 0.01;
+    if (v > 6.5) v = 4.1;
+  }
+}
+BENCHMARK(BM_PvSourceTabulated);
+
 void BM_SolarCellMppSearch(benchmark::State& state) {
   const auto cell = sim::paper_pv_array();
   double g = 200.0;
@@ -75,6 +115,45 @@ void BM_Rk23SecondOfCircuit(benchmark::State& state) {
 }
 BENCHMARK(BM_Rk23SecondOfCircuit);
 
+// Event-path cost of one integrated second with a (never-firing) watch
+// level, in both event representations. The threshold form evaluates as a
+// subtract; the callback form pays the type-erased call.
+void bench_rk23_event_path(benchmark::State& state,
+                           const ehsim::EventSpec& ev) {
+  const auto cell = sim::paper_pv_array();
+  const ehsim::PvSource source(cell, [](double) { return 900.0; });
+  const ehsim::ConstantPowerLoad load(3.5);
+  const ehsim::EhCircuit circuit(source, load,
+                                 ehsim::Capacitor{47e-3, 0.0, 50e3});
+  ehsim::Rk23Options opt;
+  opt.max_step = 0.01;
+  ehsim::Rk23Integrator ig(circuit, opt);
+  for (auto _ : state) {
+    const double v0 = 5.2;
+    ig.reset(0.0, std::span<const double>(&v0, 1));
+    benchmark::DoNotOptimize(
+        ig.advance(1.0, std::span<const ehsim::EventSpec>(&ev, 1))
+            .steps_taken);
+  }
+}
+
+void BM_Rk23EventPathThreshold(benchmark::State& state) {
+  bench_rk23_event_path(state,
+                        ehsim::EventSpec::threshold(
+                            1.0, ehsim::EventDirection::kFalling, 1));
+}
+BENCHMARK(BM_Rk23EventPathThreshold);
+
+void BM_Rk23EventPathCallback(benchmark::State& state) {
+  bench_rk23_event_path(
+      state,
+      ehsim::EventSpec{[](double, std::span<const double> y) {
+                         return y[0] - 1.0;
+                       },
+                       ehsim::EventDirection::kFalling, 1});
+}
+BENCHMARK(BM_Rk23EventPathCallback);
+
 void BM_ControllerIsr(benchmark::State& state) {
   hw::VoltageMonitor monitor;
   ctl::PowerNeutralController controller(xu4(), monitor, {});
@@ -104,19 +183,31 @@ void BM_MonitorThresholdProgramming(benchmark::State& state) {
 }
 BENCHMARK(BM_MonitorThresholdProgramming);
 
-void BM_EndToEndSimulatedMinute(benchmark::State& state) {
+void bench_end_to_end(benchmark::State& state,
+                      ehsim::PvSource::Mode pv_mode) {
   for (auto _ : state) {
     sim::SolarScenario scenario;
     scenario.condition = trace::WeatherCondition::kPartialSun;
     scenario.t_start = 12.0 * 3600.0;
     scenario.t_end = scenario.t_start + 60.0;
+    scenario.pv_mode = pv_mode;
     auto cfg = sim::solar_sim_config(scenario);
     cfg.record_series = false;
     const auto r = sim::run_solar_power_neutral(xu4(), scenario, cfg);
     benchmark::DoNotOptimize(r.metrics.instructions);
   }
 }
+
+void BM_EndToEndSimulatedMinute(benchmark::State& state) {
+  bench_end_to_end(state, ehsim::PvSource::Mode::kExact);
+}
 BENCHMARK(BM_EndToEndSimulatedMinute)->Unit(benchmark::kMillisecond);
+
+void BM_EndToEndSimulatedMinuteTabulated(benchmark::State& state) {
+  bench_end_to_end(state, ehsim::PvSource::Mode::kTabulated);
+}
+BENCHMARK(BM_EndToEndSimulatedMinuteTabulated)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

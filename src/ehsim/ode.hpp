@@ -38,11 +38,40 @@ enum class EventDirection {
 };
 
 /// Scalar event function g(t, y); a root of g marks the event.
+///
+/// Two representations share this struct:
+///   * the dominant case -- a linear threshold on the first state variable,
+///     g(t, y) = y[0] - level -- is stored as plain data (`g` left empty),
+///     so evaluating it is a subtract instead of a type-erased call and
+///     building it never allocates;
+///   * anything else supplies a callable `g`.
+/// Use EventSpec::threshold() for the first form; aggregate-initialising
+/// `{fn, direction, tag}` keeps working for the general form.
 struct EventSpec {
   std::function<double(double t, std::span<const double> y)> g;
   EventDirection direction = EventDirection::kAny;
   /// Opaque tag returned to the caller when this event fires.
   int tag = 0;
+  /// Threshold level for the fast path (used only when `g` is empty).
+  double level = 0.0;
+
+  /// Builds the allocation-free "y[0] crosses `level`" event.
+  static EventSpec threshold(double level, EventDirection direction,
+                             int tag) {
+    EventSpec e;
+    e.direction = direction;
+    e.tag = tag;
+    e.level = level;
+    return e;
+  }
+
+  /// True when this is the data-only threshold form.
+  bool is_threshold() const { return !g; }
+
+  /// Evaluates the event function.
+  double eval(double t, std::span<const double> y) const {
+    return g ? g(t, y) : y[0] - level;
+  }
 };
 
 /// Outcome of advancing an integrator to a time limit.

@@ -55,6 +55,7 @@ Rk23Integrator::Rk23Integrator(const OdeSystem& system, Rk23Options options)
   ytmp_.resize(n);
   yerr_.resize(n);
   ynew_.resize(n);
+  event_y_.resize(n);
 }
 
 void Rk23Integrator::reset(double t0, std::span<const double> y0) {
@@ -90,7 +91,10 @@ IntegrationResult Rk23Integrator::advance(double t_end,
   result.t = t_;
   if (t_end <= t_) return result;
 
-  std::vector<double> g_prev(events.size()), g_curr(events.size());
+  if (g_prev_.size() < events.size()) {
+    g_prev_.resize(events.size());
+    g_curr_.resize(events.size());
+  }
 
   if (!have_f0_) {
     system_->derivatives(t_, y_, std::span<double>(f0_));
@@ -98,10 +102,8 @@ IntegrationResult Rk23Integrator::advance(double t_end,
   }
   if (h_ <= 0.0) h_ = initial_step_guess(t_end);
 
-  for (double g_i = 0; auto& g : g_prev) {
-    g = events[static_cast<std::size_t>(g_i)].g(t_, y_);
-    ++g_i;
-  }
+  for (std::size_t e = 0; e < events.size(); ++e)
+    g_prev_[e] = events[e].eval(t_, y_);
 
   std::size_t steps_this_call = 0;
   while (t_ < t_end) {
@@ -168,12 +170,12 @@ IntegrationResult Rk23Integrator::advance(double t_end,
     int earliest_tag = 0;
     bool fired = false;
     for (std::size_t e = 0; e < events.size(); ++e) {
-      g_curr[e] = events[e].g(t_, y_);
-      if (!direction_matches(events[e].direction, g_prev[e], g_curr[e]))
+      g_curr_[e] = events[e].eval(t_, y_);
+      if (!direction_matches(events[e].direction, g_prev_[e], g_curr_[e]))
         continue;
       // Bisect for the root inside [step_t0_, step_t1_].
       double lo = step_t0_, hi = step_t1_;
-      double g_lo = g_prev[e];
+      double g_lo = g_prev_[e];
       for (int it = 0; it < 64 && (hi - lo) > opt_.event_tol; ++it) {
         const double mid = 0.5 * (lo + hi);
         const double g_mid = event_value(events[e], mid);
@@ -186,11 +188,9 @@ IntegrationResult Rk23Integrator::advance(double t_end,
           g_lo = g_mid;
         }
       }
-      if (hi < earliest_t || !fired) {
-        if (!fired || hi < earliest_t) {
-          earliest_t = hi;
-          earliest_tag = events[e].tag;
-        }
+      if (!fired || hi < earliest_t) {
+        earliest_t = hi;
+        earliest_tag = events[e].tag;
         fired = true;
       }
     }
@@ -207,7 +207,7 @@ IntegrationResult Rk23Integrator::advance(double t_end,
       return result;
     }
 
-    std::swap(g_prev, g_curr);
+    std::swap(g_prev_, g_curr_);
   }
 
   result.t = t_;
@@ -215,27 +215,27 @@ IntegrationResult Rk23Integrator::advance(double t_end,
 }
 
 void Rk23Integrator::interpolate(double t, std::span<double> y_out) const {
+  for (std::size_t i = 0; i < y_out.size(); ++i)
+    y_out[i] = interpolate_one(t, i);
+}
+
+double Rk23Integrator::interpolate_one(double t, std::size_t i) const {
   const double h = step_t1_ - step_t0_;
-  if (h <= 0.0) {
-    std::copy(step_y1_.begin(), step_y1_.end(), y_out.begin());
-    return;
-  }
+  if (h <= 0.0) return step_y1_[i];
   const double s = std::clamp((t - step_t0_) / h, 0.0, 1.0);
   const double s2 = s * s, s3 = s2 * s;
   const double h00 = 2 * s3 - 3 * s2 + 1;
   const double h10 = s3 - 2 * s2 + s;
   const double h01 = -2 * s3 + 3 * s2;
   const double h11 = s3 - s2;
-  for (std::size_t i = 0; i < y_out.size(); ++i) {
-    y_out[i] = h00 * step_y0_[i] + h * h10 * step_f0_[i] +
-               h01 * step_y1_[i] + h * h11 * step_f1_[i];
-  }
+  return h00 * step_y0_[i] + h * h10 * step_f0_[i] + h01 * step_y1_[i] +
+         h * h11 * step_f1_[i];
 }
 
-double Rk23Integrator::event_value(const EventSpec& ev, double t) const {
-  std::vector<double> y(y_.size());
-  interpolate(t, std::span<double>(y));
-  return ev.g(t, y);
+double Rk23Integrator::event_value(const EventSpec& ev, double t) {
+  if (ev.is_threshold()) return interpolate_one(t, 0) - ev.level;
+  interpolate(t, std::span<double>(event_y_));
+  return ev.eval(t, event_y_);
 }
 
 }  // namespace pns::ehsim

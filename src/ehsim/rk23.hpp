@@ -65,8 +65,13 @@ class Rk23Integrator {
   /// Cubic Hermite interpolation inside the last accepted step.
   void interpolate(double t, std::span<double> y_out) const;
 
-  /// Evaluates event g at (t, y interpolated inside last step).
-  double event_value(const EventSpec& ev, double t) const;
+  /// Cubic Hermite interpolation of a single state component.
+  double interpolate_one(double t, std::size_t i) const;
+
+  /// Evaluates event g at (t, y interpolated inside last step). Threshold
+  /// events interpolate only y[0]; general events use the event_y_ scratch
+  /// buffer (hence non-const).
+  double event_value(const EventSpec& ev, double t);
 
   double initial_step_guess(double t_end) const;
 
@@ -82,8 +87,12 @@ class Rk23Integrator {
   double step_t0_ = 0.0, step_t1_ = 0.0;
   std::vector<double> step_y0_, step_y1_, step_f0_, step_f1_;
 
-  // Work arrays.
+  // Work arrays. advance() is allocation-free in steady state: the event
+  // buffers below grow once to the largest event count seen and are then
+  // reused across calls.
   std::vector<double> k1_, k2_, k3_, k4_, ytmp_, yerr_, ynew_;
+  std::vector<double> g_prev_, g_curr_;  // event values across a step
+  std::vector<double> event_y_;          // scratch for general-event eval
 
   double h_ = 0.0;  // current step size
   std::size_t total_steps_ = 0;

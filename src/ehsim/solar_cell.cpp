@@ -44,10 +44,19 @@ double SolarCell::photo_current(double irradiance) const {
 }
 
 double SolarCell::current_from_photo(double v, double il) const {
-  const Residual res{params_, v, il};
   // The residual is strictly decreasing, so Newton from any point converges
   // monotonically after at most one overshoot; start at the photo-current.
-  double i = il;
+  return newton_current(v, il, il);
+}
+
+double SolarCell::current_from_photo_seeded(double v, double il,
+                                            double i_seed) const {
+  return newton_current(v, il, i_seed);
+}
+
+double SolarCell::newton_current(double v, double il, double i_start) const {
+  const Residual res{params_, v, il};
+  double i = i_start;
   for (int iter = 0; iter < 100; ++iter) {
     const double f = res.value(i);
     const double df = res.derivative(i);

@@ -49,6 +49,13 @@ class SolarCell {
   /// Negative values mean the cell is absorbing (v beyond open circuit).
   double current_from_photo(double v, double il) const;
 
+  /// Same solve but starting Newton from `i_seed` instead of `il`. With a
+  /// seed near the root this converges in 1-3 iterations; the converged
+  /// value agrees with current_from_photo to the solver tolerance (~1e-12
+  /// relative) but is not guaranteed bit-identical, so callers needing
+  /// exact reproducibility must use current_from_photo.
+  double current_from_photo_seeded(double v, double il, double i_seed) const;
+
   /// Terminal current at voltage `v` under irradiance `g`.
   double current(double v, double irradiance) const;
 
@@ -82,6 +89,9 @@ class SolarCell {
                              double g_ref = 1000.0);
 
  private:
+  /// Damped Newton on the implicit diode equation from `i_start`.
+  double newton_current(double v, double il, double i_start) const;
+
   SolarCellParams params_;
 };
 

@@ -1,22 +1,60 @@
 #include "ehsim/sources.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/contracts.hpp"
 
 namespace pns::ehsim {
 
-PvSource::PvSource(SolarCell cell, std::function<double(double)> irradiance)
-    : cell_(std::move(cell)), irradiance_(std::move(irradiance)) {
+PvSource::PvSource(SolarCell cell, std::function<double(double)> irradiance,
+                   Mode mode, PvTableSpec table_spec)
+    : cell_(std::move(cell)),
+      irradiance_(std::move(irradiance)),
+      mode_(mode) {
   PNS_EXPECTS(static_cast<bool>(irradiance_));
+  if (mode_ == Mode::kTabulated)
+    table_ = std::make_shared<const PvTable>(cell_, table_spec);
+}
+
+PvSource::PvSource(SolarCell cell, std::function<double(double)> irradiance,
+                   std::shared_ptr<const PvTable> table)
+    : cell_(std::move(cell)),
+      irradiance_(std::move(irradiance)),
+      mode_(Mode::kTabulated),
+      table_(std::move(table)) {
+  PNS_EXPECTS(static_cast<bool>(irradiance_));
+  PNS_EXPECTS(table_ != nullptr);
 }
 
 double PvSource::current(double v, double t) const {
-  return cell_.current(v, irradiance_(t));
+  const double g = irradiance_(t);
+  if (table_ && table_->covers(v, g)) return table_->current(v, g);
+
+  const double il = cell_.photo_current(g);
+  if (solve_cache_.valid && v == solve_cache_.v && il == solve_cache_.il)
+    return solve_cache_.i;
+
+  double i;
+  if (table_ && solve_cache_.valid &&
+      std::abs(v - solve_cache_.v) < kWarmStartDeltaV &&
+      std::abs(il - solve_cache_.il) < kWarmStartDeltaIl) {
+    // Off-table fallback in tabulated mode: the exact-reproducibility
+    // contract is already relaxed, so warm-start the Newton iteration.
+    i = cell_.current_from_photo_seeded(v, il, solve_cache_.i);
+  } else {
+    i = cell_.current_from_photo(v, il);
+  }
+  solve_cache_ = {v, il, i, true};
+  return i;
 }
 
 double PvSource::available_power(double t) const {
-  return cell_.mpp(irradiance_(t)).power;
+  const double g = irradiance_(t);
+  if (mpp_cache_.valid && g == mpp_cache_.g) return mpp_cache_.power;
+  const double p = cell_.mpp(g).power;
+  mpp_cache_ = {g, p, true};
+  return p;
 }
 
 ControlledSupply::ControlledSupply(std::function<double(double)> v_source,

@@ -11,6 +11,7 @@
 #include <functional>
 #include <memory>
 
+#include "ehsim/pv_table.hpp"
 #include "ehsim/solar_cell.hpp"
 
 namespace pns::ehsim {
@@ -30,15 +31,55 @@ class CurrentSource {
 };
 
 /// PV array driven by an irradiance profile G(t) in W/m^2.
+///
+/// Two evaluation modes:
+///   * Mode::kExact (default) -- every current() runs the exact Newton
+///     solve, so results are bit-identical to calling
+///     SolarCell::current directly. A memo of the last converged solve
+///     short-circuits the repeated evaluations the co-simulation loop
+///     produces at segment boundaries (FSAL restarts, metric sampling)
+///     without perturbing any bit.
+///   * Mode::kTabulated -- current() answers from a precomputed bilinear
+///     I(V, G) table (PvTable) whose worst-case error is measured at
+///     construction; outside the tabulated rectangle it falls back to the
+///     exact Newton solve, warm-started from the last converged current
+///     when the operating point moved by less than kWarmStartDeltaV /
+///     kWarmStartDeltaIl.
+///
+/// The caches make const calls stateful: a PvSource must not be shared by
+/// concurrently running simulations. Every engine/sweep worker constructs
+/// its own source, so this only matters for hand-rolled callers.
 class PvSource : public CurrentSource {
  public:
+  enum class Mode { kExact, kTabulated };
+
+  /// Operating-point deltas below which the tabulated mode's off-table
+  /// fallback reuses the last converged current as the Newton seed.
+  static constexpr double kWarmStartDeltaV = 0.25;   // V
+  static constexpr double kWarmStartDeltaIl = 0.25;  // A
+
   /// `irradiance` is sampled on demand; it must be callable for any t >= 0.
-  PvSource(SolarCell cell, std::function<double(double)> irradiance);
+  /// `table_spec` is only consulted in Mode::kTabulated.
+  PvSource(SolarCell cell, std::function<double(double)> irradiance,
+           Mode mode = Mode::kExact, PvTableSpec table_spec = {});
+
+  /// Tabulated mode with an externally built table (must match `cell`).
+  /// PvTable is immutable, so one table can be shared across the many
+  /// sources of a sweep instead of each scenario re-running the ~25k
+  /// Newton solves of a table build.
+  PvSource(SolarCell cell, std::function<double(double)> irradiance,
+           std::shared_ptr<const PvTable> table);
 
   double current(double v, double t) const override;
 
-  /// MPP power of the array under the irradiance at time t.
+  /// MPP power of the array under the irradiance at time t (memoised on
+  /// the irradiance value; exact in both modes).
   double available_power(double t) const override;
+
+  Mode mode() const { return mode_; }
+
+  /// The interpolation table; nullptr in Mode::kExact.
+  const PvTable* table() const { return table_.get(); }
 
   const SolarCell& cell() const { return cell_; }
   double irradiance_at(double t) const { return irradiance_(t); }
@@ -46,6 +87,22 @@ class PvSource : public CurrentSource {
  private:
   SolarCell cell_;
   std::function<double(double)> irradiance_;
+  Mode mode_;
+  std::shared_ptr<const PvTable> table_;
+
+  // Last converged Newton solve (memo + warm-start seed).
+  struct SolveCache {
+    double v = 0.0, il = 0.0, i = 0.0;
+    bool valid = false;
+  };
+  mutable SolveCache solve_cache_;
+
+  // Last MPP evaluation, keyed on the exact irradiance value.
+  struct MppCache {
+    double g = 0.0, power = 0.0;
+    bool valid = false;
+  };
+  mutable MppCache mpp_cache_;
 };
 
 /// Ideal programmable supply behind a series resistor: I = (Vs(t) - v)/R.

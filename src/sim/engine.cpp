@@ -51,7 +51,7 @@ SimEngine::SimEngine(const soc::Platform& platform,
       soc_(platform, cfg_.initial_opp.value_or(platform.lowest_opp())),
       planner_(platform.opps, platform.power, platform.latency),
       governor_(std::move(governor)),
-      load_([this](double v, double t) { return load_current(v, t); }),
+      load_(*this),
       circuit_(*source_, load_,
                ehsim::Capacitor{cfg_.capacitance_f, cfg_.cap_esr_ohm,
                                 cfg_.cap_leak_ohm}),
@@ -67,18 +67,33 @@ SimEngine::SimEngine(const soc::Platform& platform,
     monitor_.emplace(cfg_.monitor_network);
     controller_.emplace(platform, *monitor_, *controller_config);
   }
+  events_.reserve(3);  // brownout + low + high is the largest watch set
 }
 
 double SimEngine::load_power(double v) const {
+  return base_power() + ovp_power(v);
+}
+
+double SimEngine::base_power() const {
   double p = soc_.power(latched_util_);
   if (monitor_) p += hw::VoltageMonitor::kPowerW;
-  if (cfg_.ovp_shunt_v > 0.0 && v > cfg_.ovp_shunt_v)
-    p += v * (v - cfg_.ovp_shunt_v) / cfg_.ovp_shunt_ohm;
   return p;
 }
 
-double SimEngine::load_current(double v, double /*t*/) const {
-  return load_power(v) / std::max(v, 0.05);
+double SimEngine::ovp_power(double v) const {
+  if (cfg_.ovp_shunt_v > 0.0 && v > cfg_.ovp_shunt_v)
+    return v * (v - cfg_.ovp_shunt_v) / cfg_.ovp_shunt_ohm;
+  return 0.0;
+}
+
+void SimEngine::refresh_segment_power() { seg_p_base_ = base_power(); }
+
+double SimEngine::segment_load_power(double v) const {
+  return seg_p_base_ + ovp_power(v);
+}
+
+double SimEngine::segment_load_current(double v) const {
+  return segment_load_power(v) / std::max(v, cfg_.load_v_floor_v);
 }
 
 Snapshot SimEngine::snapshot(double vc, double t) const {
@@ -102,6 +117,40 @@ void SimEngine::dispatch_interrupt(hw::MonitorEdge edge, double t) {
   auto plan = controller_->on_interrupt(edge, t, soc_.final_target());
   if (!plan.empty() && soc_.is_on())
     soc_.enqueue_plan(std::move(plan), t);
+}
+
+void SimEngine::refresh_events() {
+  EventSetKey key;
+  key.off = soc_.power_state() == soc::PowerState::kOff;
+  if (!key.off && controller_ && soc_.is_on()) {
+    if (monitor_->low_channel().output()) {
+      key.watch_low = true;
+      key.low_trip = monitor_->low_channel().node_falling_trip();
+    }
+    if (!monitor_->high_channel().output()) {
+      key.watch_high = true;
+      key.high_trip = monitor_->high_channel().node_rising_trip();
+    }
+  }
+  if (event_key_valid_ && key == event_key_) return;
+  event_key_ = key;
+  event_key_valid_ = true;
+
+  events_.clear();
+  if (!key.off) {
+    events_.push_back(ehsim::EventSpec::threshold(
+        platform_->v_min, ehsim::EventDirection::kFalling, kTagBrownout));
+    if (key.watch_low)
+      events_.push_back(ehsim::EventSpec::threshold(
+          key.low_trip, ehsim::EventDirection::kFalling, kTagLow));
+    if (key.watch_high)
+      events_.push_back(ehsim::EventSpec::threshold(
+          key.high_trip, ehsim::EventDirection::kRising, kTagHigh));
+  } else if (cfg_.enable_reboot) {
+    events_.push_back(ehsim::EventSpec::threshold(
+        platform_->v_min + cfg_.reboot_margin_v,
+        ehsim::EventDirection::kRising, kTagRecover));
+  }
 }
 
 void SimEngine::kick_if_outside(double vc, double t) {
@@ -142,13 +191,15 @@ SimResult SimEngine::run() {
       governor_ ? t + governor_->sampling_period()
                 : std::numeric_limits<double>::infinity();
 
-  recorder.record(t, snapshot(vc, t), /*force=*/true);
+  if (recorder.would_record(t, /*force=*/true))
+    recorder.record(t, snapshot(vc, t), /*force=*/true);
 
   while (t < cfg_.t_end - kTimeEps) {
     const double seg_t0 = t;
     const double v0 = vc;
     if (!governor_) latched_util_ = workload_->utilization(t);
-    const double p_load = load_power(v0);
+    refresh_segment_power();
+    const double p_load = segment_load_power(v0);
     const double p_harv0 = source_->current(v0, t) * v0;
     const double instr_rate = soc_.instruction_rate(latched_util_);
 
@@ -157,40 +208,8 @@ SimResult SimEngine::run() {
          soc_.boot_complete_time(), next_gov_tick});
     PNS_ENSURES(t_stop > seg_t0);
 
-    // --- events for this segment ---------------------------------------
-    std::vector<ehsim::EventSpec> events;
-    const bool off = soc_.power_state() == soc::PowerState::kOff;
-    if (!off) {
-      const double v_min = platform_->v_min;
-      events.push_back({[v_min](double, std::span<const double> y) {
-                          return y[0] - v_min;
-                        },
-                        ehsim::EventDirection::kFalling, kTagBrownout});
-      if (controller_ && soc_.is_on()) {
-        if (monitor_->low_channel().output()) {
-          const double trip = monitor_->low_channel().node_falling_trip();
-          events.push_back({[trip](double, std::span<const double> y) {
-                              return y[0] - trip;
-                            },
-                            ehsim::EventDirection::kFalling, kTagLow});
-        }
-        if (!monitor_->high_channel().output()) {
-          const double trip = monitor_->high_channel().node_rising_trip();
-          events.push_back({[trip](double, std::span<const double> y) {
-                              return y[0] - trip;
-                            },
-                            ehsim::EventDirection::kRising, kTagHigh});
-        }
-      }
-    } else if (cfg_.enable_reboot) {
-      const double v_boot = platform_->v_min + cfg_.reboot_margin_v;
-      events.push_back({[v_boot](double, std::span<const double> y) {
-                          return y[0] - v_boot;
-                        },
-                        ehsim::EventDirection::kRising, kTagRecover});
-    }
-
-    const auto res = integrator_.advance(t_stop, events);
+    refresh_events();
+    const auto res = integrator_.advance(t_stop, events_);
     t = res.t;
     vc = integrator_.state()[0];
 
@@ -267,7 +286,8 @@ SimResult SimEngine::run() {
     }
 
     integrator_.notify_discontinuity();
-    recorder.record(t, snapshot(vc, t), force_record);
+    if (recorder.would_record(t, force_record))
+      recorder.record(t, snapshot(vc, t), force_record);
   }
 
   result.metrics = acc.finish(t, platform_->perf.params().instr_per_frame);

@@ -18,6 +18,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/controller.hpp"
 #include "ehsim/circuit.hpp"
@@ -64,6 +65,13 @@ struct SimConfig {
   // Optional over-voltage shunt (protects bench-supply experiments).
   double ovp_shunt_v = 0.0;  ///< 0 disables
   double ovp_shunt_ohm = 0.5;
+
+  /// Lower clamp on the node voltage in the I = P / V conversion of the
+  /// constant-power load. Keeps the current finite through node collapse;
+  /// platforms whose regulators stay alive below 50 mV (or sweeps over
+  /// low-voltage designs) should lower it rather than inherit a silent
+  /// distortion.
+  double load_v_floor_v = 0.05;
 
   /// Initial operating point; platform's lowest OPP when unset.
   std::optional<soc::OperatingPoint> initial_opp;
@@ -116,8 +124,23 @@ class SimEngine {
             SimConfig config, ctl::ControllerConfig* controller_config,
             std::unique_ptr<gov::Governor> governor);
 
-  double load_current(double v, double t) const;
   double load_power(double v) const;
+  /// SoC + threshold-monitor draw at the latched utilisation (W).
+  double base_power() const;
+  /// Over-voltage shunt dissipation at node voltage v (0 when disabled).
+  double ovp_power(double v) const;
+  /// load_power with the SoC + monitor term pre-computed (seg_p_base_).
+  /// The SoC draw is constant between stop points, so the ODE callback
+  /// only adds the voltage-dependent OVP term instead of re-walking the
+  /// power model on every derivative evaluation.
+  double segment_load_power(double v) const;
+  double segment_load_current(double v) const;
+  /// Recomputes seg_p_base_ from the current SoC state and latched
+  /// utilisation. Must run before every integrator_.advance().
+  void refresh_segment_power();
+  /// Rebuilds events_ if the wanted event set changed (SoC power state,
+  /// monitor arming, or a threshold moved); otherwise reuses it as-is.
+  void refresh_events();
   /// After (re)calibration the node can already sit outside the window
   /// (e.g. it charged towards Voc during boot); real firmware reads the
   /// comparator GPIO *level* after programming the thresholds and services
@@ -125,6 +148,25 @@ class SimEngine {
   void kick_if_outside(double vc, double t);
   Snapshot snapshot(double vc, double t) const;
   void dispatch_interrupt(hw::MonitorEdge edge, double t);
+
+  /// Direct Load adapter into segment_load_current: one virtual call per
+  /// derivative evaluation instead of virtual + std::function + closure.
+  struct OdeLoad final : ehsim::Load {
+    explicit OdeLoad(const SimEngine& engine) : engine_(&engine) {}
+    double current(double v, double /*t*/) const override {
+      return engine_->segment_load_current(v);
+    }
+    const SimEngine* engine_;
+  };
+
+  /// Identity of the event set watched over a segment; events_ is only
+  /// re-derived when this changes.
+  struct EventSetKey {
+    bool off = false;
+    bool watch_low = false, watch_high = false;
+    double low_trip = 0.0, high_trip = 0.0;
+    bool operator==(const EventSetKey&) const = default;
+  };
 
   const soc::Platform* platform_;
   const ehsim::CurrentSource* source_;
@@ -137,11 +179,15 @@ class SimEngine {
   std::optional<ctl::PowerNeutralController> controller_;
   std::unique_ptr<gov::Governor> governor_;
 
-  ehsim::CallbackLoad load_;
+  OdeLoad load_;
   ehsim::EhCircuit circuit_;
   ehsim::Rk23Integrator integrator_;
 
   double latched_util_ = 1.0;
+  double seg_p_base_ = 0.0;  ///< SoC + monitor power over this segment (W)
+  std::vector<ehsim::EventSpec> events_;
+  EventSetKey event_key_;
+  bool event_key_valid_ = false;
   bool ran_ = false;
 };
 

@@ -17,6 +17,12 @@ ehsim::SolarCell fig1_pv_cell() {
   return paper_pv_array().scaled_area(250.0 / 1340.0);
 }
 
+std::shared_ptr<const ehsim::PvTable> paper_pv_table() {
+  static const std::shared_ptr<const ehsim::PvTable> table =
+      std::make_shared<const ehsim::PvTable>(paper_pv_array());
+  return table;
+}
+
 trace::ClearSky paper_clear_sky() {
   trace::ClearSkyParams p;
   p.sunrise_s = 5.0 * 3600.0;   // UK summer: ~05:00
@@ -64,15 +70,22 @@ soc::OperatingPoint balanced_opp(const soc::Platform& platform,
 namespace {
 
 /// Builds the irradiance-driven PV source for a scenario. The returned
-/// source owns its trace via the closure.
+/// source owns its trace via the closure; the mutable hint turns the
+/// integrator's near-monotone sampling of the long trace into O(1)
+/// lookups (bit-identical to the plain binary-search evaluation).
 ehsim::PvSource make_solar_source(const SolarScenario& scenario) {
   auto sky = paper_clear_sky();
   auto trace = trace::synthesize_irradiance(
       sky, scenario.condition, scenario.t_start - 60.0,
       scenario.t_end + 60.0, scenario.trace_dt_s, scenario.seed);
-  return ehsim::PvSource(
-      paper_pv_array(),
-      [trace = std::move(trace)](double t) { return trace(t); });
+  auto sample = [trace = std::move(trace),
+                 hint = std::size_t{0}](double t) mutable {
+    return trace.eval_hinted(t, hint);
+  };
+  if (scenario.pv_mode == ehsim::PvSource::Mode::kTabulated)
+    return ehsim::PvSource(paper_pv_array(), std::move(sample),
+                           paper_pv_table());
+  return ehsim::PvSource(paper_pv_array(), std::move(sample));
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 
 #include "core/controller.hpp"
 #include "ehsim/solar_cell.hpp"
+#include "ehsim/sources.hpp"
 #include "governors/governor.hpp"
 #include "sim/engine.hpp"
 #include "trace/irradiance.hpp"
@@ -26,6 +27,11 @@ ehsim::SolarCell paper_pv_array();
 /// The 250 cm^2 cell of Fig. 1 (area-scaled version of the same array).
 ehsim::SolarCell fig1_pv_cell();
 
+/// Process-wide shared interpolation table for paper_pv_array() (built on
+/// first use; immutable, safe to share across sweep workers). Tabulated
+/// experiment helpers use this instead of rebuilding the table per run.
+std::shared_ptr<const ehsim::PvTable> paper_pv_table();
+
 /// Default clear-sky model for the paper's test days (UK summer day).
 trace::ClearSky paper_clear_sky();
 
@@ -36,6 +42,10 @@ struct SolarScenario {
   double t_end = 16.5 * 3600.0;    ///< 16:30
   std::uint64_t seed = 42;
   double trace_dt_s = 0.1;         ///< weather sampling grid
+  /// PV evaluation mode: kExact reproduces the Newton solve bit for bit;
+  /// kTabulated answers from a measured-error interpolation table (see
+  /// ehsim::PvSource).
+  ehsim::PvSource::Mode pv_mode = ehsim::PvSource::Mode::kExact;
 };
 
 /// Control selection for a run.

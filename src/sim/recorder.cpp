@@ -10,9 +10,7 @@ SeriesRecorder::SeriesRecorder(double interval, bool enabled)
 }
 
 void SeriesRecorder::record(double t, const Snapshot& snap, bool force) {
-  if (!enabled_) return;
-  const double min_gap = force ? interval_ / 20.0 : interval_;
-  if (t - last_t_ < min_gap) return;
+  if (!would_record(t, force)) return;
   last_t_ = t;
   series_.vc.append(t, snap.vc);
   series_.freq_hz.append(t, snap.freq_hz);

@@ -46,6 +46,13 @@ class SeriesRecorder {
   /// runs (fast limit cycles) cannot grow the series unboundedly.
   void record(double t, const Snapshot& snap, bool force = false);
 
+  /// True iff record(t, ..., force) would retain a sample right now. Lets
+  /// callers skip building the Snapshot at all (assembling one costs an
+  /// MPP search in the source) when it would be dropped anyway.
+  bool would_record(double t, bool force = false) const {
+    return enabled_ && t - last_t_ >= (force ? interval_ / 20.0 : interval_);
+  }
+
   const RecordedSeries& series() const { return series_; }
   RecordedSeries take() { return std::move(series_); }
 

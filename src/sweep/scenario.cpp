@@ -75,6 +75,7 @@ sim::SolarScenario solar_scenario_of(const ScenarioSpec& spec) {
   s.t_end = spec.t_end;
   s.seed = spec.seed;
   s.trace_dt_s = spec.trace_dt_s;
+  s.pv_mode = spec.pv_mode;
   return s;
 }
 
@@ -106,10 +107,15 @@ sim::SimResult run_shadowing(const ScenarioSpec& spec) {
   const auto shade = trace::shadowing_event(
       spec.t_start, spec.t_end, spec.t_start + sh.t_event_s, sh.t_fall_s,
       sh.hold_s, sh.t_rise_s, sh.depth);
-  ehsim::PvSource source(sim::paper_pv_array(),
-                         [shade, peak = sh.peak_wm2](double t) {
-                           return peak * shade(t);
-                         });
+  auto sample = [shade, peak = sh.peak_wm2,
+                 hint = std::size_t{0}](double t) mutable {
+    return peak * shade.eval_hinted(t, hint);
+  };
+  ehsim::PvSource source =
+      spec.pv_mode == ehsim::PvSource::Mode::kTabulated
+          ? ehsim::PvSource(sim::paper_pv_array(), std::move(sample),
+                            sim::paper_pv_table())
+          : ehsim::PvSource(sim::paper_pv_array(), std::move(sample));
   soc::RaytraceWorkload workload(
       spec.platform.perf.params().instr_per_frame);
   auto cfg = make_sim_config(spec);

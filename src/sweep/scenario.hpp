@@ -83,6 +83,9 @@ struct ScenarioSpec {
   double t_end = 16.5 * 3600.0;
   std::uint64_t seed = 42;
   double trace_dt_s = 0.1;
+  /// PV evaluation mode (exact Newton vs measured-error table); applies to
+  /// every source kind that models the PV array.
+  ehsim::PvSource::Mode pv_mode = ehsim::PvSource::Mode::kExact;
 
   // Storage node and regulation band.
   double capacitance_f = 47e-3;

@@ -50,6 +50,30 @@ double PiecewiseLinear::operator()(double x) const {
   return y0 + t * (y1 - y0);
 }
 
+double PiecewiseLinear::eval_hinted(double x, std::size_t& hint) const {
+  PNS_EXPECTS(!empty());
+  if (x <= xs_.front()) return ys_.front();
+  if (x >= xs_.back()) return ys_.back();
+  // Find i such that xs_[i-1] <= x < xs_[i] -- exactly the index
+  // upper_bound would return in operator(), so the interpolation below is
+  // bit-identical to it.
+  std::size_t i = hint;
+  const std::size_t n = xs_.size();
+  if (!(i >= 1 && i < n && xs_[i] > x && xs_[i - 1] <= x)) {
+    if (i + 1 < n && xs_[i + 1] > x && xs_[i] <= x) {
+      ++i;  // advanced one knot since the last call (the common case)
+    } else {
+      const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+      i = static_cast<std::size_t>(it - xs_.begin());
+    }
+  }
+  hint = i;
+  const double x0 = xs_[i - 1], x1 = xs_[i];
+  const double y0 = ys_[i - 1], y1 = ys_[i];
+  const double t = (x - x0) / (x1 - x0);
+  return y0 + t * (y1 - y0);
+}
+
 double PiecewiseLinear::slope_at(double x) const {
   PNS_EXPECTS(!empty());
   if (xs_.size() < 2 || x < xs_.front() || x > xs_.back()) return 0.0;

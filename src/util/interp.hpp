@@ -40,6 +40,13 @@ class PiecewiseLinear {
   /// Interpolated value; clamps to the end values outside [x_front, x_back].
   double operator()(double x) const;
 
+  /// Same result as operator() -- bit for bit -- but O(1) for the
+  /// mostly-monotone access patterns of a simulation loop: `hint` caches
+  /// the last knot index between calls and is first checked (and its right
+  /// neighbour) before falling back to binary search. Callers keep one
+  /// hint per traversal; any value (including stale ones) is safe.
+  double eval_hinted(double x, std::size_t& hint) const;
+
   /// Derivative dy/dx of the segment containing x (one-sided at knots,
   /// 0 outside the knot range).
   double slope_at(double x) const;

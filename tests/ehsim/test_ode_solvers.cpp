@@ -205,6 +205,58 @@ TEST(Rk23, EarliestOfMultipleEventsWins) {
   EXPECT_NEAR(res.t, -std::log(0.7), 1e-5);
 }
 
+TEST(Rk23, EarliestOfTwoEventsInOneStepWins) {
+  // y' = -1 is integrated exactly by RK23 (zero error estimate), so with a
+  // forced large first step BOTH thresholds are crossed inside a single
+  // accepted step. The later-listed event crosses first and must win the
+  // earliest-root selection.
+  class Ramp : public OdeSystem {
+   public:
+    std::size_t dimension() const override { return 1; }
+    void derivatives(double, std::span<const double>,
+                     std::span<double> dydt) const override {
+      dydt[0] = -1.0;
+    }
+  };
+  Ramp sys;
+  Rk23Options opt;
+  opt.initial_step = 5.0;
+  Rk23Integrator ig(sys, opt);
+  const double y0 = 1.0;
+  ig.reset(0.0, std::span<const double>(&y0, 1));
+  std::vector<EventSpec> evs{
+      EventSpec::threshold(0.35, EventDirection::kFalling, 1),
+      EventSpec::threshold(0.65, EventDirection::kFalling, 2),  // earlier
+  };
+  const auto res = ig.advance(5.0, evs);
+  ASSERT_TRUE(res.event_fired);
+  EXPECT_EQ(res.steps_taken, 1u);  // both crossings in the same step
+  EXPECT_EQ(res.event_tag, 2);
+  EXPECT_NEAR(res.t, 0.35, 1e-5);  // y = 1 - t hits 0.65 at t = 0.35
+}
+
+TEST(Rk23, ThresholdSpecMatchesCallbackSpec) {
+  // The data-only threshold form and an equivalent callback must localise
+  // the identical event identically.
+  ExpDecay sys(1.0);
+  const double y0 = 1.0;
+  auto run = [&](const EventSpec& ev) {
+    Rk23Integrator ig(sys);
+    ig.reset(0.0, std::span<const double>(&y0, 1));
+    return ig.advance(5.0, std::span<const EventSpec>(&ev, 1));
+  };
+  const auto fast =
+      run(EventSpec::threshold(0.5, EventDirection::kFalling, 7));
+  const auto slow = run(EventSpec{
+      [](double, std::span<const double> y) { return y[0] - 0.5; },
+      EventDirection::kFalling, 7});
+  ASSERT_TRUE(fast.event_fired);
+  ASSERT_TRUE(slow.event_fired);
+  EXPECT_EQ(fast.event_tag, 7);
+  EXPECT_EQ(fast.t, slow.t);  // bit-identical localisation
+  EXPECT_EQ(fast.steps_taken, slow.steps_taken);
+}
+
 TEST(Rk23, TimeBasedEventOnStiffFlatState) {
   ExpDecay sys(0.0);  // constant state
   Rk23Integrator ig(sys);

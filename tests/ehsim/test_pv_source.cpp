@@ -1,0 +1,130 @@
+// Tests for the PV source evaluation modes (ehsim/pv_table,
+// ehsim/sources): tabulated-mode accuracy against the exact Newton solve,
+// and the bit-exactness contract of the default mode.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ehsim/pv_table.hpp"
+#include "ehsim/sources.hpp"
+
+namespace pns::ehsim {
+namespace {
+
+SolarCell paper_cell() {
+  return SolarCell::calibrate(/*voc=*/6.8, /*isc=*/1.15, /*vmpp=*/5.3,
+                              /*rs=*/0.30, /*rp=*/200.0);
+}
+
+// ------------------------------------------------------------- PvTable
+
+TEST(PvTable, MeasuredErrorBoundIsTight) {
+  const auto cell = paper_cell();
+  const PvTable table(cell);
+  // The default grid must resolve the IV knee to well under 1% of Isc.
+  EXPECT_GT(table.max_abs_error_a(), 0.0);
+  EXPECT_LT(table.max_abs_error_a(), 5e-3);
+}
+
+TEST(PvTable, OffGridPointsStayWithinMeasuredBound) {
+  const auto cell = paper_cell();
+  const PvTable table(cell);
+  // Probe irrational offsets so no sample lands on a knot or midpoint.
+  const double phi = 0.6180339887498949;
+  double worst = 0.0;
+  for (int k = 1; k <= 200; ++k) {
+    const double v = std::fmod(phi * k, 1.0) * table.v_max();
+    const double g = std::fmod(phi * phi * k, 1.0) * table.g_max();
+    ASSERT_TRUE(table.covers(v, g));
+    const double exact = cell.current(v, g);
+    worst = std::max(worst, std::abs(table.current(v, g) - exact));
+  }
+  // Allow a whisker over the midpoint-measured bound: the error field is
+  // not exactly maximised at midpoints for a nonlinear surface.
+  EXPECT_LT(worst, table.max_abs_error_a() * 1.5 + 1e-12);
+}
+
+TEST(PvTable, ExactOnGridKnots) {
+  const auto cell = paper_cell();
+  const PvTableSpec spec{.v_max = 7.0, .g_max = 1000.0, .nv = 8, .ng = 5};
+  const PvTable table(cell, spec);
+  for (std::size_t vi = 0; vi < spec.nv; vi += 2) {
+    const double v = 7.0 * static_cast<double>(vi) /
+                     static_cast<double>(spec.nv - 1);
+    const double g = 500.0;  // on the g grid (5 knots over [0, 1000])
+    EXPECT_NEAR(table.current(v, g), cell.current(v, g), 1e-9)
+        << "v=" << v;
+  }
+}
+
+TEST(PvTable, CoversOnlyTheTabulatedRectangle) {
+  const PvTable table(paper_cell());
+  EXPECT_TRUE(table.covers(0.0, 0.0));
+  EXPECT_TRUE(table.covers(table.v_max(), table.g_max()));
+  EXPECT_FALSE(table.covers(-0.1, 500.0));
+  EXPECT_FALSE(table.covers(table.v_max() + 0.1, 500.0));
+  EXPECT_FALSE(table.covers(5.0, table.g_max() + 1.0));
+  EXPECT_FALSE(table.covers(5.0, -1.0));
+}
+
+// ------------------------------------------------------------ PvSource
+
+TEST(PvSource, ExactModeBitIdenticalToDirectNewton) {
+  // The default mode's contract: PvSource::current is the same bits as
+  // calling the cell directly (the paper-reproduction sweeps rely on this
+  // for cross-PR reproducibility).
+  const auto cell = paper_cell();
+  const PvSource source(cell, [](double t) { return 600.0 + 10.0 * t; });
+  for (int k = 0; k < 50; ++k) {
+    const double v = 0.13 * k;
+    const double t = 0.37 * k;
+    EXPECT_EQ(source.current(v, t), cell.current(v, 600.0 + 10.0 * t));
+  }
+}
+
+TEST(PvSource, RepeatedEvaluationIsMemoisedBitIdentically) {
+  const PvSource source(paper_cell(), [](double) { return 850.0; });
+  const double first = source.current(5.1, 3.0);
+  for (int k = 0; k < 5; ++k) EXPECT_EQ(source.current(5.1, 3.0), first);
+}
+
+TEST(PvSource, TabulatedModeStaysWithinTableErrorBound) {
+  const auto cell = paper_cell();
+  const PvSource exact(cell, [](double) { return 850.0; });
+  const PvSource tab(cell, [](double) { return 850.0; },
+                     PvSource::Mode::kTabulated);
+  ASSERT_NE(tab.table(), nullptr);
+  const double bound = tab.table()->max_abs_error_a() * 1.5 + 1e-12;
+  for (int k = 0; k < 100; ++k) {
+    const double v = 0.068 * k;  // 0 .. 6.73 V
+    EXPECT_NEAR(tab.current(v, 0.0), exact.current(v, 0.0), bound)
+        << "v=" << v;
+  }
+}
+
+TEST(PvSource, TabulatedModeFallsBackToNewtonOffTable) {
+  const auto cell = paper_cell();
+  const PvSource tab(cell, [](double) { return 1500.0; },  // > g_max
+                     PvSource::Mode::kTabulated);
+  ASSERT_FALSE(tab.table()->covers(5.0, 1500.0));
+  // Off the table the answer is a Newton solve (warm-started, so equal to
+  // the cold solve to solver tolerance rather than bit-identical).
+  EXPECT_NEAR(tab.current(5.0, 0.0), cell.current(5.0, 1500.0), 1e-9);
+}
+
+TEST(PvSource, AvailablePowerMemoisedOnIrradiance) {
+  const auto cell = paper_cell();
+  const PvSource source(cell, [](double) { return 900.0; });
+  const double p = source.available_power(0.0);
+  EXPECT_EQ(source.available_power(10.0), p);  // same G -> same bits
+  EXPECT_NEAR(p, cell.mpp(900.0).power, 1e-12);
+}
+
+TEST(PvSource, ExactModeHasNoTable) {
+  const PvSource source(paper_cell(), [](double) { return 900.0; });
+  EXPECT_EQ(source.mode(), PvSource::Mode::kExact);
+  EXPECT_EQ(source.table(), nullptr);
+}
+
+}  // namespace
+}  // namespace pns::ehsim

@@ -359,6 +359,37 @@ TEST(SimEngine, CustomMonitorNetworkRespected) {
   EXPECT_EQ(r.metrics.brownouts, 0u);
 }
 
+TEST(SimEngine, LoadVoltageFloorIsNamedAndDefaultsToLegacyValue) {
+  // The I = P/V clamp used to be a magic 0.05 inside the engine; it is now
+  // a SimConfig knob so low-voltage platforms can widen their valid range.
+  SimConfig cfg;
+  EXPECT_DOUBLE_EQ(cfg.load_v_floor_v, 0.05);
+}
+
+TEST(SimEngine, LoadVoltageFloorIsConfigurable) {
+  // A floor above the operating point turns I = P / max(v, floor) into a
+  // constant-current drain, which shifts the supply equilibrium upward:
+  // (5.5 - v)/R = P/floor instead of P/v. The settled voltage must move.
+  auto run_with_floor = [&](double floor) {
+    trace::SupplyProfile profile(5.5);
+    profile.hold(30.0);
+    ehsim::ControlledSupply source(profile.as_function(), 1.0);
+    auto workload = make_workload();
+    SimConfig cfg;
+    cfg.t_end = 30.0;
+    cfg.vc0 = 5.0;
+    cfg.v_target = 0.0;
+    cfg.load_v_floor_v = floor;
+    SimEngine engine(xu4(), source, workload, cfg);
+    return engine.run().series.vc.values().back();
+  };
+  const double v_default = run_with_floor(0.05);
+  const double v_floored = run_with_floor(5.4);
+  // P/5.4 draws less than P/v_eq (~5.16 V), so the floored run settles
+  // measurably higher.
+  EXPECT_GT(v_floored, v_default + 0.005);
+}
+
 TEST(SimEngine, RunIsOneShot) {
   trace::SupplyProfile profile(5.5);
   ehsim::ControlledSupply source(profile.as_function(), 1.0);

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "ehsim/sources.hpp"
 #include "sweep/aggregate.hpp"
 #include "sweep/presets.hpp"
 #include "sweep/runner.hpp"
@@ -244,6 +245,38 @@ TEST(SweepRunner, MultiThreadAggregateBitIdenticalToSingleThread) {
   // And the serialised aggregate (what a sweep actually publishes) is
   // byte-identical.
   EXPECT_EQ(csv_of(serial), csv_of(parallel));
+}
+
+TEST(SweepRunner, TabulatedPvModeBitIdenticalAcrossThreadCounts) {
+  // The tabulated PV mode trades exactness against the Newton solve for
+  // speed, but it must stay *deterministic*: all workers read the same
+  // immutable process-wide table (sim::paper_pv_table()), so the
+  // aggregate CSV may not depend on the thread count in this mode either.
+  auto sw = determinism_sweep();
+  sw.base.pv_mode = ehsim::PvSource::Mode::kTabulated;
+  const auto serial = runner_with(1).run(sw);
+  const auto parallel = runner_with(4).run(sw);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_TRUE(serial[i].ok) << serial[i].error;
+    ASSERT_TRUE(parallel[i].ok) << parallel[i].error;
+    EXPECT_EQ(serial[i].result.metrics.instructions,
+              parallel[i].result.metrics.instructions);
+  }
+  EXPECT_EQ(csv_of(serial), csv_of(parallel));
+}
+
+TEST(RunScenario, PvModeReachesTheSolarSource) {
+  // Exact and tabulated runs of the same scenario agree closely (the
+  // table's current error is ~mA) but are distinct trajectories.
+  auto spec = tiny_solar_spec();
+  spec.control = ControlSpec::linux_governor("powersave");
+  const auto exact = run_scenario(spec);
+  spec.pv_mode = ehsim::PvSource::Mode::kTabulated;
+  const auto tab = run_scenario(spec);
+  EXPECT_NEAR(tab.metrics.energy_harvested_j,
+              exact.metrics.energy_harvested_j,
+              0.01 * exact.metrics.energy_harvested_j + 1e-9);
 }
 
 TEST(SweepRunner, FailuresAreIsolatedPerScenario) {

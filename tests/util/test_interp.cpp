@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <vector>
+
 #include "util/contracts.hpp"
 
 namespace pns {
@@ -62,6 +65,29 @@ TEST(PiecewiseLinear, IntegratePartialAndClamped) {
 TEST(PiecewiseLinear, IntegrateRejectsInvertedRange) {
   auto f = ramp();
   EXPECT_THROW(f.integrate(1.0, 0.0), ContractViolation);
+}
+
+TEST(PiecewiseLinear, EvalHintedBitIdenticalToOperator) {
+  // Build an irregular function and compare hinted vs plain evaluation for
+  // forward sweeps, backward sweeps, random jumps and out-of-range points.
+  // The contract is bit-identity, so EXPECT_EQ on the doubles.
+  std::vector<double> xs, ys;
+  double x = 0.0;
+  for (int i = 0; i < 64; ++i) {
+    xs.push_back(x);
+    ys.push_back(std::sin(0.7 * i) + 0.01 * i);
+    x += 0.1 + 0.03 * (i % 5);
+  }
+  const PiecewiseLinear f(xs, ys);
+  std::size_t hint = 0;
+  auto check = [&](double q) { EXPECT_EQ(f.eval_hinted(q, hint), f(q)); };
+  for (double q = -0.5; q < x + 0.5; q += 0.0137) check(q);   // forward
+  for (double q = x + 0.5; q > -0.5; q -= 0.0213) check(q);   // backward
+  for (int i = 0; i < 200; ++i)                               // jumps
+    check(std::fmod(i * 2.718281828, x));
+  for (double q : xs) check(q);                               // exact knots
+  hint = 9999;                                                // stale hint
+  check(1.0);
 }
 
 TEST(PiecewiseLinear, FromPairsSorts) {
