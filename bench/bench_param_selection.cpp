@@ -18,15 +18,16 @@ int main() {
   const soc::Platform board = soc::Platform::odroid_xu4();
 
   // A slightly shorter window than the tests' default keeps the full grid
-  // sweep to a few seconds while still separating tunings.
-  sim::SolarScenario scenario;
-  scenario.condition = trace::WeatherCondition::kPartialSun;
-  scenario.t_start = 12.0 * 3600.0;
-  scenario.t_end = scenario.t_start + 600.0;
-  scenario.seed = 7;
-  auto cfg = sim::solar_sim_config(scenario);
-  cfg.record_series = false;
-  const opt::StabilityObjective objective(board, scenario, cfg);
+  // sweep to a few seconds while still separating tunings. The batch
+  // objective evaluates the grid through sweep::SweepRunner, so the 81
+  // simulations fan out across every core.
+  sweep::ScenarioSpec base;
+  base.platform = board;
+  base.condition = trace::WeatherCondition::kPartialSun;
+  base.t_start = 12.0 * 3600.0;
+  base.t_end = base.t_start + 600.0;
+  base.seed = 7;
+  const opt::SweepStabilityObjective objective(base);
 
   const auto grid = opt::GridSpec::paper_neighbourhood();
   std::printf("Section III parameter selection: %zu-point grid around the "
@@ -60,7 +61,8 @@ int main() {
   }
   table.print(std::cout);
 
-  const double paper_score = objective({0.144, 0.0479, 0.120, 0.479});
+  const double paper_score =
+      objective(std::vector<opt::ParamSet>{{0.144, 0.0479, 0.120, 0.479}})[0];
   std::printf("\nbest grid point : Vwidth %.0f mV, Vq %.0f mV, alpha %.2f, "
               "beta %.2f -> %.1f %% in band\n",
               result.best.v_width * 1e3, result.best.v_q * 1e3,

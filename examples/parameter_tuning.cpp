@@ -22,7 +22,10 @@ int main(int argc, char** argv) {
                                       : 1234;
 
   const soc::Platform board = soc::Platform::odroid_xu4();
-  const auto objective = opt::StabilityObjective::standard(board, seed);
+  // Batch objective: each search stage's candidates are evaluated through
+  // sweep::SweepRunner in parallel (score-identical to the point-wise
+  // StabilityObjective::standard).
+  const auto objective = opt::SweepStabilityObjective::standard(board, seed);
 
   // Phase 1: global random exploration (log-uniform).
   opt::RandomSearchSpec spec;
@@ -53,7 +56,7 @@ int main(int argc, char** argv) {
   add("random best", coarse.best, coarse.best_score);
   add("grid refined", fine.best, fine.best_score);
   add("paper optimum", {0.144, 0.0479, 0.120, 0.479},
-      objective({0.144, 0.0479, 0.120, 0.479}));
+      objective(std::vector<opt::ParamSet>{{0.144, 0.0479, 0.120, 0.479}})[0]);
   table.print(std::cout, "controller parameter tuning");
 
   std::printf(

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in the repo's markdown docs.
+
+Usage:
+    check_markdown_links.py [FILE.md ...]
+
+With no arguments, checks README.md, docs/*.md and CHANGES/ROADMAP/PAPER
+files relative to the current directory (the repo root in CI and under
+ctest). For every markdown link or image `[text](target)`:
+
+  - http(s)/mailto links are skipped (no network in CI);
+  - pure-anchor links (#section) are checked against the headings of the
+    same file;
+  - relative paths must exist on disk (anchors on them are checked
+    against the target file's headings when it is markdown).
+
+Exit status is the number of dead links (0 = all good). Stdlib only.
+"""
+
+import glob
+import os
+import re
+import sys
+
+# Inline links/images: [text](target) / ![alt](target), tolerating one
+# level of nested brackets in the text and an optional "title".
+LINK_RE = re.compile(r"!?\[(?:[^\[\]]|\[[^\]]*\])*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, spaces to dashes, drop punctuation."""
+    text = heading.strip().lower()
+    text = re.sub(r"[`*_~]", "", text)
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(md_path: str) -> set:
+    with open(md_path, encoding="utf-8") as f:
+        body = f.read()
+    return {github_anchor(h) for h in HEADING_RE.findall(body)}
+
+
+def check_file(md_path: str) -> list:
+    with open(md_path, encoding="utf-8") as f:
+        body = f.read()
+    # Links inside fenced code blocks are examples, not navigation.
+    body = CODE_FENCE_RE.sub("", body)
+
+    errors = []
+    base = os.path.dirname(md_path)
+    for match in LINK_RE.finditer(body):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path, _, anchor = target.partition("#")
+        if not path:  # same-file anchor
+            if github_anchor(anchor) not in anchors_of(md_path):
+                errors.append(f"{md_path}: dead anchor '#{anchor}'")
+            continue
+        resolved = os.path.normpath(os.path.join(base, path))
+        if not os.path.exists(resolved):
+            errors.append(f"{md_path}: dead link '{target}' -> {resolved}")
+            continue
+        if anchor and resolved.endswith(".md"):
+            if github_anchor(anchor) not in anchors_of(resolved):
+                errors.append(
+                    f"{md_path}: dead anchor '{target}' (no such heading "
+                    f"in {resolved})"
+                )
+    return errors
+
+
+def main(argv: list) -> int:
+    files = argv[1:]
+    if not files:
+        files = [
+            p
+            for p in ["README.md", "ROADMAP.md", "PAPER.md", "CHANGES.md"]
+            if os.path.exists(p)
+        ] + sorted(glob.glob("docs/*.md"))
+    if not files:
+        print("check_markdown_links: no markdown files found", file=sys.stderr)
+        return 1
+
+    all_errors = []
+    for md in files:
+        all_errors.extend(check_file(md))
+    for err in all_errors:
+        print(err, file=sys.stderr)
+    print(
+        f"checked {len(files)} file(s): "
+        + ("OK" if not all_errors else f"{len(all_errors)} dead link(s)")
+    )
+    return min(len(all_errors), 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -4,6 +4,31 @@
 
 namespace pns::opt {
 
+SearchResult make_search_result(std::vector<ParamSet> candidates,
+                                const std::vector<double>& scores) {
+  PNS_EXPECTS(candidates.size() == scores.size());
+  SearchResult result;
+  result.evaluated.reserve(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    result.evaluated.push_back({candidates[i], scores[i]});
+    if (scores[i] > result.best_score) {
+      result.best_score = scores[i];
+      result.best = candidates[i];
+    }
+  }
+  return result;
+}
+
+BatchObjective batched(Objective objective) {
+  return [objective = std::move(objective)](
+             const std::vector<ParamSet>& batch) {
+    std::vector<double> scores;
+    scores.reserve(batch.size());
+    for (const auto& p : batch) scores.push_back(objective(p));
+    return scores;
+  };
+}
+
 GridSpec GridSpec::paper_neighbourhood() {
   return GridSpec{
       .v_width = {0.096, 0.144, 0.216},
@@ -13,26 +38,29 @@ GridSpec GridSpec::paper_neighbourhood() {
   };
 }
 
-SearchResult grid_search(const Objective& objective, const GridSpec& grid) {
+std::vector<ParamSet> GridSpec::expand() const {
+  std::vector<ParamSet> out;
+  out.reserve(size());
+  for (double w : v_width)
+    for (double q : v_q)
+      for (double a : alpha)
+        for (double b : beta) out.push_back(ParamSet{w, q, a, b});
+  return out;
+}
+
+SearchResult grid_search(const BatchObjective& objective,
+                         const GridSpec& grid) {
   PNS_EXPECTS(!grid.v_width.empty());
   PNS_EXPECTS(!grid.v_q.empty());
   PNS_EXPECTS(!grid.alpha.empty());
   PNS_EXPECTS(!grid.beta.empty());
-  SearchResult result;
-  result.evaluated.reserve(grid.size());
-  for (double w : grid.v_width)
-    for (double q : grid.v_q)
-      for (double a : grid.alpha)
-        for (double b : grid.beta) {
-          const ParamSet p{w, q, a, b};
-          const double score = objective(p);
-          result.evaluated.push_back({p, score});
-          if (score > result.best_score) {
-            result.best_score = score;
-            result.best = p;
-          }
-        }
-  return result;
+  std::vector<ParamSet> candidates = grid.expand();
+  const std::vector<double> scores = objective(candidates);
+  return make_search_result(std::move(candidates), scores);
+}
+
+SearchResult grid_search(const Objective& objective, const GridSpec& grid) {
+  return grid_search(batched(objective), grid);
 }
 
 }  // namespace pns::opt

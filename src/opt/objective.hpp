@@ -6,9 +6,13 @@
 // configurable solar scenario; search drivers (grid/random) maximise it.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <string>
+#include <vector>
 
 #include "sim/experiment.hpp"
+#include "sweep/runner.hpp"
 
 namespace pns::opt {
 
@@ -50,6 +54,59 @@ class StabilityObjective {
   const soc::Platform* platform_;
   sim::SolarScenario scenario_;
   sim::SimConfig base_;
+};
+
+/// Execution options for the SweepRunner-backed batch objective.
+struct SweepObjectiveOptions {
+  /// Worker threads for the evaluation batch (sweep::SweepRunnerOptions
+  /// semantics: 0 = hardware concurrency).
+  unsigned threads = 0;
+  /// Non-empty: checkpoint every evaluated candidate to this journal and
+  /// reuse completed evaluations on a re-run -- an interrupted overnight
+  /// parameter study resumes exactly like an interrupted sweep. The
+  /// journal is keyed to the candidate batch, so it is only reusable
+  /// across runs of the *same* search (same grid / same random seed).
+  std::string journal_path;
+  /// Sweep identity recorded in the journal header.
+  std::string journal_name = "opt";
+};
+
+/// Batch form of the §III stability objective, evaluated through
+/// sweep::SweepRunner: every candidate tuning becomes a power-neutral
+/// ScenarioSpec over a shared base scenario, the batch fans out across the
+/// runner's thread pool, and each score is the scenario's fraction of time
+/// in the voltage band. For identical base scenarios the scores are
+/// bit-identical to the point-wise StabilityObjective (same experiment
+/// entry point, deterministic engine) -- parameter search simply inherits
+/// the sweep service's parallelism, checkpointing and sharding.
+///
+/// Scoring convention: invalid parameter sets score -1 without being
+/// simulated; a scenario that *fails* (engine threw) also scores -1.
+class SweepStabilityObjective {
+ public:
+  /// `base` carries everything but the controller tuning (window, weather,
+  /// storage node, platform); its control field is overwritten per
+  /// candidate.
+  explicit SweepStabilityObjective(sweep::ScenarioSpec base,
+                                   SweepObjectiveOptions options = {});
+
+  /// The paper-standard study: 15-minute partial-sun window, 47 mF buffer,
+  /// MPP-centred 5 % band. Score-identical to
+  /// StabilityObjective::standard(platform, seed).
+  static SweepStabilityObjective standard(const soc::Platform& platform,
+                                          std::uint64_t seed = 7,
+                                          SweepObjectiveOptions options = {});
+
+  /// Usable anywhere a BatchObjective is accepted.
+  std::vector<double> operator()(const std::vector<ParamSet>& batch) const;
+
+  /// The spec a candidate resolves to (exposed for tests). The label
+  /// encodes the tuning, so journals detect a changed candidate set.
+  sweep::ScenarioSpec scenario_for(const ParamSet& p) const;
+
+ private:
+  sweep::ScenarioSpec base_;
+  SweepObjectiveOptions options_;
 };
 
 }  // namespace pns::opt

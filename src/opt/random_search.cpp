@@ -13,14 +13,14 @@ double log_uniform(pns::Rng& rng, double lo, double hi) {
   return std::exp(rng.uniform(std::log(lo), std::log(hi)));
 }
 
-}  // namespace
-
-SearchResult random_search(const Objective& objective,
-                           const RandomSearchSpec& spec) {
-  PNS_EXPECTS(spec.iterations > 0);
+// Draws the whole candidate set up front. The RNG stream is consumed in
+// exactly the order the old interleaved draw-evaluate loop consumed it,
+// so results for a given seed are unchanged -- but evaluation can now
+// happen as one batch (parallel when the objective is sweep-backed).
+std::vector<ParamSet> draw_candidates(const RandomSearchSpec& spec) {
   pns::Rng rng(spec.seed);
-  SearchResult result;
-  result.evaluated.reserve(spec.iterations);
+  std::vector<ParamSet> out;
+  out.reserve(spec.iterations);
   for (std::size_t i = 0; i < spec.iterations; ++i) {
     ParamSet p{};
     for (int attempt = 0; attempt < 64; ++attempt) {
@@ -30,14 +30,24 @@ SearchResult random_search(const Objective& objective,
       p.beta = log_uniform(rng, spec.beta_lo, spec.beta_hi);
       if (p.valid()) break;
     }
-    const double score = objective(p);
-    result.evaluated.push_back({p, score});
-    if (score > result.best_score) {
-      result.best_score = score;
-      result.best = p;
-    }
+    out.push_back(p);
   }
-  return result;
+  return out;
+}
+
+}  // namespace
+
+SearchResult random_search(const BatchObjective& objective,
+                           const RandomSearchSpec& spec) {
+  PNS_EXPECTS(spec.iterations > 0);
+  std::vector<ParamSet> candidates = draw_candidates(spec);
+  const std::vector<double> scores = objective(candidates);
+  return make_search_result(std::move(candidates), scores);
+}
+
+SearchResult random_search(const Objective& objective,
+                           const RandomSearchSpec& spec) {
+  return random_search(batched(objective), spec);
 }
 
 }  // namespace pns::opt

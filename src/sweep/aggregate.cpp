@@ -59,10 +59,69 @@ SummaryRow summarize(const SweepOutcome& outcome) {
   return row;
 }
 
+void write_summary_row_json(JsonWriter& w, const SummaryRow& r) {
+  w.begin_object();
+  w.kv("label", r.label);
+  w.kv("condition", r.condition);
+  w.kv("control", r.control);
+  w.kv("capacitance_f", r.capacitance_f);
+  w.kv("seed", static_cast<std::uint64_t>(r.seed));
+  w.kv("ok", r.ok);
+  if (!r.ok) w.kv("error", r.error);
+  w.kv("duration_s", r.duration_s);
+  w.kv("lifetime_s", r.lifetime_s);
+  w.kv("brownouts", static_cast<std::uint64_t>(r.brownouts));
+  w.kv("renders_per_min", r.renders_per_min);
+  w.kv("instructions", r.instructions);
+  w.kv("energy_harvested_j", r.energy_harvested_j);
+  w.kv("energy_consumed_j", r.energy_consumed_j);
+  w.kv("neutrality_error", r.neutrality_error);
+  w.kv("fraction_in_band", r.fraction_in_band);
+  w.kv("vc_mean", r.vc_mean);
+  w.kv("vc_stddev", r.vc_stddev);
+  w.kv("vc_min", r.vc_min);
+  w.kv("vc_max", r.vc_max);
+  w.kv("dwell_mode_v", r.dwell_mode_v);
+  w.kv("interrupts", static_cast<std::uint64_t>(r.interrupts));
+  w.kv("cpu_overhead", r.cpu_overhead);
+  w.end_object();
+}
+
+SummaryRow summary_row_from_json(const JsonValue& v) {
+  SummaryRow r;
+  r.label = v.at("label").as_string();
+  r.condition = v.at("condition").as_string();
+  r.control = v.at("control").as_string();
+  r.capacitance_f = v.at("capacitance_f").as_double();
+  r.seed = v.at("seed").as_uint64();
+  r.ok = v.at("ok").as_bool();
+  if (const JsonValue* e = v.find("error")) r.error = e->as_string();
+  r.duration_s = v.at("duration_s").as_double();
+  r.lifetime_s = v.at("lifetime_s").as_double();
+  r.brownouts = v.at("brownouts").as_uint64();
+  r.renders_per_min = v.at("renders_per_min").as_double();
+  r.instructions = v.at("instructions").as_double();
+  r.energy_harvested_j = v.at("energy_harvested_j").as_double();
+  r.energy_consumed_j = v.at("energy_consumed_j").as_double();
+  r.neutrality_error = v.at("neutrality_error").as_double();
+  r.fraction_in_band = v.at("fraction_in_band").as_double();
+  r.vc_mean = v.at("vc_mean").as_double();
+  r.vc_stddev = v.at("vc_stddev").as_double();
+  r.vc_min = v.at("vc_min").as_double();
+  r.vc_max = v.at("vc_max").as_double();
+  r.dwell_mode_v = v.at("dwell_mode_v").as_double();
+  r.interrupts = v.at("interrupts").as_uint64();
+  r.cpu_overhead = v.at("cpu_overhead").as_double();
+  return r;
+}
+
 Aggregator::Aggregator(const std::vector<SweepOutcome>& outcomes) {
   rows_.reserve(outcomes.size());
   for (const auto& o : outcomes) rows_.push_back(summarize(o));
 }
+
+Aggregator::Aggregator(std::vector<SummaryRow> rows)
+    : rows_(std::move(rows)) {}
 
 std::size_t Aggregator::failed_count() const {
   std::size_t n = 0;
@@ -127,33 +186,7 @@ void Aggregator::write_json(std::ostream& os) const {
   w.kv("failed", failed_count());
   w.key("rows");
   w.begin_array();
-  for (const auto& r : rows_) {
-    w.begin_object();
-    w.kv("label", r.label);
-    w.kv("condition", r.condition);
-    w.kv("control", r.control);
-    w.kv("capacitance_f", r.capacitance_f);
-    w.kv("seed", static_cast<std::uint64_t>(r.seed));
-    w.kv("ok", r.ok);
-    if (!r.ok) w.kv("error", r.error);
-    w.kv("duration_s", r.duration_s);
-    w.kv("lifetime_s", r.lifetime_s);
-    w.kv("brownouts", static_cast<std::uint64_t>(r.brownouts));
-    w.kv("renders_per_min", r.renders_per_min);
-    w.kv("instructions", r.instructions);
-    w.kv("energy_harvested_j", r.energy_harvested_j);
-    w.kv("energy_consumed_j", r.energy_consumed_j);
-    w.kv("neutrality_error", r.neutrality_error);
-    w.kv("fraction_in_band", r.fraction_in_band);
-    w.kv("vc_mean", r.vc_mean);
-    w.kv("vc_stddev", r.vc_stddev);
-    w.kv("vc_min", r.vc_min);
-    w.kv("vc_max", r.vc_max);
-    w.kv("dwell_mode_v", r.dwell_mode_v);
-    w.kv("interrupts", static_cast<std::uint64_t>(r.interrupts));
-    w.kv("cpu_overhead", r.cpu_overhead);
-    w.end_object();
-  }
+  for (const auto& r : rows_) write_summary_row_json(w, r);
   w.end_array();
   w.end_object();
   os << '\n';

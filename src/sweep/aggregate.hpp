@@ -14,7 +14,8 @@
 #include <string>
 #include <vector>
 
-#include "sweep/runner.hpp"
+#include "sweep/scenario.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 
 namespace pns::sweep {
@@ -54,10 +55,25 @@ struct SummaryRow {
 /// Reduces one outcome to its summary row.
 SummaryRow summarize(const SweepOutcome& outcome);
 
+/// Emits one row as a JSON object on `w` (which must be positioned where
+/// a value is legal). Shared by the aggregate report and the checkpoint
+/// journal so both serialise rows identically.
+void write_summary_row_json(JsonWriter& w, const SummaryRow& row);
+
+/// Rebuilds a row from its JSON object form. Every numeric field is
+/// written with shortest_double(), so a parsed row is bit-identical to
+/// the one that was serialised -- the property the resume/merge paths
+/// rely on for byte-stable aggregates. Throws JsonError on missing or
+/// mistyped fields.
+SummaryRow summary_row_from_json(const JsonValue& v);
+
 /// Reduces outcomes into rows (spec order preserved) and serialises them.
 class Aggregator {
  public:
   explicit Aggregator(const std::vector<SweepOutcome>& outcomes);
+  /// Builds the aggregate from pre-reduced rows (checkpoint resume and
+  /// journal merge, where full SweepOutcomes no longer exist).
+  explicit Aggregator(std::vector<SummaryRow> rows);
 
   const std::vector<SummaryRow>& rows() const { return rows_; }
   std::size_t failed_count() const;

@@ -1,0 +1,122 @@
+#include "sweep/journal.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "util/json.hpp"
+
+namespace pns::sweep {
+
+namespace {
+
+constexpr const char* kJournalKind = "pns-sweep-journal";
+constexpr int kJournalVersion = 1;
+
+}  // namespace
+
+JournalWriter JournalWriter::create(const std::string& path,
+                                    const JournalHeader& header) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw JournalError("cannot create journal: " + path);
+  std::ostringstream line;
+  JsonWriter w(line, JsonStyle::kCompact);
+  w.begin_object();
+  w.kv("kind", kJournalKind);
+  w.kv("version", kJournalVersion);
+  w.kv("sweep", header.sweep);
+  w.kv("total", static_cast<std::uint64_t>(header.total));
+  w.end_object();
+  out << line.str() << '\n';
+  out.flush();
+  return JournalWriter(std::move(out));
+}
+
+JournalWriter JournalWriter::append_to(const std::string& path) {
+  std::ofstream out(path, std::ios::app);
+  if (!out) throw JournalError("cannot open journal for append: " + path);
+  return JournalWriter(std::move(out));
+}
+
+void JournalWriter::append(std::size_t index, const SummaryRow& row) {
+  std::ostringstream line;
+  JsonWriter w(line, JsonStyle::kCompact);
+  w.begin_object();
+  w.kv("kind", "row");
+  w.kv("i", static_cast<std::uint64_t>(index));
+  w.key("row");
+  write_summary_row_json(w, row);
+  w.end_object();
+  // One whole line per append, flushed, so a kill can only tear the line
+  // being written -- which read_journal drops.
+  out_ << line.str() << '\n';
+  out_.flush();
+}
+
+JournalContents read_journal(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw JournalError("cannot open journal: " + path);
+
+  JournalContents contents;
+  std::string line;
+  bool header_seen = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    JsonValue doc;
+    try {
+      doc = parse_json(line);
+    } catch (const JsonError&) {
+      // A torn trailing line from a killed run -- or corruption; either
+      // way the row was not durably recorded, so skip and count it.
+      ++contents.dropped_lines;
+      continue;
+    }
+    try {
+      const std::string kind = doc.at("kind").as_string();
+      if (!header_seen) {
+        if (kind != kJournalKind)
+          throw JournalError(path + ": first line is not a journal header");
+        if (doc.at("version").as_int64() != kJournalVersion)
+          throw JournalError(path + ": unsupported journal version");
+        contents.header.sweep = doc.at("sweep").as_string();
+        contents.header.total =
+            static_cast<std::size_t>(doc.at("total").as_uint64());
+        header_seen = true;
+        continue;
+      }
+      if (kind != "row") {
+        ++contents.dropped_lines;
+        continue;
+      }
+      const auto index = static_cast<std::size_t>(doc.at("i").as_uint64());
+      // Later appends win: a resume that re-ran a scenario whose line was
+      // torn must supersede nothing, but double-appended completes rows
+      // are identical anyway (deterministic simulation).
+      contents.rows.insert_or_assign(index,
+                                     summary_row_from_json(doc.at("row")));
+    } catch (const JsonError& e) {
+      if (!header_seen)
+        throw JournalError(path + ": malformed journal header (" +
+                           e.what() + ")");
+      ++contents.dropped_lines;
+    }
+  }
+  if (!header_seen)
+    throw JournalError(path + ": empty journal (no header line)");
+  return contents;
+}
+
+JournalContents read_journal(const std::string& path,
+                             const JournalHeader& expected) {
+  JournalContents contents = read_journal(path);
+  if (contents.header != expected) {
+    throw JournalError(
+        path + ": journal belongs to sweep '" + contents.header.sweep +
+        "' with " + std::to_string(contents.header.total) +
+        " scenarios, expected '" + expected.sweep + "' with " +
+        std::to_string(expected.total) +
+        " -- refusing to mix sweeps (delete the journal to start over)");
+  }
+  return contents;
+}
+
+}  // namespace pns::sweep

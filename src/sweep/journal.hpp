@@ -1,0 +1,94 @@
+// Append-only checkpoint journal for sweep runs.
+//
+// A journal is a JSON Lines file: a header line identifying the sweep it
+// belongs to, then one compact-JSON row per *completed* scenario, written
+// and flushed as each scenario finishes. Because every line is appended
+// whole and flushed, a killed run leaves at most one torn trailing line
+// -- which the reader detects and drops -- so `pns_sweep --resume` (and
+// SweepRunner::resume) continue from the last completed scenario instead
+// of restarting an overnight sweep from zero.
+//
+// Entries carry the *global* spec index, so N shard workers
+// (`pns_sweep <sweep> --shard k/N --journal part-k.jsonl`) each append a
+// partial journal and `pns_sweep merge` folds them back into the
+// canonical aggregate, byte-identical to a single-process run (numeric
+// fields round-trip exactly via shortest_double; see aggregate.hpp).
+//
+// Format, one JSON document per line:
+//   {"kind":"pns-sweep-journal","version":1,"sweep":"table2","total":18}
+//   {"kind":"row","i":0,"row":{...aggregate row object...}}
+//   {"kind":"row","i":7,"row":{...}}
+#pragma once
+
+#include <cstddef>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "sweep/aggregate.hpp"
+
+namespace pns::sweep {
+
+/// Identity of the sweep a journal belongs to. Resume and merge refuse a
+/// journal whose header does not match the sweep being (re)run -- mixing
+/// rows of two different sweeps would silently corrupt the aggregate.
+struct JournalHeader {
+  std::string sweep;      ///< sweep name (preset name, or caller-chosen)
+  std::size_t total = 0;  ///< scenario count of the *full* (unsharded) sweep
+
+  bool operator==(const JournalHeader&) const = default;
+};
+
+/// Everything read back from a journal file.
+struct JournalContents {
+  JournalHeader header;
+  /// Completed rows keyed by global spec index.
+  std::map<std::size_t, SummaryRow> rows;
+  /// Torn or unparseable lines that were skipped (at most the trailing
+  /// line after a kill; more indicates external corruption).
+  std::size_t dropped_lines = 0;
+};
+
+/// Error raised for a missing/unreadable journal, a malformed header, or
+/// a header that does not match the expected sweep identity.
+class JournalError : public std::runtime_error {
+ public:
+  explicit JournalError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Appends journal lines to a file, flushing after every line so a kill
+/// loses at most the scenario in flight. Not thread-safe: callers
+/// serialise appends (SweepRunner's on_outcome hook already runs under a
+/// mutex).
+class JournalWriter {
+ public:
+  /// Creates (truncating) `path` and writes the header line.
+  static JournalWriter create(const std::string& path,
+                              const JournalHeader& header);
+
+  /// Opens `path` for appending without touching existing contents. The
+  /// caller is expected to have validated the header via read_journal.
+  static JournalWriter append_to(const std::string& path);
+
+  /// Appends one completed row under its global spec index.
+  void append(std::size_t index, const SummaryRow& row);
+
+ private:
+  explicit JournalWriter(std::ofstream out) : out_(std::move(out)) {}
+
+  std::ofstream out_;
+};
+
+/// Reads a journal back, dropping a torn trailing line (and counting any
+/// other unparseable lines). Later duplicates of an index win, so a row
+/// appended twice (e.g. two resumes racing) stays consistent. Throws
+/// JournalError when the file cannot be opened or its header is missing
+/// or malformed.
+JournalContents read_journal(const std::string& path);
+
+/// Reads and validates against an expected identity in one step.
+JournalContents read_journal(const std::string& path,
+                             const JournalHeader& expected);
+
+}  // namespace pns::sweep

@@ -68,6 +68,8 @@ SweepSpec fig6_depth_sweep() {
   return sw;
 }
 
+SweepSpec quick_sweep() { return table2_sweep(2.0, {42, 43}); }
+
 SweepSpec weather_sweep(double minutes) {
   SweepSpec sw;
   sw.base.t_start = 12.0 * 3600.0;

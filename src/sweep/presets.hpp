@@ -40,4 +40,10 @@ SweepSpec fig6_depth_sweep();
 /// Weather conditions x {pns, ondemand, powersave}, midday window.
 SweepSpec weather_sweep(double minutes = 60.0);
 
+/// CI smoke preset: the Table II schemes over a 2-minute window and two
+/// seeds (12 scenarios, well under a second of wall-clock). Exercises
+/// every control path without the cost of a full table2 run; the
+/// shard/merge/resume CI smoke and the CLI tests run on this.
+SweepSpec quick_sweep();
+
 }  // namespace pns::sweep

@@ -1,0 +1,182 @@
+#include "sweep/refine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <stdexcept>
+
+#include "util/contracts.hpp"
+
+namespace pns::sweep {
+
+namespace {
+
+std::string fmt_mf(double farads) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%gmF", farads * 1e3);
+  return buf;
+}
+
+// Scenario identity with the capacitance axis removed: rows sharing a key
+// form one curve along the capacitance axis.
+std::string group_key(const ScenarioSpec& s) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%s|%d|%s|%.17g|%llu|%.17g|%.17g",
+                to_string(s.source), static_cast<int>(s.condition),
+                s.control.label().c_str(), s.shadow.depth,
+                static_cast<unsigned long long>(s.seed), s.t_start, s.t_end);
+  return buf;
+}
+
+std::string midpoint_label(const ScenarioSpec& lower, double mid_f) {
+  const std::string old_token = fmt_mf(lower.capacitance_f);
+  const std::string new_token = fmt_mf(mid_f);
+  std::string label = lower.label;
+  const std::size_t pos = label.rfind(old_token);
+  if (pos != std::string::npos) {
+    label.replace(pos, old_token.size(), new_token);
+  } else {
+    // The pass had a single-valued capacitance axis, so expand() put no
+    // capacitance token in the label; append one.
+    label += "/";
+    label += new_token;
+  }
+  return label;
+}
+
+struct Entry {
+  ScenarioSpec spec;
+  SummaryRow row;
+};
+
+struct Group {
+  std::vector<Entry> entries;  ///< kept sorted by ascending capacitance
+
+  void insert_sorted(Entry e) {
+    auto it = std::lower_bound(entries.begin(), entries.end(), e,
+                               [](const Entry& a, const Entry& b) {
+                                 return a.spec.capacitance_f <
+                                        b.spec.capacitance_f;
+                               });
+    entries.insert(it, std::move(e));
+  }
+};
+
+}  // namespace
+
+MetricFn metric_accessor(const std::string& name) {
+  if (name == "capacitance_f")
+    return [](const SummaryRow& r) { return r.capacitance_f; };
+  if (name == "duration_s")
+    return [](const SummaryRow& r) { return r.duration_s; };
+  if (name == "lifetime_s")
+    return [](const SummaryRow& r) { return r.lifetime_s; };
+  if (name == "brownouts")
+    return [](const SummaryRow& r) {
+      return static_cast<double>(r.brownouts);
+    };
+  if (name == "renders_per_min")
+    return [](const SummaryRow& r) { return r.renders_per_min; };
+  if (name == "instructions")
+    return [](const SummaryRow& r) { return r.instructions; };
+  if (name == "energy_harvested_j")
+    return [](const SummaryRow& r) { return r.energy_harvested_j; };
+  if (name == "energy_consumed_j")
+    return [](const SummaryRow& r) { return r.energy_consumed_j; };
+  if (name == "neutrality_error")
+    return [](const SummaryRow& r) { return r.neutrality_error; };
+  if (name == "fraction_in_band")
+    return [](const SummaryRow& r) { return r.fraction_in_band; };
+  if (name == "vc_mean")
+    return [](const SummaryRow& r) { return r.vc_mean; };
+  if (name == "vc_stddev")
+    return [](const SummaryRow& r) { return r.vc_stddev; };
+  if (name == "vc_min") return [](const SummaryRow& r) { return r.vc_min; };
+  if (name == "vc_max") return [](const SummaryRow& r) { return r.vc_max; };
+  if (name == "dwell_mode_v")
+    return [](const SummaryRow& r) { return r.dwell_mode_v; };
+  if (name == "interrupts")
+    return [](const SummaryRow& r) {
+      return static_cast<double>(r.interrupts);
+    };
+  if (name == "cpu_overhead")
+    return [](const SummaryRow& r) { return r.cpu_overhead; };
+  return nullptr;
+}
+
+bool rows_diverge(double a, double b, double tolerance) {
+  if (!std::isfinite(a) || !std::isfinite(b)) return a != b;
+  const double scale = std::max(std::fabs(a), std::fabs(b));
+  return std::fabs(a - b) > tolerance * scale;
+}
+
+RefineResult refine_capacitance_axis(const SweepRunner& runner,
+                                     const std::vector<ScenarioSpec>& specs,
+                                     const std::vector<SummaryRow>& rows,
+                                     const RefineOptions& options) {
+  PNS_EXPECTS(specs.size() == rows.size());
+  PNS_EXPECTS(options.max_depth >= 0);
+  PNS_EXPECTS(options.tolerance >= 0.0);
+  const MetricFn metric = metric_accessor(options.metric);
+  if (!metric)
+    throw std::invalid_argument("refine: unknown or non-numeric metric '" +
+                                options.metric + "'");
+
+  // Bucket the pass into capacitance curves, groups in first-appearance
+  // order so the output ordering is deterministic.
+  std::vector<Group> groups;
+  std::map<std::string, std::size_t> group_of;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const std::string key = group_key(specs[i]);
+    auto [it, inserted] = group_of.try_emplace(key, groups.size());
+    if (inserted) groups.emplace_back();
+    groups[it->second].insert_sorted(Entry{specs[i], rows[i]});
+  }
+
+  RefineResult result;
+  for (int round = 0; round < options.max_depth; ++round) {
+    // One batch per round: every diverging interval across every group
+    // contributes its midpoint, and the whole batch runs in parallel.
+    std::vector<ScenarioSpec> batch;
+    std::vector<std::size_t> batch_group;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      const auto& entries = groups[g].entries;
+      for (std::size_t i = 0; i + 1 < entries.size(); ++i) {
+        const Entry& lo = entries[i];
+        const Entry& hi = entries[i + 1];
+        if (!lo.row.ok || !hi.row.ok) continue;
+        if (hi.spec.capacitance_f - lo.spec.capacitance_f <=
+            options.min_gap_f)
+          continue;
+        if (!rows_diverge(metric(lo.row), metric(hi.row),
+                          options.tolerance))
+          continue;
+        const double mid =
+            0.5 * (lo.spec.capacitance_f + hi.spec.capacitance_f);
+        if (mid <= lo.spec.capacitance_f || mid >= hi.spec.capacitance_f)
+          continue;  // interval no longer representable
+        ScenarioSpec spec = lo.spec;
+        spec.capacitance_f = mid;
+        spec.label = midpoint_label(lo.spec, mid);
+        batch.push_back(std::move(spec));
+        batch_group.push_back(g);
+      }
+    }
+    if (batch.empty()) break;
+
+    const auto outcomes = runner.run(batch);
+    for (std::size_t i = 0; i < outcomes.size(); ++i)
+      groups[batch_group[i]].insert_sorted(
+          Entry{batch[i], summarize(outcomes[i])});
+    result.added += batch.size();
+    ++result.rounds;
+  }
+
+  result.rows.reserve(specs.size() + result.added);
+  for (const auto& g : groups)
+    for (const auto& e : g.entries) result.rows.push_back(e.row);
+  return result;
+}
+
+}  // namespace pns::sweep

@@ -1,0 +1,68 @@
+// Adaptive refinement of the capacitance axis.
+//
+// A coarse capacitance sweep brackets the paper's brownout boundary (the
+// buffer size below which the node collapses during a lull) with whatever
+// grid the preset happened to use. Refinement finds it automatically:
+// after a full pass, every pair of capacitance-adjacent rows whose chosen
+// metric diverges beyond a tolerance gets a new scenario at the interval
+// midpoint, the batch of midpoints runs through the same SweepRunner, and
+// the process repeats up to a depth limit. The result localises the
+// boundary to grid_spacing / 2^depth without paying for a uniformly fine
+// grid.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sweep/runner.hpp"
+
+namespace pns::sweep {
+
+struct RefineOptions {
+  /// Aggregate column compared between adjacent rows. Any numeric column
+  /// of Aggregator::columns() ("brownouts", "lifetime_s",
+  /// "renders_per_min", ...); see metric_accessor().
+  std::string metric = "brownouts";
+  /// Relative divergence threshold between adjacent rows (see
+  /// rows_diverge()).
+  double tolerance = 0.25;
+  /// Maximum bisection rounds; each round halves the bracketing interval.
+  int max_depth = 3;
+  /// Intervals narrower than this (farads) are never split -- a floor on
+  /// how finely the axis can be localised.
+  double min_gap_f = 1e-4;
+};
+
+struct RefineResult {
+  /// All rows -- original plus refined -- grouped by everything except
+  /// capacitance (groups in first-appearance order) and sorted by
+  /// ascending capacitance within each group.
+  std::vector<SummaryRow> rows;
+  std::size_t added = 0;  ///< scenarios inserted by refinement
+  int rounds = 0;         ///< bisection rounds actually executed
+};
+
+/// Numeric accessor for an aggregate column name; nullptr when the column
+/// is unknown or non-numeric (label, condition, control, error).
+using MetricFn = double (*)(const SummaryRow&);
+MetricFn metric_accessor(const std::string& name);
+
+/// Divergence criterion: |a - b| > tolerance * max(|a|, |b|). Scale-free
+/// for large metrics, and any change from exactly zero (e.g. the first
+/// brownout) diverges -- which is what makes the brownout boundary a
+/// refinable feature.
+bool rows_diverge(double a, double b, double tolerance);
+
+/// Refines the capacitance axis of a completed pass. `specs` and `rows`
+/// are parallel (rows[i] summarises specs[i], both in expansion order);
+/// rows whose ok flag is false never trigger refinement. Midpoint
+/// scenarios are labelled "<neighbour label>" with the capacitance token
+/// replaced, keeping labels unique. Throws std::invalid_argument when
+/// options.metric names no numeric column.
+RefineResult refine_capacitance_axis(const SweepRunner& runner,
+                                     const std::vector<ScenarioSpec>& specs,
+                                     const std::vector<SummaryRow>& rows,
+                                     const RefineOptions& options);
+
+}  // namespace pns::sweep

@@ -115,6 +115,17 @@ sim::SimConfig make_sim_config(const ScenarioSpec& spec);
 /// concurrent run_scenario calls on distinct specs.
 sim::SimResult run_scenario(const ScenarioSpec& spec);
 
+/// What one scenario produced. `ok == false` means run_scenario threw;
+/// the exception text is preserved and the sweep continues (one diverging
+/// configuration must not sink a thousand-point overnight run).
+struct SweepOutcome {
+  ScenarioSpec spec;
+  sim::SimResult result;  ///< valid only when ok
+  bool ok = false;
+  std::string error;
+  double wall_s = 0.0;  ///< execution wall-clock (excluded from aggregates)
+};
+
 /// Cartesian product of sweep axes over a base scenario. An empty axis
 /// means "hold the base value"; non-empty axes multiply. Expansion order
 /// is deterministic: conditions (outermost), controls, capacitances,

@@ -3,12 +3,14 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "util/contracts.hpp"
 
 namespace pns {
 
-JsonWriter::JsonWriter(std::ostream& os) : os_(&os) {}
+JsonWriter::JsonWriter(std::ostream& os, JsonStyle style)
+    : os_(&os), style_(style) {}
 
 void JsonWriter::begin_object() {
   before_value();
@@ -23,7 +25,7 @@ void JsonWriter::end_object() {
   const bool had_items = has_items_.back();
   stack_.pop_back();
   has_items_.pop_back();
-  if (had_items) {
+  if (had_items && style_ == JsonStyle::kPretty) {
     (*os_) << '\n';
     indent();
   }
@@ -42,7 +44,7 @@ void JsonWriter::end_array() {
   const bool had_items = has_items_.back();
   stack_.pop_back();
   has_items_.pop_back();
-  if (had_items) {
+  if (had_items && style_ == JsonStyle::kPretty) {
     (*os_) << '\n';
     indent();
   }
@@ -54,9 +56,13 @@ void JsonWriter::key(const std::string& k) {
   PNS_EXPECTS(!key_pending_);
   if (has_items_.back()) (*os_) << ',';
   has_items_.back() = true;
-  (*os_) << '\n';
-  indent();
-  (*os_) << json_escape(k) << ": ";
+  if (style_ == JsonStyle::kPretty) {
+    (*os_) << '\n';
+    indent();
+    (*os_) << json_escape(k) << ": ";
+  } else {
+    (*os_) << json_escape(k) << ':';
+  }
   key_pending_ = true;
 }
 
@@ -114,8 +120,10 @@ void JsonWriter::before_value() {
   // Array element.
   if (has_items_.back()) (*os_) << ',';
   has_items_.back() = true;
-  (*os_) << '\n';
-  indent();
+  if (style_ == JsonStyle::kPretty) {
+    (*os_) << '\n';
+    indent();
+  }
 }
 
 void JsonWriter::indent() {
@@ -130,6 +138,275 @@ std::string shortest_double(double v) {
   }
   const auto res = std::to_chars(buf, buf + sizeof buf, v);
   return std::string(buf, res.ptr);
+}
+
+// ----------------------------------------------------------- parsing
+
+bool JsonValue::as_bool() const {
+  if (type_ != Type::kBool) throw JsonError("json: not a boolean");
+  return bool_;
+}
+
+double JsonValue::as_double() const {
+  if (type_ != Type::kNumber) throw JsonError("json: not a number");
+  // from_chars, not strtod: parsing must be locale-independent to match
+  // the locale-independent shortest_double emission bit for bit.
+  double v = 0.0;
+  std::from_chars(text_.data(), text_.data() + text_.size(), v);
+  return v;
+}
+
+std::int64_t JsonValue::as_int64() const {
+  if (type_ != Type::kNumber) throw JsonError("json: not a number");
+  return static_cast<std::int64_t>(std::strtoll(text_.c_str(), nullptr, 10));
+}
+
+std::uint64_t JsonValue::as_uint64() const {
+  if (type_ != Type::kNumber) throw JsonError("json: not a number");
+  return static_cast<std::uint64_t>(
+      std::strtoull(text_.c_str(), nullptr, 10));
+}
+
+const std::string& JsonValue::as_string() const {
+  if (type_ != Type::kString) throw JsonError("json: not a string");
+  return text_;
+}
+
+const std::string& JsonValue::number_token() const {
+  if (type_ != Type::kNumber) throw JsonError("json: not a number");
+  return text_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  if (type_ != Type::kArray) throw JsonError("json: not an array");
+  return items_;
+}
+
+const std::vector<JsonValue::Member>& JsonValue::members() const {
+  if (type_ != Type::kObject) throw JsonError("json: not an object");
+  return members_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : members_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const JsonValue* v = find(key);
+  if (!v) throw JsonError("json: missing key \"" + key + "\"");
+  return *v;
+}
+
+/// Recursive-descent parser over a string_view. Depth is bounded to keep
+/// hostile inputs from exhausting the stack; the formats this repo writes
+/// nest three levels deep.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw JsonError("json: " + why + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_ws();
+    const char c = peek();
+    JsonValue v;
+    switch (c) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"':
+        v.type_ = JsonValue::Type::kString;
+        v.text_ = parse_string();
+        return v;
+      case 't':
+        if (!consume_literal("true")) fail("invalid literal");
+        v.type_ = JsonValue::Type::kBool;
+        v.bool_ = true;
+        return v;
+      case 'f':
+        if (!consume_literal("false")) fail("invalid literal");
+        v.type_ = JsonValue::Type::kBool;
+        v.bool_ = false;
+        return v;
+      case 'n':
+        if (!consume_literal("null")) fail("invalid literal");
+        v.type_ = JsonValue::Type::kNull;
+        return v;
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object(int depth) {
+    JsonValue v;
+    v.type_ = JsonValue::Type::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.members_.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return v;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parse_array(int depth) {
+    JsonValue v;
+    v.type_ = JsonValue::Type::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.items_.push_back(parse_value(depth + 1));
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return v;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("unescaped control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = peek();
+      ++pos_;
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': out += parse_unicode_escape(); break;
+        default: fail("invalid escape");
+      }
+    }
+  }
+
+  std::string parse_unicode_escape() {
+    unsigned cp = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = peek();
+      ++pos_;
+      cp <<= 4;
+      if (c >= '0' && c <= '9') cp |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') cp |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') cp |= static_cast<unsigned>(c - 'A' + 10);
+      else fail("invalid \\u escape");
+    }
+    // UTF-8 encode. Surrogate pairs are not combined -- json_escape only
+    // emits \u00xx for control characters, which is all we need to read.
+    std::string out;
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+    return out;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-'))
+      fail("invalid number");
+    JsonValue v;
+    v.type_ = JsonValue::Type::kNumber;
+    v.text_ = std::string(text_.substr(start, pos_ - start));
+    // Validate with locale-independent from_chars: the token must parse
+    // and be consumed entirely.
+    double parsed = 0.0;
+    const auto res = std::from_chars(
+        v.text_.data(), v.text_.data() + v.text_.size(), parsed);
+    if (res.ec != std::errc{} || res.ptr != v.text_.data() + v.text_.size())
+      fail("invalid number");
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+JsonValue parse_json(std::string_view text) {
+  return JsonParser(text).parse_document();
 }
 
 std::string json_escape(const std::string& s) {

@@ -1,27 +1,40 @@
-// Minimal streaming JSON emission for experiment outputs.
+// Minimal streaming JSON emission + parsing for experiment outputs.
 //
 // Sweep aggregates are dumped as JSON so downstream analysis (notebooks,
-// dashboards) can ingest them without a CSV dialect guessing game. Only
-// writing is needed; the writer tracks container nesting and comma
-// placement so callers just emit keys and values in order.
+// dashboards) can ingest them without a CSV dialect guessing game. The
+// writer tracks container nesting and comma placement so callers just
+// emit keys and values in order. The parser exists for the formats this
+// repo itself writes (sweep checkpoint journals, bench reports): numbers
+// keep their raw token so a value written with shortest_double() reads
+// back as the bit-identical double.
 #pragma once
 
 #include <cstdint>
 #include <ostream>
+#include <stdexcept>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 namespace pns {
 
+/// How a JsonWriter lays out the document.
+enum class JsonStyle {
+  kPretty,   ///< newlines + two-space indentation (reports)
+  kCompact,  ///< no whitespace at all -- one document per line (journals)
+};
+
 /// Streams a single JSON document to an std::ostream. Containers are
-/// opened/closed explicitly; the writer inserts commas, newlines and
-/// two-space indentation. Misuse (a value where a key is required, close
-/// without open, ...) trips a contract violation rather than emitting
-/// malformed output.
+/// opened/closed explicitly; with JsonStyle::kPretty the writer inserts
+/// commas, newlines and two-space indentation, with kCompact it emits no
+/// whitespace so a document fits one journal line. Misuse (a value where
+/// a key is required, close without open, ...) trips a contract violation
+/// rather than emitting malformed output.
 class JsonWriter {
  public:
   /// Writes to an externally owned stream (not owned, must outlive this).
-  explicit JsonWriter(std::ostream& os);
+  explicit JsonWriter(std::ostream& os, JsonStyle style = JsonStyle::kPretty);
 
   void begin_object();
   void end_object();
@@ -58,11 +71,66 @@ class JsonWriter {
   void indent();
 
   std::ostream* os_;
+  JsonStyle style_;
   std::vector<Scope> stack_;
   std::vector<bool> has_items_;
   bool key_pending_ = false;
   bool root_written_ = false;
 };
+
+/// Error raised by parse_json on malformed input and by JsonValue
+/// accessors on type mismatches / missing keys. A distinct type (rather
+/// than a contract violation) because the input is external data -- a
+/// torn journal line, a truncated report -- that callers are expected to
+/// catch and handle.
+class JsonError : public std::runtime_error {
+ public:
+  explicit JsonError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// One parsed JSON node. Value semantics; object members preserve source
+/// order. Numbers keep their raw token text so integers outside the
+/// double-exact range survive and doubles written with shortest_double()
+/// round-trip bit-for-bit.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() = default;
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+
+  bool as_bool() const;
+  double as_double() const;        ///< exact for shortest_double() output
+  std::int64_t as_int64() const;
+  std::uint64_t as_uint64() const;
+  const std::string& as_string() const;
+  /// Raw number token as it appeared in the document.
+  const std::string& number_token() const;
+
+  const std::vector<JsonValue>& items() const;  ///< array elements
+  const std::vector<Member>& members() const;   ///< object members, in order
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const JsonValue* find(const std::string& key) const;
+  /// Object member lookup; throws JsonError when absent.
+  const JsonValue& at(const std::string& key) const;
+
+ private:
+  friend class JsonParser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  std::string text_;  ///< string value, or raw number token
+  std::vector<JsonValue> items_;
+  std::vector<Member> members_;
+};
+
+/// Parses one complete JSON document (trailing whitespace allowed,
+/// trailing garbage is an error). Throws JsonError on malformed input.
+JsonValue parse_json(std::string_view text);
 
 /// Escapes a string per RFC 8259 (quotes, backslash, control characters)
 /// and wraps it in double quotes.

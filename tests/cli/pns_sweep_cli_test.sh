@@ -1,0 +1,89 @@
+#!/bin/sh
+# CLI contract tests for pns_sweep, registered with ctest.
+#
+#   pns_sweep_cli_test.sh /path/to/pns_sweep
+#
+# Covers the error surfaces (unknown sweep/flag must name the valid
+# choices and exit non-zero, inconsistent flag combinations are refused)
+# and the checkpoint workflows end-to-end on the quick preset: a 2-shard
+# run merged, and an interrupted run resumed, must both produce a CSV
+# byte-identical to a single uninterrupted run.
+set -eu
+
+BIN=$1
+[ -x "$BIN" ] || { echo "pns_sweep binary not found: $BIN"; exit 1; }
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+cd "$WORK"
+
+fails=0
+fail() { echo "FAIL: $1"; fails=$((fails + 1)); }
+
+# --- diagnostics: unknown sweep / flag list the valid choices, exit != 0
+if "$BIN" no-such-sweep >out.txt 2>err.txt; then
+  fail "unknown sweep exited 0"
+fi
+grep -q "valid sweeps:" err.txt || fail "unknown sweep: choices not listed"
+grep -q "table2" err.txt || fail "unknown sweep: table2 missing from choices"
+
+if "$BIN" quick --no-such-flag >out.txt 2>err.txt; then
+  fail "unknown flag exited 0"
+fi
+grep -q "unknown option: --no-such-flag" err.txt || \
+  fail "unknown flag not named in diagnostics"
+
+if "$BIN" quick --pv-mode warp >out.txt 2>err.txt; then
+  fail "bad --pv-mode exited 0"
+fi
+grep -q "valid: exact, tabulated" err.txt || \
+  fail "bad --pv-mode: choices not listed"
+
+"$BIN" --help >/dev/null 2>&1 || fail "--help exited non-zero"
+
+# --- refused flag combinations
+"$BIN" quick --shard 0/2 --quiet 2>/dev/null && fail "--shard without --journal accepted"
+"$BIN" quick --resume --quiet 2>/dev/null && fail "--resume without --journal accepted"
+"$BIN" quick --shard 2/2 --journal j.jsonl --quiet 2>/dev/null && fail "--shard K>=N accepted"
+"$BIN" quick --shard x/y --journal j.jsonl --quiet 2>/dev/null && fail "malformed --shard accepted"
+"$BIN" quick --shard 0/2 --journal j.jsonl --csv p.csv --quiet 2>/dev/null && \
+  fail "--shard with --csv accepted (partial aggregate)"
+"$BIN" quick --refine --refine-metric bogus --quiet 2>/dev/null && \
+  fail "unknown --refine-metric accepted"
+
+# --- reference: one uninterrupted run
+"$BIN" quick --quiet --csv ref.csv --json ref.json >/dev/null || \
+  fail "reference quick run failed"
+
+# --- 2-shard + merge is byte-identical
+"$BIN" quick --quiet --shard 0/2 --journal s0.jsonl >/dev/null || fail "shard 0/2 failed"
+"$BIN" quick --quiet --shard 1/2 --journal s1.jsonl >/dev/null || fail "shard 1/2 failed"
+"$BIN" merge --quiet --csv merged.csv --json merged.json s0.jsonl s1.jsonl >/dev/null || \
+  fail "merge failed"
+cmp -s ref.csv merged.csv || fail "merged CSV differs from single-run CSV"
+cmp -s ref.json merged.json || fail "merged JSON differs from single-run JSON"
+
+# --- merge of an incomplete journal set is an error
+if "$BIN" merge --quiet --csv partial.csv s0.jsonl >/dev/null 2>err.txt; then
+  fail "merge of one shard exited 0"
+fi
+grep -q "missing" err.txt || fail "incomplete merge: no missing-shards message"
+
+# --- interrupt (one shard's worth of progress) + resume is byte-identical
+"$BIN" quick --quiet --shard 0/2 --journal r.jsonl >/dev/null || fail "partial run failed"
+"$BIN" quick --quiet --journal r.jsonl --csv resumed.csv >/dev/null 2>&1 && \
+  fail "existing journal without --resume accepted"
+"$BIN" quick --quiet --resume --journal r.jsonl --csv resumed.csv >resume_out.txt || \
+  fail "resume failed"
+grep -q "resumed from journal" resume_out.txt || fail "resume did not reuse journal rows"
+cmp -s ref.csv resumed.csv || fail "resumed CSV differs from single-run CSV"
+
+# --- a journal from different sweep parameters is refused
+"$BIN" quick --quiet --minutes 5 --resume --journal r.jsonl 2>err.txt && \
+  fail "journal reused across differing --minutes"
+
+if [ "$fails" -ne 0 ]; then
+  echo "$fails CLI check(s) failed"
+  exit 1
+fi
+echo "all CLI checks passed"

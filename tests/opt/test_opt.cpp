@@ -1,12 +1,19 @@
 // Tests for parameter search (opt/*): grid and random drivers on synthetic
 // objectives, plus a smoke test of the simulation-backed objective.
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
 
 #include "opt/grid_search.hpp"
 #include "opt/objective.hpp"
 #include "opt/random_search.hpp"
+#include "sweep/journal.hpp"
 #include "util/contracts.hpp"
 
 namespace pns::opt {
@@ -101,6 +108,108 @@ TEST(RandomSearch, MoreIterationsNeverWorse) {
   const auto a = random_search(synthetic, small);
   const auto b = random_search(synthetic, large);
   EXPECT_GE(b.best_score, a.best_score);  // same stream prefix
+}
+
+TEST(BatchSearch, GridBatchMatchesPointwise) {
+  const auto grid = GridSpec::paper_neighbourhood();
+  const auto pointwise = grid_search(synthetic, grid);
+  const auto batch = grid_search(batched(synthetic), grid);
+  ASSERT_EQ(batch.evaluated.size(), pointwise.evaluated.size());
+  for (std::size_t i = 0; i < batch.evaluated.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch.evaluated[i].score, pointwise.evaluated[i].score);
+    EXPECT_DOUBLE_EQ(batch.evaluated[i].params.beta,
+                     pointwise.evaluated[i].params.beta);
+  }
+  EXPECT_DOUBLE_EQ(batch.best_score, pointwise.best_score);
+  EXPECT_DOUBLE_EQ(batch.best.v_width, pointwise.best.v_width);
+}
+
+TEST(BatchSearch, GridExpandIsCanonicalOrder) {
+  GridSpec grid{{0.1, 0.2}, {0.05}, {0.1}, {0.3, 0.4}};
+  const auto candidates = grid.expand();
+  ASSERT_EQ(candidates.size(), 4u);
+  EXPECT_DOUBLE_EQ(candidates[0].v_width, 0.1);
+  EXPECT_DOUBLE_EQ(candidates[0].beta, 0.3);
+  EXPECT_DOUBLE_EQ(candidates[1].beta, 0.4);  // beta innermost
+  EXPECT_DOUBLE_EQ(candidates[2].v_width, 0.2);
+}
+
+TEST(BatchSearch, RandomBatchMatchesPointwise) {
+  RandomSearchSpec spec;
+  spec.iterations = 24;
+  spec.seed = 17;
+  const auto pointwise = random_search(synthetic, spec);
+  const auto batch = random_search(batched(synthetic), spec);
+  ASSERT_EQ(batch.evaluated.size(), pointwise.evaluated.size());
+  // The candidate stream must be identical: the batch overload consumes
+  // the RNG in the same order as the old interleaved loop.
+  for (std::size_t i = 0; i < batch.evaluated.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch.evaluated[i].params.v_width,
+                     pointwise.evaluated[i].params.v_width);
+    EXPECT_DOUBLE_EQ(batch.evaluated[i].score, pointwise.evaluated[i].score);
+  }
+  EXPECT_DOUBLE_EQ(batch.best_score, pointwise.best_score);
+}
+
+TEST(SweepStabilityObjective, BitIdenticalToPointwiseObjective) {
+  // The sweep-backed batch objective drives the same experiment entry
+  // point with the same configuration, so its scores are bit-identical to
+  // StabilityObjective -- parallel search changes nothing but wall-clock.
+  static soc::Platform platform = soc::Platform::odroid_xu4();
+  const std::uint64_t seed = 5;
+  const auto pointwise = StabilityObjective::standard(platform, seed);
+  const auto batch = SweepStabilityObjective::standard(platform, seed);
+
+  const std::vector<ParamSet> candidates = {
+      {0.144, 0.0479, 0.120, 0.479},  // the paper's optimum
+      {0.1, 0.2, 0.1, 0.5},           // invalid: vq >= width
+      {0.30, 0.05, 0.05, 0.60},
+  };
+  const auto scores = batch(candidates);
+  ASSERT_EQ(scores.size(), candidates.size());
+  EXPECT_EQ(scores[0], pointwise(candidates[0]));
+  EXPECT_DOUBLE_EQ(scores[1], -1.0);
+  EXPECT_EQ(scores[2], pointwise(candidates[2]));
+}
+
+TEST(SweepStabilityObjective, JournalCheckpointsEvaluations) {
+  static soc::Platform platform = soc::Platform::odroid_xu4();
+  const auto tmp = std::filesystem::temp_directory_path() /
+                   ("pns-opt-journal-" + std::to_string(::getpid()) +
+                    ".jsonl");
+  std::filesystem::remove(tmp);
+
+  SweepObjectiveOptions oopt;
+  oopt.threads = 2;
+  oopt.journal_path = tmp.string();
+  // Short window: this test pays for real simulations.
+  sweep::ScenarioSpec base;
+  base.platform = platform;
+  base.condition = trace::WeatherCondition::kPartialSun;
+  base.t_start = 12.0 * 3600.0;
+  base.t_end = base.t_start + 60.0;
+  base.seed = 3;
+  const SweepStabilityObjective objective(base, oopt);
+
+  const std::vector<ParamSet> candidates = {
+      {0.144, 0.0479, 0.120, 0.479}, {0.2, 0.08, 0.1, 0.3}};
+  const auto first = objective(candidates);
+  // Second evaluation answers from the journal; scores must be identical
+  // (and the journal holds one row per valid candidate).
+  const auto second = objective(candidates);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i)
+    EXPECT_EQ(first[i], second[i]);
+  const auto journal = sweep::read_journal(tmp.string());
+  EXPECT_EQ(journal.rows.size(), candidates.size());
+
+  // A changed base scenario (different seed/window/weather) must refuse
+  // the journal instead of silently returning the old study's scores.
+  sweep::ScenarioSpec other = base;
+  other.seed = base.seed + 1;
+  const SweepStabilityObjective mismatched(other, oopt);
+  EXPECT_THROW(mismatched(candidates), sweep::JournalError);
+  std::filesystem::remove(tmp);
 }
 
 TEST(StabilityObjective, ScoresRealSimulation) {

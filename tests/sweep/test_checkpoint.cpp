@@ -1,0 +1,308 @@
+// Tests for the checkpoint journal + shard/merge machinery: an
+// interrupted-then-resumed or N-shard-merged sweep must publish an
+// aggregate byte-identical to a single uninterrupted run.
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sweep/aggregate.hpp"
+#include "sweep/journal.hpp"
+#include "sweep/runner.hpp"
+#include "sweep/scenario.hpp"
+#include "util/contracts.hpp"
+
+namespace pns::sweep {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Unique-per-test scratch file, removed on destruction.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& stem) {
+    path_ = (fs::temp_directory_path() /
+             (stem + "-" + std::to_string(::getpid()) + ".jsonl"))
+                .string();
+    fs::remove(path_);
+  }
+  ~TempFile() { fs::remove(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// Six fast scenarios (30 simulated seconds each) exercising several
+// control paths, as in test_sweep.cpp.
+SweepSpec small_sweep() {
+  SweepSpec sw;
+  sw.base.t_start = 12.0 * 3600.0;
+  sw.base.t_end = sw.base.t_start + 30.0;
+  sw.base.record_series = false;
+  sw.controls = {ControlSpec::power_neutral(),
+                 ControlSpec::linux_governor("powersave"),
+                 ControlSpec::linux_governor("ondemand")};
+  sw.seeds = {11, 12};
+  return sw;
+}
+
+SweepRunner runner_with(unsigned threads) {
+  SweepRunnerOptions opt;
+  opt.threads = threads;
+  return SweepRunner(opt);
+}
+
+std::string csv_of(const std::vector<SummaryRow>& rows) {
+  std::ostringstream os;
+  Aggregator(rows).write_csv(os);
+  return os.str();
+}
+
+std::string json_of(const std::vector<SummaryRow>& rows) {
+  std::ostringstream os;
+  Aggregator(rows).write_json(os);
+  return os.str();
+}
+
+std::vector<SummaryRow> uninterrupted_rows(
+    const std::vector<ScenarioSpec>& specs) {
+  const auto outcomes = runner_with(2).run(specs);
+  std::vector<SummaryRow> rows;
+  rows.reserve(outcomes.size());
+  for (const auto& o : outcomes) rows.push_back(summarize(o));
+  return rows;
+}
+
+// ----------------------------------------------------------- journal
+
+TEST(Journal, RowsRoundTripBitExactly) {
+  const auto specs = small_sweep().expand();
+  const auto rows = uninterrupted_rows(specs);
+  TempFile file("pns-journal-roundtrip");
+
+  JournalWriter writer =
+      JournalWriter::create(file.path(), {"small", specs.size()});
+  for (std::size_t i = 0; i < rows.size(); ++i) writer.append(i, rows[i]);
+
+  const JournalContents contents = read_journal(file.path());
+  EXPECT_EQ(contents.header.sweep, "small");
+  EXPECT_EQ(contents.header.total, specs.size());
+  EXPECT_EQ(contents.dropped_lines, 0u);
+  ASSERT_EQ(contents.rows.size(), rows.size());
+  std::vector<SummaryRow> parsed;
+  for (const auto& [i, row] : contents.rows) {
+    EXPECT_EQ(i, parsed.size());
+    parsed.push_back(row);
+  }
+  // Bitwise-identical serialisation is the contract resume/merge rest on.
+  EXPECT_EQ(csv_of(parsed), csv_of(rows));
+  EXPECT_EQ(json_of(parsed), json_of(rows));
+}
+
+TEST(Journal, TornTrailingLineIsDropped) {
+  const auto specs = small_sweep().expand();
+  const auto rows = uninterrupted_rows(specs);
+  TempFile file("pns-journal-torn");
+  {
+    JournalWriter writer =
+        JournalWriter::create(file.path(), {"small", specs.size()});
+    writer.append(0, rows[0]);
+    writer.append(1, rows[1]);
+  }
+  {
+    // A kill mid-append leaves a prefix of a line with no newline.
+    std::ofstream torn(file.path(), std::ios::app);
+    torn << "{\"kind\":\"row\",\"i\":2,\"row\":{\"label\":\"trunc";
+  }
+  const JournalContents contents = read_journal(file.path());
+  EXPECT_EQ(contents.rows.size(), 2u);
+  EXPECT_EQ(contents.dropped_lines, 1u);
+}
+
+TEST(Journal, MissingHeaderRejected) {
+  TempFile file("pns-journal-noheader");
+  std::ofstream(file.path()) << "{\"kind\":\"row\",\"i\":0}\n";
+  EXPECT_THROW(read_journal(file.path()), JournalError);
+  EXPECT_THROW(read_journal("/no/such/journal.jsonl"), JournalError);
+}
+
+TEST(Journal, IdentityMismatchRejected) {
+  TempFile file("pns-journal-mismatch");
+  JournalWriter::create(file.path(), {"table2", 18});
+  EXPECT_NO_THROW(read_journal(file.path(), JournalHeader{"table2", 18}));
+  EXPECT_THROW(read_journal(file.path(), JournalHeader{"table2", 12}),
+               JournalError);
+  EXPECT_THROW(read_journal(file.path(), JournalHeader{"weather", 18}),
+               JournalError);
+}
+
+// ------------------------------------------------------------- resume
+
+TEST(SweepRunnerResume, FreshRunJournalsEveryScenario) {
+  const auto specs = small_sweep().expand();
+  TempFile file("pns-resume-fresh");
+  const auto report = runner_with(2).resume(specs, file.path(), "small");
+  EXPECT_EQ(report.reused, 0u);
+  EXPECT_EQ(report.executed, specs.size());
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_EQ(read_journal(file.path()).rows.size(), specs.size());
+  EXPECT_EQ(csv_of(report.rows), csv_of(uninterrupted_rows(specs)));
+}
+
+TEST(SweepRunnerResume, InterruptedRunResumesAndMatchesByteForByte) {
+  const auto specs = small_sweep().expand();
+  const auto full = uninterrupted_rows(specs);
+  const std::string reference_csv = csv_of(full);
+  const std::string reference_json = json_of(full);
+
+  // Simulate a run killed after K completed scenarios: a journal holding
+  // only the first K rows.
+  for (std::size_t k : {std::size_t{1}, std::size_t{4}}) {
+    TempFile file("pns-resume-k" + std::to_string(k));
+    {
+      JournalWriter writer =
+          JournalWriter::create(file.path(), {"small", specs.size()});
+      for (std::size_t i = 0; i < k; ++i) writer.append(i, full[i]);
+    }
+    const auto report = runner_with(2).resume(specs, file.path(), "small");
+    EXPECT_EQ(report.reused, k);
+    EXPECT_EQ(report.executed, specs.size() - k);
+    EXPECT_EQ(csv_of(report.rows), reference_csv);
+    EXPECT_EQ(json_of(report.rows), reference_json);
+    // The journal is now complete: a second resume simulates nothing.
+    const auto again = runner_with(2).resume(specs, file.path(), "small");
+    EXPECT_EQ(again.reused, specs.size());
+    EXPECT_EQ(again.executed, 0u);
+    EXPECT_EQ(csv_of(again.rows), reference_csv);
+  }
+}
+
+TEST(SweepRunnerResume, KilledMidAppendReRunsTheTornScenario) {
+  const auto specs = small_sweep().expand();
+  const auto full = uninterrupted_rows(specs);
+  TempFile file("pns-resume-torn");
+  {
+    JournalWriter writer =
+        JournalWriter::create(file.path(), {"small", specs.size()});
+    writer.append(0, full[0]);
+    writer.append(1, full[1]);
+  }
+  {
+    std::ofstream torn(file.path(), std::ios::app);
+    torn << "{\"kind\":\"row\",\"i\":2,\"row\":{\"label\"";
+  }
+  const auto report = runner_with(1).resume(specs, file.path(), "small");
+  EXPECT_EQ(report.reused, 2u);
+  EXPECT_EQ(report.executed, specs.size() - 2);
+  EXPECT_EQ(csv_of(report.rows), csv_of(full));
+}
+
+TEST(SweepRunnerResume, JournalFromDifferentSweepRejected) {
+  const auto specs = small_sweep().expand();
+  TempFile file("pns-resume-wrong");
+  JournalWriter::create(file.path(), {"small", specs.size() + 1});
+  EXPECT_THROW(runner_with(1).resume(specs, file.path(), "small"),
+               JournalError);
+}
+
+TEST(SweepRunnerResume, JournaledLabelMismatchRejected) {
+  const auto specs = small_sweep().expand();
+  const auto full = uninterrupted_rows(specs);
+  TempFile file("pns-resume-label");
+  {
+    JournalWriter writer =
+        JournalWriter::create(file.path(), {"small", specs.size()});
+    SummaryRow impostor = full[0];
+    impostor.label = "not-the-scenario";
+    writer.append(0, impostor);
+  }
+  EXPECT_THROW(runner_with(1).resume(specs, file.path(), "small"),
+               JournalError);
+}
+
+// -------------------------------------------------------------- shards
+
+TEST(ShardRange, PartitionsExactly) {
+  for (std::size_t total : {0u, 1u, 5u, 12u, 17u}) {
+    for (std::size_t n : {1u, 2u, 3u, 4u, 7u}) {
+      std::vector<int> covered(total, 0);
+      std::size_t prev_end = 0;
+      for (std::size_t k = 0; k < n; ++k) {
+        const ShardRange r = shard_range(total, k, n);
+        EXPECT_EQ(r.begin, prev_end);
+        prev_end = r.end;
+        for (std::size_t i = r.begin; i < r.end; ++i) ++covered[i];
+      }
+      EXPECT_EQ(prev_end, total);
+      for (std::size_t i = 0; i < total; ++i) EXPECT_EQ(covered[i], 1);
+    }
+  }
+  EXPECT_THROW(shard_range(10, 2, 2), ContractViolation);
+  EXPECT_THROW(shard_range(10, 0, 0), ContractViolation);
+}
+
+TEST(SweepRunnerShards, MergedShardJournalsMatchSingleRunByteForByte) {
+  const auto specs = small_sweep().expand();
+  const auto full = uninterrupted_rows(specs);
+  const std::string reference_csv = csv_of(full);
+  const std::string reference_json = json_of(full);
+
+  for (std::size_t n : {std::size_t{2}, std::size_t{4}}) {
+    // Each shard worker writes its own partial journal...
+    std::vector<TempFile> files;
+    files.reserve(n);
+    for (std::size_t k = 0; k < n; ++k)
+      files.emplace_back("pns-shard-" + std::to_string(n) + "-" +
+                         std::to_string(k));
+    for (std::size_t k = 0; k < n; ++k) {
+      const auto report = runner_with(2).run_checkpointed(
+          specs, files[k].path(), "small", shard_range(specs.size(), k, n));
+      EXPECT_EQ(report.executed, shard_range(specs.size(), k, n).size());
+    }
+    // ...and the merge (union by global index) reproduces the canonical
+    // aggregate exactly.
+    std::map<std::size_t, SummaryRow> merged;
+    for (const auto& f : files) {
+      JournalContents part =
+          read_journal(f.path(), JournalHeader{"small", specs.size()});
+      merged.insert(part.rows.begin(), part.rows.end());
+    }
+    ASSERT_EQ(merged.size(), specs.size());
+    std::vector<SummaryRow> rows;
+    for (auto& [i, row] : merged) rows.push_back(std::move(row));
+    EXPECT_EQ(csv_of(rows), reference_csv) << n << " shards";
+    EXPECT_EQ(json_of(rows), reference_json) << n << " shards";
+  }
+}
+
+TEST(SweepRunnerShards, InterruptedShardResumes) {
+  const auto specs = small_sweep().expand();
+  const auto full = uninterrupted_rows(specs);
+  const ShardRange range = shard_range(specs.size(), 1, 2);
+  TempFile file("pns-shard-resume");
+  {
+    // Shard worker died after its first scenario.
+    JournalWriter writer =
+        JournalWriter::create(file.path(), {"small", specs.size()});
+    writer.append(range.begin, full[range.begin]);
+  }
+  const auto report = runner_with(1).run_checkpointed(specs, file.path(),
+                                                      "small", range);
+  EXPECT_EQ(report.reused, 1u);
+  EXPECT_EQ(report.executed, range.size() - 1);
+  ASSERT_EQ(report.rows.size(), range.size());
+  std::vector<SummaryRow> expected(full.begin() + range.begin,
+                                   full.begin() + range.end);
+  EXPECT_EQ(csv_of(report.rows), csv_of(expected));
+}
+
+}  // namespace
+}  // namespace pns::sweep

@@ -1,0 +1,160 @@
+// Tests for adaptive capacitance-axis refinement (sweep/refine.hpp).
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sweep/aggregate.hpp"
+#include "sweep/refine.hpp"
+#include "sweep/runner.hpp"
+#include "sweep/scenario.hpp"
+
+namespace pns::sweep {
+namespace {
+
+// Two-point capacitance axis over a 30-second window: cheap enough that a
+// few bisection rounds stay fast.
+SweepSpec two_cap_sweep() {
+  SweepSpec sw;
+  sw.base.t_start = 12.0 * 3600.0;
+  sw.base.t_end = sw.base.t_start + 30.0;
+  sw.base.record_series = false;
+  sw.base.control = ControlSpec::linux_governor("powersave");
+  sw.capacitances_f = {22e-3, 47e-3};
+  return sw;
+}
+
+std::vector<SummaryRow> rows_of(const std::vector<ScenarioSpec>& specs) {
+  std::vector<SummaryRow> rows;
+  for (const auto& o : SweepRunner().run(specs)) rows.push_back(summarize(o));
+  return rows;
+}
+
+TEST(Refine, MetricAccessorCoversNumericColumns) {
+  for (const char* name :
+       {"lifetime_s", "brownouts", "renders_per_min", "instructions",
+        "energy_harvested_j", "energy_consumed_j", "neutrality_error",
+        "fraction_in_band", "vc_mean", "vc_stddev", "vc_min", "vc_max",
+        "dwell_mode_v", "interrupts", "cpu_overhead", "capacitance_f",
+        "duration_s"}) {
+    EXPECT_NE(metric_accessor(name), nullptr) << name;
+  }
+  EXPECT_EQ(metric_accessor("label"), nullptr);
+  EXPECT_EQ(metric_accessor("no-such-column"), nullptr);
+
+  SummaryRow r;
+  r.brownouts = 3;
+  r.vc_min = 4.25;
+  EXPECT_DOUBLE_EQ(metric_accessor("brownouts")(r), 3.0);
+  EXPECT_DOUBLE_EQ(metric_accessor("vc_min")(r), 4.25);
+}
+
+TEST(Refine, DivergenceCriterion) {
+  EXPECT_FALSE(rows_diverge(1.0, 1.0, 0.25));
+  EXPECT_FALSE(rows_diverge(100.0, 110.0, 0.25));
+  EXPECT_TRUE(rows_diverge(100.0, 10.0, 0.25));
+  // Any change away from exactly zero diverges: the brownout boundary.
+  EXPECT_TRUE(rows_diverge(0.0, 1.0, 0.25));
+  EXPECT_FALSE(rows_diverge(0.0, 0.0, 0.25));
+}
+
+TEST(Refine, UnknownMetricThrows) {
+  const auto specs = two_cap_sweep().expand();
+  const auto rows = rows_of(specs);
+  RefineOptions opt;
+  opt.metric = "label";
+  EXPECT_THROW(
+      refine_capacitance_axis(SweepRunner(), specs, rows, opt),
+      std::invalid_argument);
+}
+
+TEST(Refine, NoDivergenceLeavesPassUntouched) {
+  const auto specs = two_cap_sweep().expand();
+  const auto rows = rows_of(specs);
+  RefineOptions opt;
+  opt.metric = "instructions";
+  opt.tolerance = 1e9;  // nothing diverges at this tolerance
+  const auto result =
+      refine_capacitance_axis(SweepRunner(), specs, rows, opt);
+  EXPECT_EQ(result.added, 0u);
+  EXPECT_EQ(result.rounds, 0);
+  ASSERT_EQ(result.rows.size(), rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    EXPECT_EQ(result.rows[i].label, rows[i].label);
+}
+
+TEST(Refine, BisectsEveryDivergingIntervalUpToDepth) {
+  const auto specs = two_cap_sweep().expand();
+  ASSERT_EQ(specs.size(), 2u);
+  const auto rows = rows_of(specs);
+  RefineOptions opt;
+  opt.metric = "vc_mean";
+  opt.tolerance = 0.0;  // any trajectory difference diverges -> pure bisection
+  opt.max_depth = 2;
+  const auto result =
+      refine_capacitance_axis(SweepRunner(), specs, rows, opt);
+  // Round 1 splits [22, 47] -> +1; round 2 splits both halves -> +2.
+  EXPECT_EQ(result.added, 3u);
+  EXPECT_EQ(result.rounds, 2);
+  ASSERT_EQ(result.rows.size(), 5u);
+
+  // Capacitances ascend and labels stay unique.
+  std::set<std::string> labels;
+  for (std::size_t i = 0; i < result.rows.size(); ++i) {
+    labels.insert(result.rows[i].label);
+    if (i > 0) {
+      EXPECT_GT(result.rows[i].capacitance_f,
+                result.rows[i - 1].capacitance_f);
+    }
+  }
+  EXPECT_EQ(labels.size(), result.rows.size());
+  EXPECT_DOUBLE_EQ(result.rows[1].capacitance_f, 0.5 * (22e-3 + 34.5e-3));
+  EXPECT_DOUBLE_EQ(result.rows[2].capacitance_f, 34.5e-3);
+}
+
+TEST(Refine, MinGapStopsBisection) {
+  const auto specs = two_cap_sweep().expand();
+  const auto rows = rows_of(specs);
+  RefineOptions opt;
+  opt.metric = "vc_mean";
+  opt.tolerance = 0.0;  // any trajectory difference diverges -> pure bisection
+  opt.max_depth = 8;
+  opt.min_gap_f = 20e-3;  // the first split already lands under the floor
+  const auto result =
+      refine_capacitance_axis(SweepRunner(), specs, rows, opt);
+  EXPECT_EQ(result.added, 1u);
+  EXPECT_EQ(result.rounds, 1);
+}
+
+TEST(Refine, GroupsRefineIndependently) {
+  // Two conditions x two capacitances: refinement must bisect within each
+  // condition's curve, never across conditions.
+  SweepSpec sw = two_cap_sweep();
+  sw.conditions = {trace::WeatherCondition::kFullSun,
+                   trace::WeatherCondition::kPartialSun};
+  const auto specs = sw.expand();
+  ASSERT_EQ(specs.size(), 4u);
+  const auto rows = rows_of(specs);
+  RefineOptions opt;
+  opt.metric = "vc_mean";
+  opt.tolerance = 0.0;  // any trajectory difference diverges -> pure bisection
+  opt.max_depth = 1;
+  const auto result =
+      refine_capacitance_axis(SweepRunner(), specs, rows, opt);
+  EXPECT_EQ(result.added, 2u);  // one midpoint per condition curve
+  ASSERT_EQ(result.rows.size(), 6u);
+  // Each group of three: same condition, ascending capacitance.
+  for (std::size_t g = 0; g < 2; ++g) {
+    const auto& a = result.rows[3 * g];
+    const auto& b = result.rows[3 * g + 1];
+    const auto& c = result.rows[3 * g + 2];
+    EXPECT_EQ(a.condition, b.condition);
+    EXPECT_EQ(b.condition, c.condition);
+    EXPECT_LT(a.capacitance_f, b.capacitance_f);
+    EXPECT_LT(b.capacitance_f, c.capacitance_f);
+  }
+}
+
+}  // namespace
+}  // namespace pns::sweep

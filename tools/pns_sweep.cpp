@@ -9,26 +9,44 @@
 //   pns_sweep fig6 --threads 4      # Fig. 6: shadow depths x {static,pns}
 //   pns_sweep weather --json out.json --csv out.csv
 //
-// Sweep outputs are bit-identical across thread counts (verified by
-// tests/sweep/test_sweep.cpp), so --threads only changes wall-clock.
+// Production-sweep features (docs/sweeps.md has the full workflow):
+//
+//   pns_sweep table2 --journal t2.jsonl            # checkpoint every row
+//   pns_sweep table2 --journal t2.jsonl --resume   # continue after a kill
+//   pns_sweep table2 --shard 0/4 --journal p0.jsonl  # 1 of 4 workers
+//   pns_sweep merge --csv out.csv p0.jsonl p1.jsonl p2.jsonl p3.jsonl
+//   pns_sweep capacitance --refine --refine-metric brownouts
+//
+// Sweep outputs are bit-identical across thread counts, interruptions and
+// shard counts (verified by tests/sweep/), so --threads/--shard/--resume
+// only change wall-clock and durability, never the published aggregate.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "ehsim/sources.hpp"
 #include "sweep/aggregate.hpp"
+#include "sweep/journal.hpp"
 #include "sweep/presets.hpp"
+#include "sweep/refine.hpp"
 #include "sweep/runner.hpp"
 #include "sweep/scenario.hpp"
+#include "util/json.hpp"
 
 namespace {
 
 using namespace pns;
+
+constexpr const char* kSweepNames[] = {"table2", "capacitance", "fig6",
+                                       "weather", "quick"};
 
 struct Options {
   std::string sweep_name;
@@ -38,17 +56,30 @@ struct Options {
   std::string json_path;
   bool quiet = false;
   ehsim::PvSource::Mode pv_mode = ehsim::PvSource::Mode::kExact;
+
+  // Checkpointing / sharding.
+  std::string journal_path;
+  bool resume = false;
+  bool sharded = false;
+  std::size_t shard_k = 0;
+  std::size_t shard_n = 1;
+
+  // Adaptive refinement.
+  bool refine = false;
+  sweep::RefineOptions refine_options;
 };
 
 void usage(const char* argv0) {
   std::printf(
       "usage: %s <sweep> [options]\n"
+      "       %s merge [--csv PATH] [--json PATH] [--quiet] JOURNAL...\n"
       "\n"
       "sweeps:\n"
       "  table2       power-management schemes x 3 seeds (18 scenarios)\n"
       "  capacitance  buffer sizes x weather, PNS controller\n"
       "  fig6         shadowing depths x {static, controlled}\n"
       "  weather      weather conditions x control schemes\n"
+      "  quick        CI smoke: table2 schemes, 2-minute window, 2 seeds\n"
       "\n"
       "options:\n"
       "  --threads N   worker threads (default: hardware concurrency)\n"
@@ -59,8 +90,114 @@ void usage(const char* argv0) {
       "  --pv-mode M   PV solve mode: exact (default, bit-reproducible)\n"
       "                or tabulated (interpolation table with a measured\n"
       "                error bound, ~3x faster sweep wall-clock)\n"
+      "  --journal P   append each completed scenario to the checkpoint\n"
+      "                journal at P (JSON lines; see docs/sweeps.md)\n"
+      "  --resume      reuse completed rows from an existing --journal\n"
+      "                instead of refusing to overwrite it\n"
+      "  --shard K/N   run only the K-th (0-based) of N contiguous spec\n"
+      "                ranges; requires --journal, fold partial journals\n"
+      "                with the merge subcommand\n"
+      "  --refine      after the pass, bisect capacitance intervals whose\n"
+      "                adjacent rows diverge (adaptive axis refinement)\n"
+      "  --refine-metric M  aggregate column compared (default brownouts)\n"
+      "  --refine-tol T     relative divergence threshold (default 0.25)\n"
+      "  --refine-depth D   maximum bisection rounds (default 3)\n"
       "  --quiet       suppress per-scenario progress\n",
-      argv0);
+      argv0, argv0);
+}
+
+void list_sweeps(std::FILE* os) {
+  std::fprintf(os, "valid sweeps:");
+  for (const char* name : kSweepNames) std::fprintf(os, " %s", name);
+  std::fprintf(os, " (or the 'merge' subcommand)\n");
+}
+
+/// Writes CSV/JSON side outputs; returns false when any write failed.
+bool write_outputs(const sweep::Aggregator& agg, const Options& opt) {
+  bool ok = true;
+  if (!opt.csv_path.empty()) {
+    if (agg.write_csv_file(opt.csv_path)) {
+      std::printf("wrote %s\n", opt.csv_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", opt.csv_path.c_str());
+      ok = false;
+    }
+  }
+  if (!opt.json_path.empty()) {
+    if (agg.write_json_file(opt.json_path)) {
+      std::printf("wrote %s\n", opt.json_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", opt.json_path.c_str());
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+/// Folds shard journals back into the canonical aggregate.
+int run_merge(const std::vector<std::string>& journals, const Options& opt) {
+  if (journals.empty()) {
+    std::fprintf(stderr, "merge: no journal files given\n");
+    return 2;
+  }
+  try {
+    sweep::JournalContents first = sweep::read_journal(journals[0]);
+    std::map<std::size_t, sweep::SummaryRow> rows = std::move(first.rows);
+    for (std::size_t i = 1; i < journals.size(); ++i) {
+      sweep::JournalContents part =
+          sweep::read_journal(journals[i], first.header);
+      // insert (not assign): on an index collision the earlier journal
+      // wins, but completed rows of a deterministic sweep are identical
+      // anyway.
+      rows.insert(part.rows.begin(), part.rows.end());
+    }
+    if (rows.size() != first.header.total) {
+      std::fprintf(stderr,
+                   "merge: journals cover %zu of %zu scenarios of sweep "
+                   "'%s' -- missing shards or an interrupted worker\n",
+                   rows.size(), first.header.total,
+                   first.header.sweep.c_str());
+      return 1;
+    }
+    std::vector<sweep::SummaryRow> ordered;
+    ordered.reserve(rows.size());
+    for (auto& [index, row] : rows) ordered.push_back(std::move(row));
+
+    sweep::Aggregator agg(std::move(ordered));
+    if (!opt.quiet) {
+      std::printf("merged %zu journal(s): sweep '%s', %zu scenarios\n\n",
+                  journals.size(), first.header.sweep.c_str(),
+                  first.header.total);
+      agg.console_table().print(std::cout);
+      std::printf("\n");
+    }
+    const bool wrote = write_outputs(agg, opt);
+    return agg.failed_count() == 0 && wrote ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "merge: %s\n", e.what());
+    return 1;
+  }
+}
+
+bool parse_shard(const std::string& text, Options& opt) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string::npos || slash == 0 ||
+      slash + 1 >= text.size())
+    return false;
+  // Named locals: the *end checks must not outlive the strings they
+  // point into.
+  const std::string k_text = text.substr(0, slash);
+  const std::string n_text = text.substr(slash + 1);
+  char* end = nullptr;
+  const unsigned long long k = std::strtoull(k_text.c_str(), &end, 10);
+  if (end != k_text.c_str() + k_text.size()) return false;
+  const unsigned long long n = std::strtoull(n_text.c_str(), &end, 10);
+  if (end != n_text.c_str() + n_text.size()) return false;
+  if (n == 0 || k >= n) return false;
+  opt.sharded = true;
+  opt.shard_k = static_cast<std::size_t>(k);
+  opt.shard_n = static_cast<std::size_t>(n);
+  return true;
 }
 
 }  // namespace
@@ -70,8 +207,16 @@ int main(int argc, char** argv) {
     usage(argv[0]);
     return 2;
   }
+  if (std::strcmp(argv[1], "--help") == 0 || std::strcmp(argv[1], "-h") == 0) {
+    usage(argv[0]);
+    return 0;
+  }
   Options opt;
   opt.sweep_name = argv[1];
+
+  const bool merging = opt.sweep_name == "merge";
+  std::vector<std::string> merge_journals;
+
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -96,20 +241,47 @@ int main(int argc, char** argv) {
       } else if (mode == "tabulated") {
         opt.pv_mode = ehsim::PvSource::Mode::kTabulated;
       } else {
-        std::fprintf(stderr, "unknown --pv-mode: %s\n", mode.c_str());
+        std::fprintf(stderr,
+                     "unknown --pv-mode: %s (valid: exact, tabulated)\n",
+                     mode.c_str());
         return 2;
       }
-    } else if (arg == "--quiet")
+    } else if (arg == "--journal")
+      opt.journal_path = next();
+    else if (arg == "--resume")
+      opt.resume = true;
+    else if (arg == "--shard") {
+      const std::string spec = next();
+      if (!parse_shard(spec, opt)) {
+        std::fprintf(stderr,
+                     "invalid --shard '%s': expected K/N with 0 <= K < N "
+                     "(e.g. --shard 0/4)\n",
+                     spec.c_str());
+        return 2;
+      }
+    } else if (arg == "--refine")
+      opt.refine = true;
+    else if (arg == "--refine-metric")
+      opt.refine_options.metric = next();
+    else if (arg == "--refine-tol")
+      opt.refine_options.tolerance = std::atof(next());
+    else if (arg == "--refine-depth")
+      opt.refine_options.max_depth = std::atoi(next());
+    else if (arg == "--quiet")
       opt.quiet = true;
     else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
+    } else if (merging && arg.rfind("--", 0) != 0) {
+      merge_journals.push_back(arg);
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       usage(argv[0]);
       return 2;
     }
   }
+
+  if (merging) return run_merge(merge_journals, opt);
 
   sweep::SweepSpec sw;
   if (opt.sweep_name == "table2")
@@ -120,15 +292,68 @@ int main(int argc, char** argv) {
     sw = sweep::fig6_depth_sweep();
   else if (opt.sweep_name == "weather")
     sw = sweep::weather_sweep(opt.minutes);
+  else if (opt.sweep_name == "quick")
+    sw = sweep::quick_sweep();
   else {
     std::fprintf(stderr, "unknown sweep: %s\n", opt.sweep_name.c_str());
-    usage(argv[0]);
+    list_sweeps(stderr);
+    return 2;
+  }
+
+  // Flag consistency: refuse combinations whose output would be partial
+  // or ambiguous instead of silently producing the wrong aggregate.
+  if (opt.resume && opt.journal_path.empty()) {
+    std::fprintf(stderr, "--resume requires --journal\n");
+    return 2;
+  }
+  if (opt.sharded && opt.journal_path.empty()) {
+    std::fprintf(stderr,
+                 "--shard requires --journal (each worker writes a partial "
+                 "journal; fold them with 'pns_sweep merge')\n");
+    return 2;
+  }
+  if (opt.sharded && (!opt.csv_path.empty() || !opt.json_path.empty())) {
+    std::fprintf(stderr,
+                 "--shard produces a partial result; write the aggregate "
+                 "with 'pns_sweep merge --csv/--json JOURNAL...'\n");
+    return 2;
+  }
+  if (opt.sharded && opt.refine) {
+    std::fprintf(stderr,
+                 "--refine needs the full pass; run it on the merged sweep "
+                 "instead of a shard\n");
+    return 2;
+  }
+  if (opt.refine && !sweep::metric_accessor(opt.refine_options.metric)) {
+    std::fprintf(stderr, "unknown --refine-metric: %s\n",
+                 opt.refine_options.metric.c_str());
     return 2;
   }
 
   sw.base.pv_mode = opt.pv_mode;
 
+  // The journal identity pins every knob that changes what the scenarios
+  // compute (window length, PV mode) -- labels alone would not catch a
+  // --minutes mismatch between the original run and the resume.
+  const std::string journal_name =
+      opt.sweep_name + "?minutes=" + shortest_double(opt.minutes) +
+      "&pv=" +
+      (opt.pv_mode == ehsim::PvSource::Mode::kExact ? "exact" : "tabulated");
+
   const auto specs = sw.expand();
+  const sweep::ShardRange range =
+      opt.sharded ? sweep::shard_range(specs.size(), opt.shard_k, opt.shard_n)
+                  : sweep::ShardRange{0, specs.size()};
+
+  if (!opt.journal_path.empty() && !opt.resume &&
+      std::ifstream(opt.journal_path).good()) {
+    std::fprintf(stderr,
+                 "journal %s already exists; pass --resume to continue it "
+                 "or delete it to start over\n",
+                 opt.journal_path.c_str());
+    return 2;
+  }
+
   sweep::SweepRunnerOptions ropt;
   ropt.threads = opt.threads;
   if (!opt.quiet) {
@@ -139,38 +364,58 @@ int main(int argc, char** argv) {
   }
   sweep::SweepRunner runner(ropt);
 
-  std::printf("sweep '%s': %zu scenarios on %u thread(s)\n\n",
-              opt.sweep_name.c_str(), specs.size(),
-              runner.effective_threads(specs.size()));
+  std::printf("sweep '%s': %zu scenarios", opt.sweep_name.c_str(),
+              specs.size());
+  if (opt.sharded)
+    std::printf(", shard %zu/%zu -> specs [%zu, %zu)", opt.shard_k,
+                opt.shard_n, range.begin, range.end);
+  std::printf(" on %u thread(s)\n\n", runner.effective_threads(range.size()));
+
   const auto t0 = std::chrono::steady_clock::now();
-  const auto outcomes = runner.run(specs);
+  std::vector<sweep::SummaryRow> rows;
+  std::size_t reused = 0;
+  std::size_t executed = range.size();
+  try {
+    if (opt.journal_path.empty()) {
+      const auto outcomes = runner.run(specs);
+      rows.reserve(outcomes.size());
+      for (const auto& o : outcomes) rows.push_back(sweep::summarize(o));
+    } else {
+      auto report = runner.run_checkpointed(specs, opt.journal_path,
+                                            journal_name, range);
+      rows = std::move(report.rows);
+      reused = report.reused;
+      executed = report.executed;
+    }
+  } catch (const sweep::JournalError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
 
-  sweep::Aggregator agg(outcomes);
-  agg.console_table().print(std::cout);
-  std::printf("\n%zu scenarios in %.2f s (%.2f scenarios/s), %zu failed\n",
-              outcomes.size(), wall,
-              wall > 0.0 ? outcomes.size() / wall : 0.0,
-              agg.failed_count());
+  int refine_added = 0;
+  if (opt.refine) {
+    sweep::RefineOptions ropts = opt.refine_options;
+    const auto refined =
+        sweep::refine_capacitance_axis(runner, specs, rows, ropts);
+    refine_added = static_cast<int>(refined.added);
+    rows = refined.rows;
+    if (!opt.quiet && refined.added > 0)
+      std::fprintf(stderr, "refined: +%zu scenarios over %d round(s)\n",
+                   refined.added, refined.rounds);
+  }
 
-  bool write_failed = false;
-  if (!opt.csv_path.empty()) {
-    if (agg.write_csv_file(opt.csv_path)) {
-      std::printf("wrote %s\n", opt.csv_path.c_str());
-    } else {
-      std::fprintf(stderr, "cannot write %s\n", opt.csv_path.c_str());
-      write_failed = true;
-    }
-  }
-  if (!opt.json_path.empty()) {
-    if (agg.write_json_file(opt.json_path)) {
-      std::printf("wrote %s\n", opt.json_path.c_str());
-    } else {
-      std::fprintf(stderr, "cannot write %s\n", opt.json_path.c_str());
-      write_failed = true;
-    }
-  }
-  return agg.failed_count() == 0 && !write_failed ? 0 : 1;
+  sweep::Aggregator agg(std::move(rows));
+  agg.console_table().print(std::cout);
+  std::printf("\n%zu scenarios in %.2f s (%.2f scenarios/s), %zu failed",
+              executed, wall, wall > 0.0 ? executed / wall : 0.0,
+              agg.failed_count());
+  if (reused > 0) std::printf(", %zu resumed from journal", reused);
+  if (refine_added > 0) std::printf(", %d added by refinement", refine_added);
+  std::printf("\n");
+
+  const bool wrote = write_outputs(agg, opt);
+  return agg.failed_count() == 0 && wrote ? 0 : 1;
 }
