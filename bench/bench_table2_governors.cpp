@@ -41,13 +41,12 @@ int main() {
                    o.error.c_str());
       return 1;
     }
-    const bool is_proposed =
-        o.spec.control.kind == sim::ControlKind::kPowerNeutral;
+    const bool is_proposed = o.spec.control.kind == "pns";
     const std::string name = is_proposed
                                  ? "Proposed Approach"
-                                 : "Linux " + o.spec.control.governor;
+                                 : "Linux " + o.spec.control.governor_name();
     const auto& m = o.result.metrics;
-    if (o.spec.control.governor == "powersave")
+    if (o.spec.control.governor_name() == "powersave")
       powersave_instr = m.instructions;
     if (is_proposed) proposed_instr = m.instructions;
     table.add_row({name, fmt_double(m.renders_per_min(), 4),

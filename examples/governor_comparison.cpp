@@ -1,52 +1,82 @@
-// Governor comparison: the Table II experiment as an interactive example.
+// Governor comparison: the Table II experiment as an interactive example,
+// built on the open control registry.
 //
-// Runs every stock Linux governor plus the power-neutral controller from
-// the same harvested-energy scenario and prints a league table.
+// Every control scheme is addressed by a spec string resolved through
+// sweep::ControlRegistry -- the same strings `pns_sweep --control`
+// accepts -- so the comparison set is discovered from the registry
+// instead of being hardcoded, and extra schemes can be appended from the
+// command line without recompiling:
 //
-// Usage: ./examples/governor_comparison [minutes] [seed]
+//   ./example_governor_comparison [minutes] [seed] [extra-control...]
+//   ./example_governor_comparison 10 42 gov:ondemand:period=0.05 static:opp=2
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <string>
 #include <vector>
 
-#include "governors/registry.hpp"
-#include "sim/experiment.hpp"
+#include "sweep/registry.hpp"
+#include "sweep/runner.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace pns;
 
   const double minutes = argc > 1 ? std::atof(argv[1]) : 10.0;
-  sim::SolarScenario scenario;
-  scenario.condition = trace::WeatherCondition::kFullSun;
-  scenario.t_start = 11.0 * 3600.0;
-  scenario.t_end = scenario.t_start + minutes * 60.0;
-  if (argc > 2) scenario.seed = std::strtoull(argv[2], nullptr, 10);
 
-  const soc::Platform board = soc::Platform::odroid_xu4();
-  auto cfg = sim::solar_sim_config(scenario);
-  cfg.record_series = false;
-  cfg.enable_reboot = false;  // Table II counts time-to-first-brownout
+  // The shared scenario: one late-morning harvesting window; only the
+  // control axis varies.
+  sweep::SweepSpec sw;
+  sw.base.condition = trace::WeatherCondition::kFullSun;
+  sw.base.t_start = 11.0 * 3600.0;
+  sw.base.t_end = sw.base.t_start + minutes * 60.0;
+  sw.base.record_series = false;
+  sw.base.enable_reboot = false;  // Table II counts time-to-first-brownout
+  if (argc > 2) sw.base.seed = std::strtoull(argv[2], nullptr, 10);
 
-  ConsoleTable table({"scheme", "renders/min", "lifetime (mm:ss)",
-                      "instructions (G)", "avg power (W)"});
-
-  auto add = [&](const std::string& name, const sim::SimResult& r) {
-    table.add_row({name, fmt_double(r.metrics.renders_per_min(), 4),
-                   fmt_mmss(r.metrics.lifetime_s),
-                   fmt_double(r.metrics.instructions / 1e9, 1),
-                   fmt_double(r.metrics.avg_power_consumed_w(), 2)});
-  };
+  // Every registered stock governor (userspace needs a manually chosen
+  // speed, so it sits the comparison out), then the proposed controller.
+  for (const auto& entry : sweep::ControlRegistry::instance().entries()) {
+    sweep::ControlSpec control;
+    control.kind = entry.kind;
+    if (!control.governor_name().empty() &&
+        control.governor_name() != "userspace")
+      sw.controls.push_back(control);
+  }
+  sw.controls.push_back(sweep::ControlSpec::power_neutral());
+  for (int i = 3; i < argc; ++i) {
+    try {
+      sw.controls.push_back(sweep::ControlSpec::parse(argv[i]));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bad control spec '%s': %s\n", argv[i], e.what());
+      return 2;
+    }
+  }
 
   std::printf("running %.0f-minute harvesting test per scheme...\n",
               minutes);
-  for (const auto& name : gov::available_governors()) {
-    if (name == "userspace") continue;  // needs a manually chosen speed
-    add("linux " + name,
-        sim::run_solar_governor(board, scenario, name, cfg));
+  const auto outcomes = sweep::SweepRunner().run(sw);
+
+  ConsoleTable table({"scheme", "renders/min", "lifetime (mm:ss)",
+                      "instructions (G)", "avg power (W)"});
+  for (const auto& o : outcomes) {
+    if (!o.ok) {
+      table.add_row({o.spec.control.spec_string(), "FAILED: " + o.error,
+                     "-", "-", "-"});
+      continue;
+    }
+    const auto& m = o.result.metrics;
+    const std::string gov = o.spec.control.governor_name();
+    const std::string name = o.spec.control.kind == "pns"
+                                 ? "proposed (power-neutral)"
+                                 : !gov.empty()
+                                       ? "linux " + gov
+                                       : o.spec.control.spec_string();
+    table.add_row({name, fmt_double(m.renders_per_min(), 4),
+                   fmt_mmss(m.lifetime_s),
+                   fmt_double(m.instructions / 1e9, 1),
+                   fmt_double(m.avg_power_consumed_w(), 2)});
   }
-  add("proposed (power-neutral)",
-      sim::run_solar_power_neutral(board, scenario, cfg));
 
   table.print(std::cout, "governor comparison under solar harvesting");
   std::printf(

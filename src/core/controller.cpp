@@ -6,6 +6,66 @@
 
 namespace pns::ctl {
 
+std::vector<pns::ParamInfo> controller_params() {
+  return {
+      {"v_width", "double", "0.144", "tracking window width Vwidth (V)"},
+      {"v_q", "double", "0.0479", "threshold shift per crossing Vq (V)"},
+      {"alpha", "double", "0.12", "hot-plug discharge-rate gain (V/s)"},
+      {"beta", "double", "0.479", "hot-plug charge-rate gain (V/s)"},
+      {"v_ceiling", "double", "0",
+       "window-top anchor (V); 0 defers to platform/monitor limits"},
+      {"ordering", "string", "core-first",
+       "transition ordering: core-first or freq-first"},
+      {"isr_cpu_time", "double", "0.00015",
+       "CPU time per ISR execution (s, Fig. 15 overhead)"},
+  };
+}
+
+namespace {
+
+soc::OrderingPolicy ordering_from_string(const std::string& text) {
+  if (text == "core-first" || text == "core_first")
+    return soc::OrderingPolicy::kCoreFirst;
+  if (text == "freq-first" || text == "freq_first" || text == "dvfs-first" ||
+      text == "dvfs_first")
+    return soc::OrderingPolicy::kFreqFirst;
+  throw ParamError("param 'ordering': expected core-first or freq-first, "
+                   "got '" + text + "'");
+}
+
+}  // namespace
+
+ControllerConfig controller_config_from_params(const pns::ParamMap& params,
+                                               ControllerConfig base) {
+  ControllerConfig cfg = base;
+  cfg.v_width = params.get_double("v_width", cfg.v_width);
+  cfg.v_q = params.get_double("v_q", cfg.v_q);
+  cfg.alpha = params.get_double("alpha", cfg.alpha);
+  cfg.beta = params.get_double("beta", cfg.beta);
+  cfg.v_ceiling = params.get_double("v_ceiling", cfg.v_ceiling);
+  if (const std::string* o = params.find("ordering"))
+    cfg.ordering = ordering_from_string(*o);
+  cfg.isr_cpu_time_s = params.get_double("isr_cpu_time", cfg.isr_cpu_time_s);
+  return cfg;
+}
+
+pns::ParamMap controller_config_to_params(const ControllerConfig& cfg,
+                                          const ControllerConfig& reference) {
+  pns::ParamMap params;
+  if (cfg.v_width != reference.v_width)
+    params.set_double("v_width", cfg.v_width);
+  if (cfg.v_q != reference.v_q) params.set_double("v_q", cfg.v_q);
+  if (cfg.alpha != reference.alpha) params.set_double("alpha", cfg.alpha);
+  if (cfg.beta != reference.beta) params.set_double("beta", cfg.beta);
+  if (cfg.v_ceiling != reference.v_ceiling)
+    params.set_double("v_ceiling", cfg.v_ceiling);
+  if (cfg.ordering != reference.ordering)
+    params.set("ordering", soc::to_string(cfg.ordering));
+  if (cfg.isr_cpu_time_s != reference.isr_cpu_time_s)
+    params.set_double("isr_cpu_time", cfg.isr_cpu_time_s);
+  return params;
+}
+
 PowerNeutralController::PowerNeutralController(const soc::Platform& platform,
                                                hw::VoltageMonitor& monitor,
                                                ControllerConfig config)

@@ -26,6 +26,7 @@
 #include "hw/monitor.hpp"
 #include "soc/platform.hpp"
 #include "soc/transition.hpp"
+#include "util/params.hpp"
 
 namespace pns::ctl {
 
@@ -49,6 +50,26 @@ struct ControllerConfig {
   /// drives the Fig. 15 overhead accounting.
   double isr_cpu_time_s = 150e-6;
 };
+
+/// Parameters accepted by controller_config_from_params: the tunables of
+/// ControllerConfig under their spec-string keys (v_width, v_q, alpha,
+/// beta, v_ceiling, ordering, isr_cpu_time). Feeds the sweep registry's
+/// "pns" control entry and `pns_sweep list`.
+std::vector<pns::ParamInfo> controller_params();
+
+/// Applies spec-string params over `base` ("pns:v_q=0.04,..."). Unknown
+/// keys are the caller's job (ParamMap::validate_keys against
+/// controller_params()); bad values throw ParamError. `ordering` accepts
+/// the soc::to_string names ("core-first"/"freq-first") plus the
+/// underscore and "dvfs_first" spellings.
+ControllerConfig controller_config_from_params(const pns::ParamMap& params,
+                                               ControllerConfig base = {});
+
+/// Lossless inverse: encodes every field of `cfg` that differs from
+/// `reference` (doubles via shortest_double, so a config survives the
+/// string round trip bit-for-bit).
+pns::ParamMap controller_config_to_params(const ControllerConfig& cfg,
+                                          const ControllerConfig& reference = {});
 
 /// Cumulative controller statistics (Fig. 15 overhead analysis).
 struct ControllerStats {

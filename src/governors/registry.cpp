@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/json.hpp"
+
 #include "governors/conservative.hpp"
 #include "governors/interactive.hpp"
 #include "governors/ondemand.hpp"
@@ -16,21 +18,122 @@ std::vector<std::string> available_governors() {
           "interactive", "userspace"};
 }
 
+namespace {
+
+[[noreturn]] void unknown_governor(const std::string& name) {
+  std::string msg = "unknown governor '" + name + "' (valid:";
+  for (const auto& g : available_governors()) msg += " " + g;
+  msg += ")";
+  throw std::invalid_argument(msg);
+}
+
+}  // namespace
+
+std::vector<pns::ParamInfo> governor_params(const std::string& name) {
+  if (name == "performance" || name == "powersave") return {};
+  if (name == "ondemand") {
+    const OndemandParams d;
+    return {
+        {"period", "double", shortest_double(d.sampling_period_s),
+         "sampling period (s)"},
+        {"up_threshold", "double", shortest_double(d.up_threshold),
+         "utilisation above which the max frequency is requested"},
+        {"down_factor", "int", std::to_string(d.sampling_down_factor),
+         "consecutive low samples before scaling down"},
+    };
+  }
+  if (name == "conservative") {
+    const ConservativeParams d;
+    return {
+        {"period", "double", shortest_double(d.sampling_period_s),
+         "sampling period (s)"},
+        {"up_threshold", "double", shortest_double(d.up_threshold),
+         "utilisation above which the ladder steps up"},
+        {"down_threshold", "double", shortest_double(d.down_threshold),
+         "utilisation below which the ladder steps down"},
+        {"freq_step", "int", std::to_string(d.freq_step),
+         "ladder steps taken per decision"},
+    };
+  }
+  if (name == "interactive") {
+    const InteractiveParams d;
+    return {
+        {"period", "double", shortest_double(d.sampling_period_s),
+         "sampling period (s)"},
+        {"go_hispeed_load", "double", shortest_double(d.go_hispeed_load),
+         "load that triggers the hispeed jump"},
+        {"hispeed_fraction", "double", shortest_double(d.hispeed_fraction),
+         "hispeed_freq as a fraction of f_max"},
+        {"above_hispeed_delay", "double",
+         shortest_double(d.above_hispeed_delay_s),
+         "hold at hispeed before climbing further (s)"},
+        {"min_sample_time", "double", shortest_double(d.min_sample_time_s),
+         "light-load dwell required before dropping (s)"},
+        {"target_load", "double", shortest_double(d.target_load),
+         "proportional-scaling target utilisation"},
+    };
+  }
+  if (name == "userspace") {
+    return {
+        {"index", "uint", "0", "pinned frequency-ladder index"},
+    };
+  }
+  unknown_governor(name);
+}
+
 std::unique_ptr<Governor> make_governor(const std::string& name,
                                         const soc::Platform& platform) {
+  return make_governor(name, platform, pns::ParamMap{});
+}
+
+std::unique_ptr<Governor> make_governor(const std::string& name,
+                                        const soc::Platform& platform,
+                                        const pns::ParamMap& params) {
+  // Validate before constructing so a typo'd key fails with the accepted
+  // list even for a governor whose value set happens to parse.
+  params.validate_keys(governor_params(name), "governor '" + name + "'");
   if (name == "performance")
     return std::make_unique<PerformanceGovernor>(platform);
   if (name == "powersave")
     return std::make_unique<PowersaveGovernor>(platform);
-  if (name == "ondemand") return std::make_unique<OndemandGovernor>(platform);
-  if (name == "conservative")
-    return std::make_unique<ConservativeGovernor>(platform);
-  if (name == "interactive")
-    return std::make_unique<InteractiveGovernor>(platform);
-  if (name == "userspace")
-    return std::make_unique<UserspaceGovernor>(platform);
-  throw std::invalid_argument("make_governor: unknown governor '" + name +
-                              "'");
+  if (name == "ondemand") {
+    OndemandParams p;
+    p.sampling_period_s = params.get_double("period", p.sampling_period_s);
+    p.up_threshold = params.get_double("up_threshold", p.up_threshold);
+    p.sampling_down_factor =
+        params.get_int32("down_factor", p.sampling_down_factor);
+    return std::make_unique<OndemandGovernor>(platform, p);
+  }
+  if (name == "conservative") {
+    ConservativeParams p;
+    p.sampling_period_s = params.get_double("period", p.sampling_period_s);
+    p.up_threshold = params.get_double("up_threshold", p.up_threshold);
+    p.down_threshold = params.get_double("down_threshold", p.down_threshold);
+    p.freq_step = params.get_int32("freq_step", p.freq_step);
+    return std::make_unique<ConservativeGovernor>(platform, p);
+  }
+  if (name == "interactive") {
+    InteractiveParams p;
+    p.sampling_period_s = params.get_double("period", p.sampling_period_s);
+    p.go_hispeed_load = params.get_double("go_hispeed_load",
+                                          p.go_hispeed_load);
+    p.hispeed_fraction = params.get_double("hispeed_fraction",
+                                           p.hispeed_fraction);
+    p.above_hispeed_delay_s =
+        params.get_double("above_hispeed_delay", p.above_hispeed_delay_s);
+    p.min_sample_time_s =
+        params.get_double("min_sample_time", p.min_sample_time_s);
+    p.target_load = params.get_double("target_load", p.target_load);
+    return std::make_unique<InteractiveGovernor>(platform, p);
+  }
+  if (name == "userspace") {
+    auto g = std::make_unique<UserspaceGovernor>(platform);
+    if (params.has("index"))
+      g->set_frequency_index(
+          static_cast<std::size_t>(params.get_uint("index", 0)));
+    return g;
+  }
+  unknown_governor(name);
 }
 
 }  // namespace pns::gov

@@ -1,7 +1,9 @@
 // Governor factory keyed by cpufreq-style name.
 //
-// Lets benches and examples iterate "all stock governors" (Table II) or
-// construct one from a command-line string.
+// Lets benches and examples iterate "all stock governors" (Table II),
+// construct one from a command-line string, and -- via the ParamMap
+// overload -- tune a governor's sysfs-style knobs without recompiling
+// ("gov:ondemand:period=0.05,up_threshold=0.9" in sweep spec strings).
 #pragma once
 
 #include <memory>
@@ -9,17 +11,33 @@
 #include <vector>
 
 #include "governors/governor.hpp"
+#include "util/params.hpp"
 
 namespace pns::gov {
 
-/// Names accepted by make_governor (excluding "static", which needs an
-/// operating point argument).
+/// Names accepted by make_governor: the six stock governors
+/// ("performance", "powersave", "ondemand", "conservative", "interactive",
+/// "userspace"). The fixed-OPP "static" baseline is deliberately *not*
+/// listed -- it needs an operating-point argument and is constructed
+/// directly (gov::StaticGovernor) or through the sweep registry's
+/// "static" control kind.
 std::vector<std::string> available_governors();
 
-/// Constructs a governor by name ("performance", "powersave", "ondemand",
-/// "conservative", "interactive", "userspace"). Throws
-/// std::invalid_argument for unknown names.
+/// Spec-string parameters accepted by `name`'s ParamMap constructor
+/// overload (empty for the fixed-frequency governors). Throws
+/// std::invalid_argument listing the valid names for an unknown one.
+std::vector<pns::ParamInfo> governor_params(const std::string& name);
+
+/// Constructs a governor by name with its default tuning. Throws
+/// std::invalid_argument listing the valid names for an unknown one.
 std::unique_ptr<Governor> make_governor(const std::string& name,
                                         const soc::Platform& platform);
+
+/// Constructs a governor by name with spec-string tunables applied over
+/// the defaults. Unknown keys and malformed values throw ParamError
+/// naming the valid keys (see governor_params).
+std::unique_ptr<Governor> make_governor(const std::string& name,
+                                        const soc::Platform& platform,
+                                        const pns::ParamMap& params);
 
 }  // namespace pns::gov

@@ -2,6 +2,7 @@
 
 #include "governors/registry.hpp"
 #include "governors/static_governor.hpp"
+#include "util/contracts.hpp"
 
 namespace pns::sim {
 
@@ -67,12 +68,9 @@ soc::OperatingPoint balanced_opp(const soc::Platform& platform,
   return best;
 }
 
-namespace {
-
-/// Builds the irradiance-driven PV source for a scenario. The returned
-/// source owns its trace via the closure; the mutable hint turns the
-/// integrator's near-monotone sampling of the long trace into O(1)
-/// lookups (bit-identical to the plain binary-search evaluation).
+/// The returned source owns its trace via the closure; the mutable hint
+/// turns the integrator's near-monotone sampling of the long trace into
+/// O(1) lookups (bit-identical to the plain binary-search evaluation).
 ehsim::PvSource make_solar_source(const SolarScenario& scenario) {
   auto sky = paper_clear_sky();
   auto trace = trace::synthesize_irradiance(
@@ -88,54 +86,104 @@ ehsim::PvSource make_solar_source(const SolarScenario& scenario) {
   return ehsim::PvSource(paper_pv_array(), std::move(sample));
 }
 
-}  // namespace
+ControlSelection ControlSelection::power_neutral(
+    ctl::ControllerConfig config) {
+  ControlSelection sel;
+  sel.kind = ControlKind::kPowerNeutral;
+  sel.controller = config;
+  return sel;
+}
+
+ControlSelection ControlSelection::governed(
+    std::unique_ptr<gov::Governor> governor) {
+  ControlSelection sel;
+  sel.kind = ControlKind::kGovernor;
+  sel.governor = std::move(governor);
+  return sel;
+}
+
+ControlSelection ControlSelection::pinned(
+    std::optional<soc::OperatingPoint> opp) {
+  ControlSelection sel;
+  sel.kind = ControlKind::kStatic;
+  sel.static_opp = opp;
+  return sel;
+}
+
+SimResult run_pv_control(const soc::Platform& platform,
+                         const ehsim::CurrentSource& source,
+                         ControlSelection control, SimConfig sim_config,
+                         bool warm_start) {
+  soc::RaytraceWorkload workload(platform.perf.params().instr_per_frame);
+  switch (control.kind) {
+    case ControlKind::kPowerNeutral: {
+      if (warm_start) {
+        // Anchor the regulation window at the calibrated MPP target (the
+        // paper sets Vc,target to the array's MPP of 5.3 V); the window
+        // may still track all the way down when harvest is scarce.
+        if (control.controller.v_ceiling == 0.0 && sim_config.v_target > 0.0)
+          control.controller.v_ceiling =
+              sim_config.v_target * (1.0 + sim_config.band_fraction) - 0.02;
+        // Warm start: the paper records systems that are already in
+        // regulation, so begin at the best OPP the opening harvest can
+        // sustain.
+        if (!sim_config.initial_opp)
+          sim_config.initial_opp = balanced_opp(
+              platform, source.available_power(sim_config.t_start));
+      }
+      SimEngine engine(platform, source, workload, std::move(sim_config),
+                       control.controller);
+      return engine.run();
+    }
+    case ControlKind::kGovernor: {
+      // Stock Linux keeps every core online; governors only move
+      // frequency.
+      if (warm_start && !sim_config.initial_opp)
+        sim_config.initial_opp =
+            soc::OperatingPoint{platform.opps.min_index(),
+                                platform.max_cores};
+      SimEngine engine(platform, source, workload, std::move(sim_config),
+                       std::move(control.governor));
+      return engine.run();
+    }
+    case ControlKind::kStatic: {
+      if (control.static_opp) sim_config.initial_opp = control.static_opp;
+      SimEngine engine(platform, source, workload, std::move(sim_config));
+      return engine.run();
+    }
+  }
+  PNS_EXPECTS(false && "unreachable: unknown ControlKind");
+  return {};
+}
 
 SimResult run_solar_power_neutral(const soc::Platform& platform,
                                   const SolarScenario& scenario,
                                   SimConfig sim_config,
                                   ctl::ControllerConfig controller) {
-  // Anchor the regulation window at the calibrated MPP target (the paper
-  // sets Vc,target to the array's MPP of 5.3 V); the window may still
-  // track all the way down when harvest is scarce.
-  if (controller.v_ceiling == 0.0 && sim_config.v_target > 0.0)
-    controller.v_ceiling =
-        sim_config.v_target * (1.0 + sim_config.band_fraction) - 0.02;
-  auto source = make_solar_source(scenario);
-  // Warm start: the paper records systems that are already in regulation,
-  // so begin at the best OPP the opening harvest can sustain.
-  if (!sim_config.initial_opp)
-    sim_config.initial_opp = balanced_opp(
-        platform, source.available_power(scenario.t_start));
-  soc::RaytraceWorkload workload(platform.perf.params().instr_per_frame);
-  SimEngine engine(platform, source, workload, std::move(sim_config),
-                   controller);
-  return engine.run();
+  const auto source = make_solar_source(scenario);
+  return run_pv_control(platform, source,
+                        ControlSelection::power_neutral(controller),
+                        std::move(sim_config), /*warm_start=*/true);
 }
 
 SimResult run_solar_governor(const soc::Platform& platform,
                              const SolarScenario& scenario,
                              const std::string& governor_name,
                              SimConfig sim_config) {
-  auto source = make_solar_source(scenario);
-  soc::RaytraceWorkload workload(platform.perf.params().instr_per_frame);
-  // Stock Linux keeps every core online; governors only move frequency.
-  if (!sim_config.initial_opp)
-    sim_config.initial_opp =
-        soc::OperatingPoint{platform.opps.min_index(), platform.max_cores};
-  SimEngine engine(platform, source, workload, std::move(sim_config),
-                   gov::make_governor(governor_name, platform));
-  return engine.run();
+  const auto source = make_solar_source(scenario);
+  return run_pv_control(
+      platform, source,
+      ControlSelection::governed(gov::make_governor(governor_name, platform)),
+      std::move(sim_config), /*warm_start=*/true);
 }
 
 SimResult run_solar_static(const soc::Platform& platform,
                            const SolarScenario& scenario,
                            const soc::OperatingPoint& opp,
                            SimConfig sim_config) {
-  auto source = make_solar_source(scenario);
-  soc::RaytraceWorkload workload(platform.perf.params().instr_per_frame);
-  sim_config.initial_opp = opp;
-  SimEngine engine(platform, source, workload, std::move(sim_config));
-  return engine.run();
+  const auto source = make_solar_source(scenario);
+  return run_pv_control(platform, source, ControlSelection::pinned(opp),
+                        std::move(sim_config), /*warm_start=*/true);
 }
 
 SimResult run_controlled_supply(const soc::Platform& platform,

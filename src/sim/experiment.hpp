@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 
 #include "core/controller.hpp"
 #include "ehsim/solar_cell.hpp"
@@ -50,6 +51,48 @@ struct SolarScenario {
 
 /// Control selection for a run.
 enum class ControlKind { kPowerNeutral, kGovernor, kStatic };
+
+/// A fully resolved control scheme, ready to drive one engine: the
+/// controller tuning for kPowerNeutral, a constructed governor for
+/// kGovernor, the pinned operating point (when any) for kStatic. This is
+/// what the sweep registry's control factories produce; move-only because
+/// it owns the governor.
+struct ControlSelection {
+  ControlKind kind = ControlKind::kPowerNeutral;
+  ctl::ControllerConfig controller{};            ///< kPowerNeutral only
+  std::unique_ptr<gov::Governor> governor;       ///< kGovernor only
+  std::optional<soc::OperatingPoint> static_opp; ///< kStatic; leaves
+                                                 ///< config.initial_opp
+                                                 ///< in force when unset
+
+  static ControlSelection power_neutral(ctl::ControllerConfig config = {});
+  static ControlSelection governed(std::unique_ptr<gov::Governor> governor);
+  static ControlSelection pinned(std::optional<soc::OperatingPoint> opp);
+};
+
+/// Shared final assembly behind the run_solar_* helpers and the sweep's
+/// run_scenario: builds the standard raytrace workload, applies the
+/// control scheme's warm-start defaults (only when `warm_start`; the
+/// shadowing scenarios start from the spec's explicit operating point)
+/// and runs one engine over `source`:
+///   * kPowerNeutral + warm_start: anchors controller.v_ceiling just
+///     above the regulation target and starts at the best OPP the opening
+///     harvest can sustain (balanced_opp) -- the paper records systems
+///     already in regulation.
+///   * kGovernor + warm_start: starts at the lowest frequency with every
+///     core online (stock Linux never hot-plugs).
+///   * kStatic: pins config.initial_opp to `static_opp` when set.
+SimResult run_pv_control(const soc::Platform& platform,
+                         const ehsim::CurrentSource& source,
+                         ControlSelection control, SimConfig sim_config,
+                         bool warm_start);
+
+/// The irradiance-driven PV source of a solar scenario: calibrated paper
+/// array + seeded weather trace (synthesised over [t_start - 60,
+/// t_end + 60] on the scenario's dt grid), honouring the scenario's PV
+/// evaluation mode. Exposed so registry source factories compose the
+/// exact source the experiment helpers use.
+ehsim::PvSource make_solar_source(const SolarScenario& scenario);
 
 /// Runs a solar-harvesting experiment with the power-neutral controller.
 SimResult run_solar_power_neutral(const soc::Platform& platform,

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "sweep/registry.hpp"
 #include "util/csv.hpp"
 #include "util/json.hpp"
 
@@ -20,9 +21,7 @@ std::string fmt_g(double v) { return shortest_double(v); }
 SummaryRow summarize(const SweepOutcome& outcome) {
   SummaryRow row;
   row.label = outcome.spec.label;
-  row.condition = outcome.spec.source == SourceKind::kShadowing
-                      ? to_string(outcome.spec.source)
-                      : trace::to_string(outcome.spec.condition);
+  row.condition = source_condition_label(outcome.spec);
   row.control = outcome.spec.control.label();
   row.capacitance_f = outcome.spec.capacitance_f;
   row.seed = outcome.spec.seed;

@@ -105,6 +105,19 @@ JournalContents read_journal(const std::string& path) {
   return contents;
 }
 
+std::string sweep_identity(const std::string& sweep_name, double minutes,
+                           ehsim::PvSource::Mode pv_mode,
+                           const std::vector<ControlSpec>& controls,
+                           const std::vector<SourceSpec>& sources) {
+  std::string id = sweep_name + "?minutes=" + shortest_double(minutes) +
+                   "&pv=" +
+                   (pv_mode == ehsim::PvSource::Mode::kExact ? "exact"
+                                                             : "tabulated");
+  for (const auto& c : controls) id += "&control=" + c.spec_string();
+  for (const auto& s : sources) id += "&source=" + s.spec_string();
+  return id;
+}
+
 JournalContents read_journal(const std::string& path,
                              const JournalHeader& expected) {
   JournalContents contents = read_journal(path);

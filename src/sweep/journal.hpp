@@ -91,4 +91,15 @@ JournalContents read_journal(const std::string& path);
 JournalContents read_journal(const std::string& path,
                              const JournalHeader& expected);
 
+/// Canonical identity string of a sweep invocation, used as
+/// JournalHeader::sweep by the pns_sweep CLI: the preset name plus every
+/// knob that changes what the scenarios compute -- the window length, the
+/// PV mode, and the full spec strings of any --control/--source
+/// overrides. A resume whose overrides differ therefore fails the header
+/// match instead of silently mixing differently-parameterised rows.
+std::string sweep_identity(const std::string& sweep_name, double minutes,
+                           ehsim::PvSource::Mode pv_mode,
+                           const std::vector<ControlSpec>& controls,
+                           const std::vector<SourceSpec>& sources);
+
 }  // namespace pns::sweep

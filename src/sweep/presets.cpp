@@ -70,6 +70,28 @@ SweepSpec fig6_depth_sweep() {
 
 SweepSpec quick_sweep() { return table2_sweep(2.0, {42, 43}); }
 
+const std::vector<SweepPreset>& sweep_presets() {
+  static const std::vector<SweepPreset> presets = {
+      {"table2", "power-management schemes x 3 seeds (18 scenarios)",
+       [](double minutes) { return table2_sweep(minutes, {42, 43, 44}); }},
+      {"capacitance", "buffer sizes x weather, PNS controller",
+       [](double minutes) { return capacitance_sweep(minutes); }},
+      {"fig6", "shadowing depths x {static, controlled}",
+       [](double) { return fig6_depth_sweep(); }},
+      {"weather", "weather conditions x control schemes",
+       [](double minutes) { return weather_sweep(minutes); }},
+      {"quick", "CI smoke: table2 schemes, 2-minute window, 2 seeds",
+       [](double) { return quick_sweep(); }},
+  };
+  return presets;
+}
+
+const SweepPreset* find_sweep_preset(const std::string& name) {
+  for (const auto& p : sweep_presets())
+    if (p.name == name) return &p;
+  return nullptr;
+}
+
 SweepSpec weather_sweep(double minutes) {
   SweepSpec sw;
   sw.base.t_start = 12.0 * 3600.0;

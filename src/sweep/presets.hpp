@@ -7,11 +7,30 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "sweep/scenario.hpp"
 
 namespace pns::sweep {
+
+/// One named sweep as the CLI exposes it: name, one-line summary, and a
+/// factory taking the --minutes knob (presets with a fixed window, like
+/// fig6, ignore it). The pns_sweep sweep table, usage text and `list`
+/// output are all generated from sweep_presets(), so they cannot drift
+/// from what actually runs.
+struct SweepPreset {
+  std::string name;
+  std::string summary;
+  std::function<SweepSpec(double minutes)> make;
+};
+
+/// Every registered preset, in presentation order.
+const std::vector<SweepPreset>& sweep_presets();
+
+/// Lookup by name; nullptr when unknown.
+const SweepPreset* find_sweep_preset(const std::string& name);
 
 /// The paper's Fig. 6 controller tuning: Vwidth=0.2 V, Vq=80 mV,
 /// alpha=0.1 V/s, beta=0.12 V/s.

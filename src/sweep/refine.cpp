@@ -21,12 +21,13 @@ std::string fmt_mf(double farads) {
 // Scenario identity with the capacitance axis removed: rows sharing a key
 // form one curve along the capacitance axis.
 std::string group_key(const ScenarioSpec& s) {
-  char buf[160];
-  std::snprintf(buf, sizeof buf, "%s|%d|%s|%.17g|%llu|%.17g|%.17g",
-                to_string(s.source), static_cast<int>(s.condition),
-                s.control.label().c_str(), s.shadow.depth,
+  char buf[120];
+  std::snprintf(buf, sizeof buf, "|%d|%.17g|%llu|%.17g|%.17g",
+                static_cast<int>(s.condition), s.shadow.depth,
                 static_cast<unsigned long long>(s.seed), s.t_start, s.t_end);
-  return buf;
+  // Full spec strings (kind + params), so two sources or controls of the
+  // same kind but different parameters land in different curves.
+  return s.source.spec_string() + "|" + s.control.spec_string() + buf;
 }
 
 std::string midpoint_label(const ScenarioSpec& lower, double mid_f) {
@@ -103,6 +104,16 @@ MetricFn metric_accessor(const std::string& name) {
   if (name == "cpu_overhead")
     return [](const SummaryRow& r) { return r.cpu_overhead; };
   return nullptr;
+}
+
+std::vector<std::string> refine_metric_names() {
+  // Derived from the aggregate schema so the listing tracks new columns;
+  // metric_accessor stays the single source of truth for which are
+  // numeric.
+  std::vector<std::string> names;
+  for (const auto& column : Aggregator::columns())
+    if (metric_accessor(column)) names.push_back(column);
+  return names;
 }
 
 bool rows_diverge(double a, double b, double tolerance) {

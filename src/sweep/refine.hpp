@@ -48,6 +48,10 @@ struct RefineResult {
 using MetricFn = double (*)(const SummaryRow&);
 MetricFn metric_accessor(const std::string& name);
 
+/// Every column name metric_accessor resolves, in presentation order
+/// (drives `pns_sweep list` and CLI diagnostics).
+std::vector<std::string> refine_metric_names();
+
 /// Divergence criterion: |a - b| > tolerance * max(|a|, |b|). Scale-free
 /// for large metrics, and any change from exactly zero (e.g. the first
 /// brownout) diverges -- which is what makes the brownout boundary a

@@ -5,13 +5,23 @@
 // ScenarioSpec names one fully determined simulation point as plain data;
 // a SweepSpec expands a cartesian product of axes into a vector of specs.
 // Because specs are data, a sweep can be executed serially, across a
-// thread pool (sweep/runner.hpp), or -- later -- sharded across machines,
-// without the experiment code changing.
+// thread pool (sweep/runner.hpp), or sharded across machines, without the
+// experiment code changing.
+//
+// Control and source selection are *open*: a ControlSpec/SourceSpec is a
+// registry kind plus a typed ParamMap (sweep/registry.hpp), addressable
+// as a compact spec string -- "pns:v_q=0.04", "gov:ondemand:period=0.05",
+// "static:opp=4", "shadow:depth=0.2,hold=5", "trace:file=day.csv",
+// "flicker:period=30". New policies and supply shapes register a factory
+// instead of editing this file, the experiment helpers and the CLI in
+// lockstep; the legacy ControlKind/SourceKind enums survive as thin
+// adapters over the kind strings.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/controller.hpp"
@@ -19,10 +29,13 @@
 #include "sim/experiment.hpp"
 #include "soc/platform.hpp"
 #include "trace/weather.hpp"
+#include "util/params.hpp"
 
 namespace pns::sweep {
 
-/// What feeds the storage node during a scenario.
+/// Legacy source selector, kept as a thin adapter: assigning or comparing
+/// a SourceKind against a SourceSpec addresses the registry kinds
+/// "solar" / "shadow".
 enum class SourceKind {
   kSolarWeather,  ///< clear-sky envelope x stochastic weather (Figs. 12-14)
   kShadowing,     ///< deterministic shadowing event (Fig. 6)
@@ -33,7 +46,8 @@ const char* to_string(SourceKind k);
 /// Parameters of the deterministic shadowing-event source (Fig. 6): full
 /// irradiance, a linear collapse to `depth` at `t_event`, a hold, and a
 /// recovery ramp. All times are offsets relative to the scenario's
-/// t_start, so shifting the window shifts the event with it.
+/// t_start, so shifting the window shifts the event with it. Spec-string
+/// params of the "shadow" kind override these field-wise.
 struct ShadowingSpec {
   double t_event_s = 2.0;
   double t_fall_s = 0.4;
@@ -43,23 +57,64 @@ struct ShadowingSpec {
   double peak_wm2 = 1000.0;  ///< irradiance outside the shadow
 };
 
-/// Control selection plus everything it needs: the governor name for
-/// ControlKind::kGovernor, the controller tuning for
-/// ControlKind::kPowerNeutral, and the pinned operating point for
-/// ControlKind::kStatic.
-struct ControlSpec {
-  sim::ControlKind kind = sim::ControlKind::kPowerNeutral;
-  std::string governor;                          ///< kGovernor only
-  ctl::ControllerConfig controller{};            ///< kPowerNeutral only
-  std::optional<soc::OperatingPoint> static_opp; ///< kStatic; platform's
-                                                 ///< lowest OPP when unset
+/// Open source selection: a registry kind ("solar", "shadow", "trace",
+/// "flicker", or anything registered at runtime) plus its parameters.
+struct SourceSpec {
+  std::string kind = "solar";
+  ParamMap params;
 
-  /// "pns", "gov:<name>" or "static" -- used in labels and reports.
-  std::string label() const;
+  SourceSpec() = default;
+  /// Adapter: SourceKind::kSolarWeather -> "solar", kShadowing ->
+  /// "shadow" (implicit, so `spec.source = SourceKind::kShadowing` keeps
+  /// compiling).
+  SourceSpec(SourceKind k);  // NOLINT(google-explicit-constructor)
+
+  /// Round-trippable "kind" / "kind:key=value,..." form (identity in
+  /// journal headers and CLI flags).
+  std::string spec_string() const;
+
+  /// Parses a spec string, validating the kind and its parameter keys
+  /// against the source registry; errors name the valid choices. Defined
+  /// in registry.cpp.
+  static SourceSpec parse(std::string_view text);
+
+  bool operator==(const SourceSpec&) const = default;
+};
+
+/// Kind-only comparison, so `spec.source == SourceKind::kShadowing` keeps
+/// meaning "is a shadowing source" whatever the parameters say.
+bool operator==(const SourceSpec& spec, SourceKind kind);
+
+/// Open control selection: a registry kind ("pns", "static",
+/// "gov:<name>", ...) plus its parameters. The compat factories encode
+/// their typed arguments into the ParamMap losslessly (shortest_double),
+/// so a programmatically built spec and its string form drive
+/// bit-identical simulations.
+struct ControlSpec {
+  std::string kind = "pns";
+  ParamMap params;
+
+  /// Compact row identity for labels and reports: the kind alone ("pns",
+  /// "gov:ondemand", "static"); parameters are deliberately omitted --
+  /// SweepSpec::expand() disambiguates duplicates positionally.
+  std::string label() const { return kind; }
+
+  /// Round-trippable "kind" / "kind:key=value,..." form.
+  std::string spec_string() const;
+
+  /// Parses a spec string, validating the kind and its parameter keys
+  /// against the control registry; errors name the valid choices.
+  /// Defined in registry.cpp.
+  static ControlSpec parse(std::string_view text);
+
+  /// The governor name of a "gov:<name>" kind; empty otherwise.
+  std::string governor_name() const;
 
   static ControlSpec power_neutral(ctl::ControllerConfig config = {});
   static ControlSpec linux_governor(std::string name);
   static ControlSpec static_opp_point(soc::OperatingPoint opp);
+
+  bool operator==(const ControlSpec&) const = default;
 };
 
 /// One fully determined simulation point. Value semantics throughout: a
@@ -71,9 +126,9 @@ struct ScenarioSpec {
 
   soc::Platform platform = soc::Platform::odroid_xu4();
 
-  SourceKind source = SourceKind::kSolarWeather;
+  SourceSpec source{};
   trace::WeatherCondition condition = trace::WeatherCondition::kFullSun;
-  ShadowingSpec shadow{};  ///< used when source == kShadowing
+  ShadowingSpec shadow{};  ///< used when source is the "shadow" kind
 
   ControlSpec control{};
 
@@ -91,7 +146,7 @@ struct ScenarioSpec {
   double capacitance_f = 47e-3;
   double band_fraction = 0.05;
   double vc0 = 5.3;
-  /// Band centre; when unset: 5.3 V (the array MPP) for solar scenarios,
+  /// Band centre; when unset: 5.3 V (the array MPP) for daylight sources,
   /// 0 (disabled) for shadowing scenarios, matching the paper's setups.
   std::optional<double> v_target;
 
@@ -110,14 +165,16 @@ struct ScenarioSpec {
 /// callers that need to tweak numerics before running).
 sim::SimConfig make_sim_config(const ScenarioSpec& spec);
 
-/// Runs one scenario to completion on the calling thread. Constructs a
-/// fresh one-shot SimEngine internally; thread-safe with respect to other
-/// concurrent run_scenario calls on distinct specs.
+/// Runs one scenario to completion on the calling thread, resolving the
+/// source and control through their registries (sweep/registry.hpp).
+/// Constructs a fresh one-shot SimEngine internally; thread-safe with
+/// respect to other concurrent run_scenario calls on distinct specs.
 sim::SimResult run_scenario(const ScenarioSpec& spec);
 
-/// What one scenario produced. `ok == false` means run_scenario threw;
-/// the exception text is preserved and the sweep continues (one diverging
-/// configuration must not sink a thousand-point overnight run).
+/// What one scenario produced. `ok == false` means run_scenario threw
+/// (including unknown kinds/params in its specs); the exception text is
+/// preserved and the sweep continues (one diverging configuration must
+/// not sink a thousand-point overnight run).
 struct SweepOutcome {
   ScenarioSpec spec;
   sim::SimResult result;  ///< valid only when ok
@@ -128,10 +185,11 @@ struct SweepOutcome {
 
 /// Cartesian product of sweep axes over a base scenario. An empty axis
 /// means "hold the base value"; non-empty axes multiply. Expansion order
-/// is deterministic: conditions (outermost), controls, capacitances,
-/// shadow depths, seeds (innermost).
+/// is deterministic: sources (outermost), conditions, controls,
+/// capacitances, shadow depths, seeds (innermost).
 struct SweepSpec {
   ScenarioSpec base;
+  std::vector<SourceSpec> sources;
   std::vector<trace::WeatherCondition> conditions;
   std::vector<ControlSpec> controls;
   std::vector<double> capacitances_f;

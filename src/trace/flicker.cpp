@@ -1,0 +1,55 @@
+#include "trace/flicker.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace pns::trace {
+
+double flicker_transmittance(const FlickerParams& p, double t) {
+  PNS_EXPECTS(p.period_s > 0.0);
+  PNS_EXPECTS(p.duty > 0.0 && p.duty < 1.0);
+  PNS_EXPECTS(p.depth >= 0.0 && p.depth <= 1.0);
+  PNS_EXPECTS(p.ramp_s >= 0.0);
+
+  // Position inside the cycle; fmod of a negative phase is folded back
+  // into [0, period).
+  double u = std::fmod(t + p.phase_s, p.period_s);
+  if (u < 0.0) u += p.period_s;
+
+  const double occluded_s = p.duty * p.period_s;
+  const double clear_s = p.period_s - occluded_s;
+  // Ramps live inside the occluded window; at most half of it each.
+  const double ramp = std::min(p.ramp_s, 0.5 * occluded_s);
+  if (u < clear_s) return 1.0;
+  const double v = u - clear_s;  // time into the occluded window
+  if (ramp > 0.0 && v < ramp)    // falling edge
+    return 1.0 + (p.depth - 1.0) * (v / ramp);
+  if (ramp > 0.0 && v > occluded_s - ramp)  // rising edge
+    return p.depth + (1.0 - p.depth) * ((v - (occluded_s - ramp)) / ramp);
+  return p.depth;
+}
+
+pns::PiecewiseLinear synthesize_flicker_irradiance(const ClearSky& sky,
+                                                   const FlickerParams& p,
+                                                   double t0, double t1,
+                                                   double dt) {
+  PNS_EXPECTS(t1 > t0);
+  PNS_EXPECTS(dt > 0.0);
+  const auto n = static_cast<std::size_t>(std::ceil((t1 - t0) / dt)) + 1;
+  std::vector<double> ts(n), gs(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double t = std::min(t0 + static_cast<double>(k) * dt, t1);
+    ts[k] = t;
+    gs[k] = sky.irradiance(t) * flicker_transmittance(p, t);
+  }
+  // The final clamped sample can duplicate its predecessor's x; drop it.
+  if (n >= 2 && ts[n - 1] <= ts[n - 2]) {
+    ts.pop_back();
+    gs.pop_back();
+  }
+  return pns::PiecewiseLinear(std::move(ts), std::move(gs));
+}
+
+}  // namespace pns::trace

@@ -1,0 +1,40 @@
+// Synthetic periodic cloud flicker ("micro" variability, deterministic).
+//
+// Where weather.hpp draws stochastic occlusions from a seeded Markov/OU
+// process, the flicker source is its fully deterministic counterpart: a
+// periodic transmittance wave -- clear, a finite-slope ramp down to
+// `depth`, a hold, a ramp back -- multiplied onto the clear-sky envelope.
+// Useful for controller studies that want a *repeatable* stress pattern
+// (e.g. scanning the flicker period against the controller's response
+// time) with no seed axis at all.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/irradiance.hpp"
+#include "util/interp.hpp"
+
+namespace pns::trace {
+
+/// One flicker cycle: `period_s * (1 - duty)` clear, then a ramp of
+/// `ramp_s` down to `depth`, occluded for the rest of the duty window,
+/// and a ramp back up (the ramps are inside the occluded fraction).
+struct FlickerParams {
+  double period_s = 60.0;  ///< full cycle length (s)
+  double duty = 0.5;       ///< occluded fraction of the cycle in (0, 1)
+  double depth = 0.3;      ///< transmittance floor while occluded
+  double ramp_s = 2.0;     ///< edge ramp duration (s), clamped to the duty
+  double phase_s = 0.0;    ///< shifts the pattern; 0 starts a cycle at t=0
+};
+
+/// Transmittance in [depth, 1] of the flicker wave at absolute time t.
+double flicker_transmittance(const FlickerParams& params, double t);
+
+/// Irradiance trace = clear-sky envelope x flicker wave, sampled every
+/// `dt` over [t0, t1] (the same grid contract as synthesize_irradiance).
+pns::PiecewiseLinear synthesize_flicker_irradiance(const ClearSky& sky,
+                                                   const FlickerParams& params,
+                                                   double t0, double t1,
+                                                   double dt);
+
+}  // namespace pns::trace

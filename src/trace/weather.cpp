@@ -21,6 +21,20 @@ const char* to_string(WeatherCondition c) {
   return "unknown";
 }
 
+const std::vector<WeatherCondition>& all_weather_conditions() {
+  static const std::vector<WeatherCondition> all = {
+      WeatherCondition::kFullSun, WeatherCondition::kPartialSun,
+      WeatherCondition::kCloud, WeatherCondition::kHail};
+  return all;
+}
+
+std::optional<WeatherCondition> weather_condition_from_string(
+    std::string_view name) {
+  for (WeatherCondition c : all_weather_conditions())
+    if (name == to_string(c)) return c;
+  return std::nullopt;
+}
+
 WeatherParams weather_params_for(WeatherCondition c) {
   switch (c) {
     case WeatherCondition::kFullSun:

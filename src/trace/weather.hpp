@@ -13,6 +13,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
 
 #include "trace/irradiance.hpp"
 #include "util/interp.hpp"
@@ -25,6 +28,13 @@ enum class WeatherCondition { kFullSun, kPartialSun, kCloud, kHail };
 
 /// Returns a human-readable name ("full-sun", ...).
 const char* to_string(WeatherCondition c);
+
+/// Every condition, in presentation order (CLI choice listings).
+const std::vector<WeatherCondition>& all_weather_conditions();
+
+/// Inverse of to_string; nullopt for an unknown name.
+std::optional<WeatherCondition> weather_condition_from_string(
+    std::string_view name);
 
 /// Parameters of the two-state Markov + OU transmittance process.
 struct WeatherParams {

@@ -51,6 +51,53 @@ grep -q "valid: exact, tabulated" err.txt || \
 "$BIN" quick --refine --refine-metric bogus --quiet 2>/dev/null && \
   fail "unknown --refine-metric accepted"
 
+# --- the list subcommand is generated from the registries
+"$BIN" list >list.txt 2>&1 || fail "list exited non-zero"
+for needle in "pns" "gov:ondemand" "static" "solar" "shadow" "trace" \
+              "flicker" "period=<double>" "up_threshold=<double>" \
+              "table2" "quick"; do
+  grep -q "$needle" list.txt || fail "list: '$needle' missing"
+done
+
+# --- control/source spec-string diagnostics name the valid choices
+if "$BIN" quick --control warp-speed >out.txt 2>err.txt; then
+  fail "unknown control kind exited 0"
+fi
+grep -q "gov:ondemand" err.txt || fail "unknown control: kinds not listed"
+if "$BIN" quick --control pns:warp=1 >out.txt 2>err.txt; then
+  fail "unknown control param exited 0"
+fi
+grep -q "v_q" err.txt || fail "unknown control param: keys not listed"
+if "$BIN" quick --source flicker:period=abc >out.txt 2>err.txt; then
+  fail "malformed source param value exited 0"
+fi
+grep -q "expected a number" err.txt || \
+  fail "malformed source value: no type diagnostic"
+
+# --- a parameterized governor runs end-to-end from the CLI
+"$BIN" quick --quiet --control gov:ondemand:period=0.05 --control pns \
+  --csv tuned.csv >/dev/null || fail "parameterized governor run failed"
+grep -q "gov:ondemand" tuned.csv || fail "tuned run: governor row missing"
+
+# --- the flicker and trace sources run end-to-end from the CLI
+"$BIN" quick --quiet --source flicker:period=30,depth=0.5 --csv flick.csv \
+  >/dev/null || fail "flicker source run failed"
+grep -q "flicker" flick.csv || fail "flicker run: condition cell missing"
+printf "t,wm2\n0,0\n43200,800\n86400,0\n" > day.csv
+"$BIN" quick --quiet --source "trace:file=day.csv" --csv traced.csv \
+  >/dev/null || fail "trace source run failed"
+grep -q "trace" traced.csv || fail "trace run: condition cell missing"
+
+# --- journal identity pins the control/source spec strings
+"$BIN" quick --quiet --control gov:ondemand:period=0.05 \
+  --journal spec.jsonl >/dev/null || fail "journalled tuned run failed"
+if "$BIN" quick --quiet --control gov:ondemand:period=0.1 --resume \
+  --journal spec.jsonl >/dev/null 2>err.txt; then
+  fail "journal reused across differing --control specs"
+fi
+grep -q "gov:ondemand:period=0.05" err.txt || \
+  fail "identity mismatch: original spec string not named"
+
 # --- reference: one uninterrupted run
 "$BIN" quick --quiet --csv ref.csv --json ref.json >/dev/null || \
   fail "reference quick run failed"

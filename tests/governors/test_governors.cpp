@@ -152,8 +152,64 @@ TEST(Registry, BuildsEveryAdvertisedGovernor) {
   }
 }
 
-TEST(Registry, UnknownNameThrows) {
-  EXPECT_THROW(make_governor("warp-speed", xu4()), std::invalid_argument);
+TEST(Registry, UnknownNameThrowsListingValidNames) {
+  try {
+    make_governor("warp-speed", xu4());
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("'warp-speed'"), std::string::npos);
+    for (const auto& name : available_governors())
+      EXPECT_NE(what.find(name), std::string::npos) << name;
+  }
+  EXPECT_THROW(governor_params("warp-speed"), std::invalid_argument);
+}
+
+TEST(Registry, ParamMapOverloadTunesGovernors) {
+  const auto g = make_governor("ondemand", xu4(),
+                               pns::ParamMap::parse("period=0.05,"
+                                                    "up_threshold=0.5"));
+  EXPECT_DOUBLE_EQ(g->sampling_period(), 0.05);
+  // up_threshold=0.5: 60 % utilisation now jumps to max.
+  EXPECT_EQ(g->decide({0.0, 0.6, {2, {4, 4}}}).freq_index,
+            xu4().opps.max_index());
+
+  const auto c = make_governor("conservative", xu4(),
+                               pns::ParamMap::parse("freq_step=2"));
+  EXPECT_EQ(c->decide({0.0, 1.0, {0, {4, 4}}}).freq_index, 2u);
+
+  const auto u = make_governor("userspace", xu4(),
+                               pns::ParamMap::parse("index=3"));
+  EXPECT_EQ(u->decide({0.0, 1.0, {7, {4, 4}}}).freq_index, 3u);
+}
+
+TEST(Registry, ParamMapOverloadRejectsUnknownKeysListingValid) {
+  try {
+    make_governor("ondemand", xu4(), pns::ParamMap::parse("perod=0.05"));
+    FAIL() << "expected ParamError";
+  } catch (const pns::ParamError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("'perod'"), std::string::npos);
+    EXPECT_NE(what.find("period"), std::string::npos);
+    EXPECT_NE(what.find("up_threshold"), std::string::npos);
+  }
+  // Fixed-frequency governors take no params at all.
+  try {
+    make_governor("powersave", xu4(), pns::ParamMap::parse("period=0.05"));
+    FAIL() << "expected ParamError";
+  } catch (const pns::ParamError& e) {
+    EXPECT_NE(std::string(e.what()).find("no params"), std::string::npos);
+  }
+}
+
+TEST(Registry, EveryAdvertisedParamHasTypeAndDefault) {
+  for (const auto& name : available_governors()) {
+    for (const auto& p : governor_params(name)) {
+      EXPECT_FALSE(p.key.empty()) << name;
+      EXPECT_FALSE(p.type.empty()) << name << "." << p.key;
+      EXPECT_FALSE(p.help.empty()) << name << "." << p.key;
+    }
+  }
 }
 
 TEST(Registry, TableTwoGovernorsPresent) {

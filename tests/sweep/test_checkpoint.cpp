@@ -205,6 +205,45 @@ TEST(SweepRunnerResume, KilledMidAppendReRunsTheTornScenario) {
   EXPECT_EQ(csv_of(report.rows), csv_of(full));
 }
 
+TEST(SweepRunnerResume, IdentityPinsControlAndSourceSpecStrings) {
+  // The CLI journals under sweep_identity(...), which embeds the full
+  // --control/--source spec strings: resuming with a different tuning of
+  // the *same* control kind must fail the header match with a message
+  // naming both identities.
+  const auto specs = small_sweep().expand();
+  const auto mode = ehsim::PvSource::Mode::kExact;
+  const std::string original = sweep_identity(
+      "quick", 2.0, mode,
+      {ControlSpec::parse("gov:ondemand:period=0.05")},
+      {SourceSpec::parse("flicker:period=30,depth=0.5")});
+  EXPECT_EQ(original,
+            "quick?minutes=2&pv=exact&control=gov:ondemand:period=0.05"
+            "&source=flicker:period=30,depth=0.5");
+
+  TempFile file("pns-identity-specs");
+  runner_with(1).resume(specs, file.path(), original);
+  // Same invocation resumes...
+  EXPECT_NO_THROW(runner_with(1).resume(specs, file.path(), original));
+  // ...a different governor period does not.
+  const std::string retuned = sweep_identity(
+      "quick", 2.0, mode, {ControlSpec::parse("gov:ondemand:period=0.1")},
+      {SourceSpec::parse("flicker:period=30,depth=0.5")});
+  try {
+    runner_with(1).resume(specs, file.path(), retuned);
+    FAIL() << "expected JournalError";
+  } catch (const JournalError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("gov:ondemand:period=0.05"), std::string::npos);
+    EXPECT_NE(what.find("gov:ondemand:period=0.1"), std::string::npos);
+  }
+  // Dropping the source override fails too.
+  const std::string no_source = sweep_identity(
+      "quick", 2.0, mode, {ControlSpec::parse("gov:ondemand:period=0.05")},
+      {});
+  EXPECT_THROW(runner_with(1).resume(specs, file.path(), no_source),
+               JournalError);
+}
+
 TEST(SweepRunnerResume, JournalFromDifferentSweepRejected) {
   const auto specs = small_sweep().expand();
   TempFile file("pns-resume-wrong");

@@ -61,8 +61,8 @@ TEST(SweepSpec, ExpansionOrderIsSeedInnermost) {
   ASSERT_EQ(specs.size(), 4u);
   EXPECT_EQ(specs[0].seed, 7u);
   EXPECT_EQ(specs[1].seed, 8u);
-  EXPECT_EQ(specs[0].control.kind, sim::ControlKind::kPowerNeutral);
-  EXPECT_EQ(specs[2].control.kind, sim::ControlKind::kGovernor);
+  EXPECT_EQ(specs[0].control.kind, "pns");
+  EXPECT_EQ(specs[2].control.kind, "gov:powersave");
 }
 
 TEST(SweepSpec, LabelsAreUniqueAcrossTheProduct) {

@@ -9,6 +9,14 @@
 //   pns_sweep fig6 --threads 4      # Fig. 6: shadow depths x {static,pns}
 //   pns_sweep weather --json out.json --csv out.csv
 //
+// Control and source selection are open, registry-driven axes addressed
+// by spec strings (docs/sweeps.md documents the grammar; `pns_sweep list`
+// prints every registered kind and its parameters):
+//
+//   pns_sweep table2 --control pns --control gov:ondemand:period=0.05
+//   pns_sweep quick --source flicker:period=30,depth=0.5
+//   pns_sweep quick --source trace:file=day.csv
+//
 // Production-sweep features (docs/sweeps.md has the full workflow):
 //
 //   pns_sweep table2 --journal t2.jsonl            # checkpoint every row
@@ -37,16 +45,15 @@
 #include "sweep/journal.hpp"
 #include "sweep/presets.hpp"
 #include "sweep/refine.hpp"
+#include "sweep/registry.hpp"
 #include "sweep/runner.hpp"
 #include "sweep/scenario.hpp"
 #include "util/json.hpp"
+#include "util/params.hpp"
 
 namespace {
 
 using namespace pns;
-
-constexpr const char* kSweepNames[] = {"table2", "capacitance", "fig6",
-                                       "weather", "quick"};
 
 struct Options {
   std::string sweep_name;
@@ -56,6 +63,10 @@ struct Options {
   std::string json_path;
   bool quiet = false;
   ehsim::PvSource::Mode pv_mode = ehsim::PvSource::Mode::kExact;
+
+  // Control/source overrides (spec strings, repeatable -> axes).
+  std::vector<sweep::ControlSpec> controls;
+  std::vector<sweep::SourceSpec> sources;
 
   // Checkpointing / sharding.
   std::string journal_path;
@@ -72,16 +83,24 @@ struct Options {
 void usage(const char* argv0) {
   std::printf(
       "usage: %s <sweep> [options]\n"
+      "       %s list\n"
       "       %s merge [--csv PATH] [--json PATH] [--quiet] JOURNAL...\n"
       "\n"
-      "sweeps:\n"
-      "  table2       power-management schemes x 3 seeds (18 scenarios)\n"
-      "  capacitance  buffer sizes x weather, PNS controller\n"
-      "  fig6         shadowing depths x {static, controlled}\n"
-      "  weather      weather conditions x control schemes\n"
-      "  quick        CI smoke: table2 schemes, 2-minute window, 2 seeds\n"
+      "sweeps:\n",
+      argv0, argv0, argv0);
+  for (const auto& p : sweep::sweep_presets())
+    std::printf("  %-12s %s\n", p.name.c_str(), p.summary.c_str());
+  std::printf(
       "\n"
       "options:\n"
+      "  --control S   replace the sweep's control axis with spec string S\n"
+      "                (repeatable; e.g. pns:v_q=0.04, gov:ondemand:"
+      "period=0.05,\n"
+      "                static:opp=4 -- 'list' prints every kind)\n"
+      "  --source S    replace the sweep's source axis with spec string S\n"
+      "                (repeatable; e.g. shadow:depth=0.2, trace:file=x.csv,"
+      "\n"
+      "                flicker:period=30,depth=0.5)\n"
       "  --threads N   worker threads (default: hardware concurrency)\n"
       "  --minutes M   simulated window length where applicable "
       "(default 60)\n"
@@ -102,14 +121,48 @@ void usage(const char* argv0) {
       "  --refine-metric M  aggregate column compared (default brownouts)\n"
       "  --refine-tol T     relative divergence threshold (default 0.25)\n"
       "  --refine-depth D   maximum bisection rounds (default 3)\n"
-      "  --quiet       suppress per-scenario progress\n",
-      argv0, argv0);
+      "  --quiet       suppress per-scenario progress\n");
 }
 
 void list_sweeps(std::FILE* os) {
   std::fprintf(os, "valid sweeps:");
-  for (const char* name : kSweepNames) std::fprintf(os, " %s", name);
-  std::fprintf(os, " (or the 'merge' subcommand)\n");
+  for (const auto& p : sweep::sweep_presets())
+    std::fprintf(os, " %s", p.name.c_str());
+  std::fprintf(os, " (or the 'list'/'merge' subcommands)\n");
+}
+
+void print_params(const std::vector<ParamInfo>& params) {
+  for (const auto& p : params) {
+    std::string key = p.key + "=<" + p.type + ">";
+    std::printf("      %-28s %s", key.c_str(), p.help.c_str());
+    if (!p.default_value.empty())
+      std::printf(" (default %s)", p.default_value.c_str());
+    std::printf("\n");
+  }
+}
+
+/// The `list` subcommand: every registered control/source kind, its
+/// accepted parameters and the sweep presets -- generated from the
+/// registries, so it cannot go stale.
+int run_list() {
+  std::printf("controls (--control KIND[:key=value,...]):\n");
+  for (const auto& e : sweep::ControlRegistry::instance().entries()) {
+    std::printf("  %-16s %s\n", e.kind.c_str(), e.summary.c_str());
+    print_params(e.params);
+  }
+  std::printf("\nsources (--source KIND[:key=value,...]):\n");
+  for (const auto& e : sweep::SourceRegistry::instance().entries()) {
+    std::printf("  %-16s %s\n", e.kind.c_str(), e.summary.c_str());
+    print_params(e.params);
+  }
+  std::printf("\nsweep presets:\n");
+  for (const auto& p : sweep::sweep_presets())
+    std::printf("  %-16s %s\n", p.name.c_str(), p.summary.c_str());
+  std::printf("\nrefine metrics (--refine-metric):");
+  for (const auto& name : sweep::refine_metric_names())
+    std::printf(" %s", name.c_str());
+  std::printf("\n");
+  return 0;
 }
 
 /// Writes CSV/JSON side outputs; returns false when any write failed.
@@ -214,6 +267,8 @@ int main(int argc, char** argv) {
   Options opt;
   opt.sweep_name = argv[1];
 
+  if (opt.sweep_name == "list") return run_list();
+
   const bool merging = opt.sweep_name == "merge";
   std::vector<std::string> merge_journals;
 
@@ -226,7 +281,25 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (arg == "--threads")
+    if (arg == "--control" || arg == "--source") {
+      // Spec strings are validated against the registries up front so a
+      // typo fails in milliseconds, not after the sweep ran.
+      const std::string spec = next();
+      try {
+        if (arg == "--control")
+          opt.controls.push_back(sweep::ControlSpec::parse(spec));
+        else
+          opt.sources.push_back(sweep::SourceSpec::parse(spec));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "invalid %s '%s': %s\n", arg.c_str(),
+                     spec.c_str(), e.what());
+        std::fprintf(stderr,
+                     "run '%s list' for every registered kind and its "
+                     "parameters\n",
+                     argv[0]);
+        return 2;
+      }
+    } else if (arg == "--threads")
       opt.threads = static_cast<unsigned>(std::atoi(next()));
     else if (arg == "--minutes")
       opt.minutes = std::atof(next());
@@ -283,22 +356,18 @@ int main(int argc, char** argv) {
 
   if (merging) return run_merge(merge_journals, opt);
 
-  sweep::SweepSpec sw;
-  if (opt.sweep_name == "table2")
-    sw = sweep::table2_sweep(opt.minutes, {42, 43, 44});
-  else if (opt.sweep_name == "capacitance")
-    sw = sweep::capacitance_sweep(opt.minutes);
-  else if (opt.sweep_name == "fig6")
-    sw = sweep::fig6_depth_sweep();
-  else if (opt.sweep_name == "weather")
-    sw = sweep::weather_sweep(opt.minutes);
-  else if (opt.sweep_name == "quick")
-    sw = sweep::quick_sweep();
-  else {
+  const sweep::SweepPreset* preset =
+      sweep::find_sweep_preset(opt.sweep_name);
+  if (!preset) {
     std::fprintf(stderr, "unknown sweep: %s\n", opt.sweep_name.c_str());
     list_sweeps(stderr);
     return 2;
   }
+  sweep::SweepSpec sw = preset->make(opt.minutes);
+  // --control/--source replace the preset's corresponding axis wholesale;
+  // repeating a flag sweeps over the given specs.
+  if (!opt.controls.empty()) sw.controls = opt.controls;
+  if (!opt.sources.empty()) sw.sources = opt.sources;
 
   // Flag consistency: refuse combinations whose output would be partial
   // or ambiguous instead of silently producing the wrong aggregate.
@@ -325,20 +394,22 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (opt.refine && !sweep::metric_accessor(opt.refine_options.metric)) {
-    std::fprintf(stderr, "unknown --refine-metric: %s\n",
+    std::fprintf(stderr, "unknown --refine-metric: %s (valid:",
                  opt.refine_options.metric.c_str());
+    for (const auto& name : sweep::refine_metric_names())
+      std::fprintf(stderr, " %s", name.c_str());
+    std::fprintf(stderr, ")\n");
     return 2;
   }
 
   sw.base.pv_mode = opt.pv_mode;
 
   // The journal identity pins every knob that changes what the scenarios
-  // compute (window length, PV mode) -- labels alone would not catch a
-  // --minutes mismatch between the original run and the resume.
-  const std::string journal_name =
-      opt.sweep_name + "?minutes=" + shortest_double(opt.minutes) +
-      "&pv=" +
-      (opt.pv_mode == ehsim::PvSource::Mode::kExact ? "exact" : "tabulated");
+  // compute (window length, PV mode, control/source overrides) -- labels
+  // alone would not catch a --minutes mismatch between the original run
+  // and the resume.
+  const std::string journal_name = sweep::sweep_identity(
+      opt.sweep_name, opt.minutes, opt.pv_mode, opt.controls, opt.sources);
 
   const auto specs = sw.expand();
   const sweep::ShardRange range =
