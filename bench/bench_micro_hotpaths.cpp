@@ -12,6 +12,7 @@
 #include "ehsim/sources.hpp"
 #include "hw/monitor.hpp"
 #include "sim/experiment.hpp"
+#include "sweep/registry.hpp"
 
 namespace {
 
@@ -115,6 +116,29 @@ void BM_Rk23SecondOfCircuit(benchmark::State& state) {
 }
 BENCHMARK(BM_Rk23SecondOfCircuit);
 
+void BM_Rk23PiSecondOfCircuit(benchmark::State& state) {
+  // Same integration as BM_Rk23SecondOfCircuit under the PI step
+  // controller with the rk23pi kind's 50 ms ceiling: the controller
+  // holds the step at what the tolerance admits instead of cycling
+  // through the clamp.
+  const auto cell = sim::paper_pv_array();
+  const ehsim::PvSource source(cell, [](double) { return 900.0; });
+  const ehsim::ConstantPowerLoad load(3.5);
+  const ehsim::EhCircuit circuit(source, load,
+                                 ehsim::Capacitor{47e-3, 0.0, 50e3});
+  ehsim::Rk23Options opt;
+  opt.max_step = 0.25;
+  opt.step_control = ehsim::StepControl::kPi;
+  opt.event_localization = ehsim::EventLocalization::kDenseRoot;
+  for (auto _ : state) {
+    ehsim::Rk23Integrator ig(circuit, opt);
+    const double v0 = 5.2;
+    ig.reset(0.0, std::span<const double>(&v0, 1));
+    benchmark::DoNotOptimize(ig.advance(1.0).steps_taken);
+  }
+}
+BENCHMARK(BM_Rk23PiSecondOfCircuit);
+
 // Event-path cost of one integrated second with a (never-firing) watch
 // level, in both event representations. The threshold form evaluates as a
 // subtract; the callback form pays the type-erased call.
@@ -154,6 +178,34 @@ void BM_Rk23EventPathCallback(benchmark::State& state) {
 }
 BENCHMARK(BM_Rk23EventPathCallback);
 
+void BM_DenseOutputEventPath(benchmark::State& state) {
+  // A *firing* threshold localised by the dense-output cubic root solve:
+  // the node discharges from 5.2 V with no harvest, fires the watch
+  // level, and the integrator continues to the end of the second. The
+  // bisection path pays ~60 Hermite evaluations at the crossing; the
+  // cubic solve a handful of polynomial ones.
+  const ehsim::ConstantCurrentSource source(0.0);
+  const ehsim::ConstantPowerLoad load(3.5);
+  const ehsim::EhCircuit circuit(source, load,
+                                 ehsim::Capacitor{47e-3, 0.0, 50e3});
+  ehsim::Rk23Options opt;
+  opt.max_step = 0.05;
+  opt.step_control = ehsim::StepControl::kPi;
+  opt.event_localization = ehsim::EventLocalization::kDenseRoot;
+  ehsim::Rk23Integrator ig(circuit, opt);
+  const auto ev =
+      ehsim::EventSpec::threshold(5.0, ehsim::EventDirection::kFalling, 1);
+  for (auto _ : state) {
+    const double v0 = 5.2;
+    ig.reset(0.0, std::span<const double>(&v0, 1));
+    auto res = ig.advance(1.0, std::span<const ehsim::EventSpec>(&ev, 1));
+    benchmark::DoNotOptimize(res.event_fired);
+    res = ig.advance(1.0);
+    benchmark::DoNotOptimize(res.steps_taken);
+  }
+}
+BENCHMARK(BM_DenseOutputEventPath);
+
 void BM_ControllerIsr(benchmark::State& state) {
   hw::VoltageMonitor monitor;
   ctl::PowerNeutralController controller(xu4(), monitor, {});
@@ -183,8 +235,16 @@ void BM_MonitorThresholdProgramming(benchmark::State& state) {
 }
 BENCHMARK(BM_MonitorThresholdProgramming);
 
+/// Applies the registered `rk23pi` kind's default tuning, so these
+/// benches always measure exactly what `--integrator rk23pi` runs.
+void apply_rk23pi(sim::SimConfig& cfg) {
+  sweep::ScenarioSpec spec;
+  spec.integrator = sweep::IntegratorSpec::parse("rk23pi");
+  sweep::resolve_integrator(spec, cfg);
+}
+
 void bench_end_to_end(benchmark::State& state,
-                      ehsim::PvSource::Mode pv_mode) {
+                      ehsim::PvSource::Mode pv_mode, bool pi = false) {
   for (auto _ : state) {
     sim::SolarScenario scenario;
     scenario.condition = trace::WeatherCondition::kPartialSun;
@@ -193,6 +253,7 @@ void bench_end_to_end(benchmark::State& state,
     scenario.pv_mode = pv_mode;
     auto cfg = sim::solar_sim_config(scenario);
     cfg.record_series = false;
+    if (pi) apply_rk23pi(cfg);
     const auto r = sim::run_solar_power_neutral(xu4(), scenario, cfg);
     benchmark::DoNotOptimize(r.metrics.instructions);
   }
@@ -208,6 +269,52 @@ void BM_EndToEndSimulatedMinuteTabulated(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndSimulatedMinuteTabulated)
     ->Unit(benchmark::kMillisecond);
+
+void BM_EndToEndSimulatedMinuteRk23Pi(benchmark::State& state) {
+  bench_end_to_end(state, ehsim::PvSource::Mode::kExact, /*pi=*/true);
+}
+BENCHMARK(BM_EndToEndSimulatedMinuteRk23Pi)->Unit(benchmark::kMillisecond);
+
+// One simulated HOUR at a pinned operating point under constant
+// irradiance -- a sensor node on steady sun. The node charges to its
+// stable equilibrium in the first seconds and then nothing happens for
+// 59.9 minutes: exactly the shape the coasting fast path exists for.
+// (The power-neutral controller is NOT quiescent here -- it limit-cycles
+// between thresholds -- so the static OPP is the honest scenario.)
+void bench_quiescent_hour(benchmark::State& state, bool coast) {
+  // Array calibration and the OPP search are hoisted out of the loop so
+  // the iteration times the simulated hour, not the setup.
+  ehsim::PvSource source(sim::paper_pv_array(),
+                         [](double) { return 700.0; });
+  source.set_irradiance_hold(
+      [](double) { return std::numeric_limits<double>::infinity(); });
+  const auto opp = sim::balanced_opp(xu4(), source.available_power(0.0));
+  sim::SolarScenario scenario;  // only used for the config shape
+  scenario.t_start = 0.0;
+  scenario.t_end = 3600.0;
+  for (auto _ : state) {
+    auto cfg = sim::solar_sim_config(scenario);
+    cfg.record_series = false;
+    apply_rk23pi(cfg);
+    cfg.coast = coast;
+    auto r = sim::run_pv_control(xu4(), source,
+                                 sim::ControlSelection::pinned(opp), cfg,
+                                 /*warm_start=*/true);
+    benchmark::DoNotOptimize(r.metrics.instructions);
+  }
+}
+
+void BM_CoastingQuiescentHour(benchmark::State& state) {
+  bench_quiescent_hour(state, /*coast=*/true);
+}
+BENCHMARK(BM_CoastingQuiescentHour)->Unit(benchmark::kMillisecond);
+
+void BM_QuiescentHourNoCoast(benchmark::State& state) {
+  // The same hour stepped the ordinary way: the denominator of the
+  // coasting speedup the performance docs quote.
+  bench_quiescent_hour(state, /*coast=*/false);
+}
+BENCHMARK(BM_QuiescentHourNoCoast)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Compare a fresh pns_bench_report JSON against the checked-in baseline.
+
+Usage:
+    scripts/check_bench_regression.py FRESH.json [BASELINE.json]
+    scripts/check_bench_regression.py --list-baseline
+
+With no BASELINE argument the newest checked-in BENCH_*.json (highest
+number) is used. Named micro benchmarks are compared on cpu_time_ns; a
+slowdown beyond --threshold (default 15 %) is reported as a warning.
+
+The exit code is 0 unless --strict is given (then any warning fails):
+micro benchmarks on shared CI runners jitter far more than 15 %, so this
+runs as a *non-blocking* smoke in CI -- a tap on the shoulder in the
+logs, not a gate. Run it locally on a quiet machine before trusting a
+number either way.
+"""
+
+import argparse
+import glob
+import json
+import os
+import re
+import sys
+
+# The watched subset: end-to-end and integrator-path benches that the
+# BENCH trajectory is meant to track. Purely-synthetic micro benches
+# (e.g. the never-firing event paths) jitter too much to gate on.
+WATCHED = [
+    "BM_Rk23SecondOfCircuit",
+    "BM_Rk23PiSecondOfCircuit",
+    "BM_EndToEndSimulatedMinute",
+    "BM_EndToEndSimulatedMinuteTabulated",
+    "BM_EndToEndSimulatedMinuteRk23Pi",
+    "BM_CoastingQuiescentHour",
+]
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def newest_baseline():
+    candidates = []
+    for path in glob.glob(os.path.join(REPO_ROOT, "BENCH_*.json")):
+        m = re.fullmatch(r"BENCH_(\d+)\.json", os.path.basename(path))
+        if m:
+            candidates.append((int(m.group(1)), path))
+    if not candidates:
+        return None
+    return max(candidates)[1]
+
+
+def micro_map(report):
+    micro = report.get("micro")
+    if not isinstance(micro, list):
+        return {}
+    return {
+        row["name"]: row
+        for row in micro
+        if isinstance(row, dict) and "name" in row
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", nargs="?", help="freshly generated report")
+    parser.add_argument("baseline", nargs="?", help="checked-in baseline")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="relative slowdown that warns (default 0.15)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero when any bench regressed")
+    parser.add_argument("--list-baseline", action="store_true",
+                        help="print the baseline path that would be used")
+    args = parser.parse_args()
+
+    baseline_path = args.baseline or newest_baseline()
+    if args.list_baseline:
+        print(baseline_path or "")
+        return 0
+    if not args.fresh:
+        parser.error("missing FRESH.json")
+    if not baseline_path:
+        print("check_bench_regression: no checked-in BENCH_*.json baseline")
+        return 0
+
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+
+    fresh_micro = micro_map(fresh)
+    base_micro = micro_map(baseline)
+    if not fresh_micro:
+        print(f"check_bench_regression: {args.fresh} has no micro rows "
+              "(bench_micro_hotpaths not built?); nothing to compare")
+        return 0
+
+    regressed = []
+    print(f"baseline: {os.path.basename(baseline_path)}   "
+          f"fresh: {os.path.basename(args.fresh)}")
+    print(f"{'benchmark':42} {'base':>12} {'fresh':>12} {'delta':>8}")
+    for name in WATCHED:
+        base_row = base_micro.get(name)
+        fresh_row = fresh_micro.get(name)
+        if base_row is None or fresh_row is None:
+            status = "new" if base_row is None else "missing!"
+            print(f"{name:42} {status:>12}")
+            continue
+        base_ns = float(base_row["cpu_time_ns"])
+        fresh_ns = float(fresh_row["cpu_time_ns"])
+        if base_ns <= 0:
+            continue
+        delta = fresh_ns / base_ns - 1.0
+        flag = ""
+        if delta > args.threshold:
+            flag = "  <-- REGRESSION"
+            regressed.append((name, delta))
+        print(f"{name:42} {base_ns:10.0f}ns {fresh_ns:10.0f}ns "
+              f"{delta:+7.1%}{flag}")
+
+    if regressed:
+        print()
+        for name, delta in regressed:
+            print(f"warning: {name} slowed down {delta:+.1%} "
+                  f"(threshold {args.threshold:.0%})")
+        if args.strict:
+            return 1
+    else:
+        print("\nno regressions beyond "
+              f"{args.threshold:.0%} on the watched benches")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,6 @@
 #include "ehsim/circuit.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/contracts.hpp"
@@ -24,6 +25,10 @@ void EhCircuit::derivatives(double t, std::span<const double> y,
 double EhCircuit::net_current(double v, double t) const {
   return source_->current(v, t) - load_->current(v, t) -
          cap_.leakage_current(v);
+}
+
+double EhCircuit::time_invariant_until(double t) const {
+  return std::min(source_->constant_until(t), load_->constant_until(t));
 }
 
 double EhCircuit::equilibrium_voltage(double t, double v_lo,

@@ -33,6 +33,13 @@ class EhCircuit : public OdeSystem {
   /// Net current into the node at voltage v, time t (A).
   double net_current(double v, double t) const;
 
+  /// Latest time T >= t such that the whole right-hand side is provably
+  /// time-invariant on [t, T]: the minimum of the source's and the load's
+  /// constant_until (capacitor leakage depends on V only). On such spans
+  /// the ODE is autonomous, which is what licenses the engine's
+  /// steady-state coasting jump.
+  double time_invariant_until(double t) const;
+
   /// Finds the equilibrium node voltage in [v_lo, v_hi] where net current
   /// is zero, by bisection; returns the boundary with smaller |net| when no
   /// sign change exists in the bracket.

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <functional>
+#include <limits>
 
 namespace pns::ehsim {
 
@@ -19,6 +20,11 @@ class Load {
 
   /// Current (A) out of the node at node voltage `v` and time `t`.
   virtual double current(double v, double t) const = 0;
+
+  /// Latest time T >= t such that the load's *time* dependence is
+  /// provably constant over [t, T] (same contract as
+  /// CurrentSource::constant_until). Default: unknown.
+  virtual double constant_until(double t) const { return t; }
 };
 
 /// Constant-power load with undervoltage cutoff:
@@ -31,6 +37,9 @@ class ConstantPowerLoad : public Load {
                     double residual_watts = 0.0);
 
   double current(double v, double t) const override;
+  double constant_until(double /*t*/) const override {
+    return std::numeric_limits<double>::infinity();
+  }
 
   double watts() const { return watts_; }
   void set_watts(double watts);
@@ -46,6 +55,9 @@ class ResistiveLoad : public Load {
  public:
   explicit ResistiveLoad(double ohms);
   double current(double v, double t) const override;
+  double constant_until(double /*t*/) const override {
+    return std::numeric_limits<double>::infinity();
+  }
 
  private:
   double ohms_;

@@ -37,6 +37,24 @@ enum class EventDirection {
   kAny,      ///< any sign change
 };
 
+/// The discrete crossing test: did g move across zero in `direction`
+/// between two samples? Single definition shared by the integrator's
+/// event gate (rk23.cpp) and the dense-output root search
+/// (dense_output.cpp) -- the two MUST agree or the root search could
+/// miss a crossing the gate fired on.
+inline bool event_direction_matches(EventDirection direction, double g0,
+                                    double g1) {
+  switch (direction) {
+    case EventDirection::kRising:
+      return g0 < 0.0 && g1 >= 0.0;
+    case EventDirection::kFalling:
+      return g0 > 0.0 && g1 <= 0.0;
+    case EventDirection::kAny:
+      return (g0 < 0.0 && g1 >= 0.0) || (g0 > 0.0 && g1 <= 0.0);
+  }
+  return false;
+}
+
 /// Scalar event function g(t, y); a root of g marks the event.
 ///
 /// Two representations share this struct:

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ehsim/dense_output.hpp"
 #include "util/contracts.hpp"
 
 namespace pns::ehsim {
@@ -19,18 +20,6 @@ double error_norm(std::span<const double> err, std::span<const double> y0,
     acc += e * e;
   }
   return std::sqrt(acc / static_cast<double>(err.size()));
-}
-
-bool direction_matches(EventDirection dir, double g0, double g1) {
-  switch (dir) {
-    case EventDirection::kRising:
-      return g0 < 0.0 && g1 >= 0.0;
-    case EventDirection::kFalling:
-      return g0 > 0.0 && g1 <= 0.0;
-    case EventDirection::kAny:
-      return (g0 < 0.0 && g1 >= 0.0) || (g0 > 0.0 && g1 <= 0.0);
-  }
-  return false;
 }
 
 }  // namespace
@@ -60,6 +49,7 @@ Rk23Integrator::Rk23Integrator(const OdeSystem& system, Rk23Options options)
 
 void Rk23Integrator::reset(double t0, std::span<const double> y0) {
   PNS_EXPECTS(y0.size() == y_.size());
+  pi_.reset();
   t_ = t0;
   std::copy(y0.begin(), y0.end(), y_.begin());
   have_f0_ = false;
@@ -109,7 +99,11 @@ IntegrationResult Rk23Integrator::advance(double t_end,
   while (t_ < t_end) {
     PNS_ENSURES(++steps_this_call <= opt_.max_steps_per_call);
 
-    double h = std::min({h_, opt_.max_step, t_end - t_});
+    const double h_limit = std::min(h_, opt_.max_step);
+    double h = std::min(h_limit, t_end - t_);
+    // True when this step is shortened only to land on t_end (a segment
+    // boundary), not because the controller asked for a small step.
+    const bool end_capped = h < h_limit;
     h = std::max(h, opt_.min_step);
 
     // Bogacki-Shampine tableau. k1 is the FSAL derivative from the
@@ -142,7 +136,9 @@ IntegrationResult Rk23Integrator::advance(double t_end,
     if (err > 1.0 && h > opt_.min_step) {
       ++total_rejected_;
       ++result.rejected_steps;
-      h_ = h * std::max(0.2, 0.9 * std::pow(err, -1.0 / 3.0));
+      h_ = h * (opt_.step_control == StepControl::kPi
+                    ? pi_.on_rejected(err)
+                    : std::max(0.2, 0.9 * std::pow(err, -1.0 / 3.0)));
       continue;
     }
 
@@ -161,35 +157,70 @@ IntegrationResult Rk23Integrator::advance(double t_end,
     ++result.steps_taken;
 
     // Grow the step for the next iteration.
-    const double growth =
-        err > 1e-12 ? 0.9 * std::pow(err, -1.0 / 3.0) : 5.0;
-    h_ = h * std::clamp(growth, 0.2, 5.0);
+    if (opt_.step_control == StepControl::kPi) {
+      // A step truncated to land exactly on t_end says nothing about
+      // what the error tolerates: never let it shrink the learned step
+      // size, and keep its artificially tiny error out of the PI
+      // history (it would damp the next full step's growth). The
+      // co-simulation loop ends a segment every few dozen ms, so paying
+      // a re-grow at each boundary would dominate.
+      const double grown =
+          h * pi_.on_accepted(err, /*record_history=*/!end_capped);
+      h_ = end_capped ? std::max(h_limit, grown) : grown;
+    } else {
+      const double growth =
+          err > 1e-12 ? 0.9 * std::pow(err, -1.0 / 3.0) : 5.0;
+      h_ = h * std::clamp(growth, 0.2, 5.0);
+    }
 
     // --- event detection over the accepted step ------------------------
     double earliest_t = step_t1_;
     int earliest_tag = 0;
     bool fired = false;
+    // Dense-output cubic of component 0, built on demand once per step
+    // (threshold events in kDenseRoot mode all localise against it).
+    HermiteCubic cubic;
+    bool have_cubic = false;
     for (std::size_t e = 0; e < events.size(); ++e) {
       g_curr_[e] = events[e].eval(t_, y_);
-      if (!direction_matches(events[e].direction, g_prev_[e], g_curr_[e]))
+      if (!event_direction_matches(events[e].direction, g_prev_[e], g_curr_[e]))
         continue;
-      // Bisect for the root inside [step_t0_, step_t1_].
-      double lo = step_t0_, hi = step_t1_;
-      double g_lo = g_prev_[e];
-      for (int it = 0; it < 64 && (hi - lo) > opt_.event_tol; ++it) {
-        const double mid = 0.5 * (lo + hi);
-        const double g_mid = event_value(events[e], mid);
-        const bool crossed =
-            direction_matches(events[e].direction, g_lo, g_mid);
-        if (crossed) {
-          hi = mid;
-        } else {
-          lo = mid;
-          g_lo = g_mid;
+      double root_t = step_t1_;
+      bool localised = false;
+      if (opt_.event_localization == EventLocalization::kDenseRoot &&
+          events[e].is_threshold() && h > 0.0) {
+        if (!have_cubic) {
+          cubic = HermiteCubic::from_step(h, step_y0_[0], step_y1_[0],
+                                          step_f0_[0], step_f1_[0]);
+          have_cubic = true;
+        }
+        const CrossingResult cr = earliest_crossing(
+            cubic, events[e].level, events[e].direction, opt_.event_tol / h);
+        if (cr.found) {
+          root_t = step_t0_ + cr.s * h;
+          localised = true;
         }
       }
-      if (!fired || hi < earliest_t) {
-        earliest_t = hi;
+      if (!localised) {
+        // Bisect for the root inside [step_t0_, step_t1_].
+        double lo = step_t0_, hi = step_t1_;
+        double g_lo = g_prev_[e];
+        for (int it = 0; it < 64 && (hi - lo) > opt_.event_tol; ++it) {
+          const double mid = 0.5 * (lo + hi);
+          const double g_mid = event_value(events[e], mid);
+          const bool crossed =
+              event_direction_matches(events[e].direction, g_lo, g_mid);
+          if (crossed) {
+            hi = mid;
+          } else {
+            lo = mid;
+            g_lo = g_mid;
+          }
+        }
+        root_t = hi;
+      }
+      if (!fired || root_t < earliest_t) {
+        earliest_t = root_t;
         earliest_tag = events[e].tag;
         fired = true;
       }

@@ -13,8 +13,29 @@
 #include <vector>
 
 #include "ehsim/ode.hpp"
+#include "ehsim/stepper_pi.hpp"
 
 namespace pns::ehsim {
+
+/// Step-size control law of the adaptive integrator.
+enum class StepControl {
+  /// The original per-step rule: h * clamp(0.9 * err^(-1/3), 0.2, 5).
+  /// Reproduces the pre-PI integrator bit for bit.
+  kClamped,
+  /// Proportional-integral controller (ehsim/stepper_pi.hpp): damps the
+  /// grow/reject limit cycle, so quiescent stretches run at the largest
+  /// tolerable step.
+  kPi,
+};
+
+/// How threshold-event roots are localised inside an accepted step.
+enum class EventLocalization {
+  /// Bisection on the Hermite dense output (the original scheme).
+  kBisection,
+  /// Direct root solve on the dense-output cubic (ehsim/dense_output.hpp)
+  /// for data-only threshold events; callback events still bisect.
+  kDenseRoot,
+};
 
 /// Tolerances and step-size limits for Rk23Integrator.
 struct Rk23Options {
@@ -25,6 +46,8 @@ struct Rk23Options {
   double initial_step = 0.0;  ///< 0 = choose automatically
   double event_tol = 1e-9;    ///< event time localisation tolerance (s)
   std::size_t max_steps_per_call = 50'000'000;  ///< runaway guard
+  StepControl step_control = StepControl::kClamped;
+  EventLocalization event_localization = EventLocalization::kBisection;
 };
 
 /// Single-trajectory adaptive integrator. Typical use:
@@ -55,7 +78,12 @@ class Rk23Integrator {
 
   /// Invalidates cached derivatives; call after mutating the OdeSystem's
   /// parameters mid-run (the FSAL derivative would otherwise be stale).
-  void notify_discontinuity() { have_f0_ = false; }
+  /// Also forgets the PI controller's error history -- errors measured
+  /// under the old right-hand side say nothing about the new one.
+  void notify_discontinuity() {
+    have_f0_ = false;
+    pi_.reset();
+  }
 
   /// Statistics for the whole lifetime of the integrator.
   std::size_t total_steps() const { return total_steps_; }
@@ -95,6 +123,7 @@ class Rk23Integrator {
   std::vector<double> event_y_;          // scratch for general-event eval
 
   double h_ = 0.0;  // current step size
+  PiStepController pi_;  // used only in StepControl::kPi
   std::size_t total_steps_ = 0;
   std::size_t total_rejected_ = 0;
 };

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <functional>
+#include <limits>
 #include <memory>
 
 #include "ehsim/pv_table.hpp"
@@ -28,6 +29,14 @@ class CurrentSource {
   /// the node voltage. Used by the power-neutrality analysis (Fig. 14);
   /// sources with no meaningful optimum may return 0.
   virtual double available_power(double /*t*/) const { return 0.0; }
+
+  /// Latest time T >= t such that the source's *time* dependence is
+  /// provably constant over [t, T] (output may still vary with the node
+  /// voltage). Sources that cannot vouch return `t`; truly
+  /// time-invariant ones return +infinity. The steady-state coasting
+  /// fast path (sim/engine.hpp) only jumps across vouched-for spans, so
+  /// a conservative answer costs speed, never correctness.
+  virtual double constant_until(double t) const { return t; }
 };
 
 /// PV array driven by an irradiance profile G(t) in W/m^2.
@@ -76,6 +85,18 @@ class PvSource : public CurrentSource {
   /// the irradiance value; exact in both modes).
   double available_power(double t) const override;
 
+  /// Declares how long the irradiance profile stays flat from a given
+  /// time (e.g. PiecewiseLinear::flat_until over the backing trace).
+  /// Unset, constant_until conservatively reports "unknown" (t).
+  void set_irradiance_hold(std::function<double(double)> hold) {
+    irradiance_hold_ = std::move(hold);
+  }
+
+  /// The irradiance hold window when declared; `t` otherwise.
+  double constant_until(double t) const override {
+    return irradiance_hold_ ? irradiance_hold_(t) : t;
+  }
+
   Mode mode() const { return mode_; }
 
   /// The interpolation table; nullptr in Mode::kExact.
@@ -87,6 +108,7 @@ class PvSource : public CurrentSource {
  private:
   SolarCell cell_;
   std::function<double(double)> irradiance_;
+  std::function<double(double)> irradiance_hold_;  ///< optional flat window
   Mode mode_;
   std::shared_ptr<const PvTable> table_;
 
@@ -129,6 +151,9 @@ class ConstantCurrentSource : public CurrentSource {
  public:
   explicit ConstantCurrentSource(double amps) : amps_(amps) {}
   double current(double /*v*/, double /*t*/) const override { return amps_; }
+  double constant_until(double /*t*/) const override {
+    return std::numeric_limits<double>::infinity();
+  }
 
  private:
   double amps_;

@@ -1,0 +1,65 @@
+#include "ehsim/stepper_pi.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace pns::ehsim {
+
+namespace {
+
+// Errors at (numerically) zero would send err^(-beta) to infinity; below
+// this floor the step is limited by max_factor anyway.
+constexpr double kErrFloor = 1e-12;
+
+}  // namespace
+
+PiStepController::PiStepController(PiControllerOptions options)
+    : opt_(options) {
+  PNS_EXPECTS(opt_.order > 0.0);
+  PNS_EXPECTS(opt_.safety > 0.0);
+  PNS_EXPECTS(opt_.min_factor > 0.0 && opt_.min_factor <= 1.0);
+  PNS_EXPECTS(opt_.max_factor >= 1.0);
+}
+
+void PiStepController::reset() {
+  prev_err_ = 0.0;
+  just_rejected_ = false;
+}
+
+double PiStepController::on_accepted(double err, bool record_history) {
+  const double e = std::max(err, kErrFloor);
+  double factor;
+  if (prev_err_ > 0.0) {
+    // PI law: proportional term on this step's error, integral term on
+    // the previous one. prev_err <= 1 (it was accepted), so the integral
+    // term only ever damps growth -- a near-rejection (err ~ 1) keeps the
+    // next step conservative even if the current error is tiny.
+    factor = opt_.safety * std::pow(e, -opt_.beta1 / opt_.order) *
+             std::pow(std::max(prev_err_, kErrFloor),
+                      opt_.beta2 / opt_.order);
+  } else {
+    // No history yet (first step, or first after a discontinuity): fall
+    // back to the elementary controller.
+    factor = opt_.safety * std::pow(e, -1.0 / opt_.order);
+  }
+  factor = std::clamp(factor, opt_.min_factor, opt_.max_factor);
+  if (just_rejected_) factor = std::min(factor, 1.0);
+  if (record_history) {
+    just_rejected_ = false;
+    prev_err_ = e;
+  }
+  return factor;
+}
+
+double PiStepController::on_rejected(double err) {
+  ++rejections_;
+  just_rejected_ = true;
+  const double e = std::max(err, 1.0);
+  const double factor =
+      opt_.safety * std::pow(e, -1.0 / opt_.order);
+  return std::clamp(factor, opt_.min_factor, 1.0);
+}
+
+}  // namespace pns::ehsim

@@ -1,0 +1,62 @@
+// Proportional-integral step-size controller for embedded RK pairs.
+//
+// The classic per-step rule h <- h * 0.9 * err^(-1/k) reacts only to the
+// *current* scaled error, so on smooth problems it oscillates between
+// growth and rejection (grow 5x, reject, shrink, grow...). The PI
+// controller of Gustafsson / Soderlind adds an integral term -- the
+// previous accepted step's error -- which damps that limit cycle: the
+// step size converges to the largest h the tolerance admits and stays
+// there, cutting both rejected steps and derivative evaluations. This is
+// the control law behind the `rk23pi` integrator kind.
+#pragma once
+
+#include <cstddef>
+
+namespace pns::ehsim {
+
+/// Tuning of the PI control law. Exponents follow the standard
+/// PI.4.2-style choice beta1 = 0.7/k, beta2 = 0.4/k for a method whose
+/// local error is O(h^k) (k = 3 for the Bogacki-Shampine 2(3) pair).
+struct PiControllerOptions {
+  double order = 3.0;        ///< local-error order k of the embedded pair
+  double safety = 0.9;       ///< multiplicative safety factor
+  double beta1 = 0.7;        ///< proportional exponent, divided by order
+  double beta2 = 0.4;        ///< integral exponent, divided by order
+  double min_factor = 0.2;   ///< hardest per-step shrink
+  double max_factor = 5.0;   ///< hardest per-step growth
+};
+
+/// Stateful step-size controller. Feed it every scaled error norm (the
+/// accept test is err <= 1) and it returns the factor to apply to h.
+/// Deterministic: the factor is a pure function of the error sequence.
+class PiStepController {
+ public:
+  explicit PiStepController(PiControllerOptions options = {});
+
+  /// Forgets the error history (call at integrator reset and across
+  /// discontinuities, where the old error is meaningless).
+  void reset();
+
+  /// Factor for the next step after an *accepted* step with scaled error
+  /// `err` (<= 1). Growth right after a rejection is capped at 1, the
+  /// standard guard against re-entering the rejection region.
+  /// `record_history = false` computes the factor without feeding `err`
+  /// into the integral term -- for steps artificially truncated to land
+  /// on a segment boundary, whose tiny error says nothing about the
+  /// dynamics and would otherwise shrink the next full step.
+  double on_accepted(double err, bool record_history = true);
+
+  /// Factor for retrying a *rejected* step with scaled error `err` (> 1).
+  /// Always <= 1.
+  double on_rejected(double err);
+
+  std::size_t rejections() const { return rejections_; }
+
+ private:
+  PiControllerOptions opt_;
+  double prev_err_ = 0.0;     // last accepted step's error (0 = none yet)
+  bool just_rejected_ = false;
+  std::size_t rejections_ = 0;
+};
+
+}  // namespace pns::ehsim

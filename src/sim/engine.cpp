@@ -56,10 +56,13 @@ SimEngine::SimEngine(const soc::Platform& platform,
                ehsim::Capacitor{cfg_.capacitance_f, cfg_.cap_esr_ohm,
                                 cfg_.cap_leak_ohm}),
       integrator_(circuit_,
-                  ehsim::Rk23Options{.rel_tol = cfg_.rel_tol,
-                                     .abs_tol = cfg_.abs_tol,
-                                     .max_step = cfg_.max_ode_step_s,
-                                     .event_tol = 1e-7}) {
+                  ehsim::Rk23Options{
+                      .rel_tol = cfg_.rel_tol,
+                      .abs_tol = cfg_.abs_tol,
+                      .max_step = cfg_.max_ode_step_s,
+                      .event_tol = 1e-7,
+                      .step_control = cfg_.step_control,
+                      .event_localization = cfg_.event_localization}) {
   PNS_EXPECTS(cfg_.t_end > cfg_.t_start);
   PNS_EXPECTS(cfg_.capacitance_f > 0.0);
   PNS_EXPECTS(cfg_.vc0 > platform.v_min);
@@ -153,6 +156,68 @@ void SimEngine::refresh_events() {
   }
 }
 
+bool SimEngine::try_coast(double t, double vc, double next_gov_tick,
+                          ehsim::IntegrationResult& out) {
+  // Horizon: the engine's own timed boundaries plus the window over which
+  // every time-dependent model vouches for constancy. max_segment_s is
+  // deliberately absent -- skipping past it is the whole point -- but a
+  // recording run is capped at the sampling interval so series density
+  // is preserved.
+  double horizon =
+      std::min({cfg_.t_end, soc_.next_boundary(), soc_.boot_complete_time(),
+                next_gov_tick, circuit_.time_invariant_until(t),
+                workload_->constant_until(t)});
+  if (cfg_.record_series)
+    horizon = std::min(horizon, t + cfg_.record_interval_s);
+  const double span = horizon - t;
+  // Coast only when the jump replaces at least a couple of segments: a
+  // one-segment jump is a net LOSS (measured ~2x slower on a quiescent
+  // recorded hour) -- the three probe evaluations plus the integrator
+  // reset/restart cost more than one FSAL-amortised PI step. This also
+  // means a recording run whose interval is within two segments of the
+  // stop grid simply keeps stepping, which is the faster choice there.
+  if (span <= 2.0 * cfg_.max_segment_s) return false;
+
+  const double tol = cfg_.coast_dv_tol_v;
+  auto dvdt = [&](double v) {
+    double d = 0.0;
+    circuit_.derivatives(t, std::span<const double>(&v, 1),
+                         std::span<double>(&d, 1));
+    return d;
+  };
+  // Quiescence: the drift at vc stays within the tolerance over the whole
+  // span, and the flow at vc +/- tol points inward (or is equally tiny).
+  // The inward check distinguishes a *stable* equilibrium -- where a
+  // large restoring derivative at the probes is exactly what keeps VC
+  // put -- from an unstable one that a naive |dV/dt| test would coast
+  // across while the true trajectory diverges.
+  const double f = dvdt(vc);
+  if (std::abs(f) * span > tol) return false;
+  if (dvdt(vc + tol) * span > tol) return false;
+  if (dvdt(vc - tol) * span < -tol) return false;
+  // Every watched threshold must be out of reach of the bounded drift.
+  for (const auto& ev : events_) {
+    if (!ev.is_threshold()) return false;  // can't bound a callback event
+    if (std::abs(vc - ev.level) <= 2.0 * tol) return false;
+  }
+  // So must the comparator channels' *unwatched* trip levels: hysteresis
+  // re-arm crossings are caught by the quiet-stop monitor sync, which a
+  // coast jump would postpone by the whole span if VC drifted across one.
+  if (monitor_ && soc_.is_on()) {
+    for (const hw::ThresholdChannel* ch :
+         {&monitor_->low_channel(), &monitor_->high_channel()}) {
+      if (std::abs(vc - ch->node_rising_trip()) <= 2.0 * tol) return false;
+      if (std::abs(vc - ch->node_falling_trip()) <= 2.0 * tol) return false;
+    }
+  }
+
+  const double v_new = vc + f * span;
+  integrator_.reset(horizon, std::span<const double>(&v_new, 1));
+  out = {};
+  out.t = horizon;
+  return true;
+}
+
 void SimEngine::kick_if_outside(double vc, double t) {
   if (!controller_ || !soc_.is_on()) return;
   if (vc >= monitor_->high_channel().node_rising_trip()) {
@@ -194,11 +259,24 @@ SimResult SimEngine::run() {
   if (recorder.would_record(t, /*force=*/true))
     recorder.record(t, snapshot(vc, t), /*force=*/true);
 
+  // Load power the integrator's cached FSAL derivative was computed
+  // under. The derivative only goes stale when this changes (or when an
+  // event rewinds the state, which the integrator tracks itself), so the
+  // loop below invalidates on *change* instead of every segment --
+  // saving one derivative evaluation per quiet stop point. Recomputing
+  // f(t, y) under an unchanged load is bit-identical to the cached
+  // value, so this cannot perturb any trajectory.
+  double ode_p_base = std::numeric_limits<double>::quiet_NaN();
+
   while (t < cfg_.t_end - kTimeEps) {
     const double seg_t0 = t;
     const double v0 = vc;
     if (!governor_) latched_util_ = workload_->utilization(t);
     refresh_segment_power();
+    if (seg_p_base_ != ode_p_base) {
+      integrator_.notify_discontinuity();
+      ode_p_base = seg_p_base_;
+    }
     const double p_load = segment_load_power(v0);
     const double p_harv0 = source_->current(v0, t) * v0;
     const double instr_rate = soc_.instruction_rate(latched_util_);
@@ -209,7 +287,9 @@ SimResult SimEngine::run() {
     PNS_ENSURES(t_stop > seg_t0);
 
     refresh_events();
-    const auto res = integrator_.advance(t_stop, events_);
+    ehsim::IntegrationResult res;
+    if (!cfg_.coast || !try_coast(t, vc, next_gov_tick, res))
+      res = integrator_.advance(t_stop, events_);
     t = res.t;
     vc = integrator_.state()[0];
 
@@ -285,7 +365,6 @@ SimResult SimEngine::run() {
       if (auto edge = monitor_->sample(vc)) dispatch_interrupt(*edge, t);
     }
 
-    integrator_.notify_discontinuity();
     if (recorder.would_record(t, force_record))
       recorder.record(t, snapshot(vc, t), force_record);
   }

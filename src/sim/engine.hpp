@@ -54,6 +54,20 @@ struct SimConfig {
   double rel_tol = 1e-6;
   double abs_tol = 1e-8;
 
+  // Integration engine selection (the `--integrator` axis). The defaults
+  // reproduce the original engine bit for bit; the `rk23pi` registry kind
+  // switches all three (see docs/performance.md).
+  ehsim::StepControl step_control = ehsim::StepControl::kClamped;
+  ehsim::EventLocalization event_localization =
+      ehsim::EventLocalization::kBisection;
+  /// Steady-state coasting: when the circuit is provably time-invariant
+  /// (source, load and workload all vouch via constant_until) and VC can
+  /// neither drift by more than `coast_dv_tol_v` nor reach a watched
+  /// threshold over the span, the engine advances to the next breakpoint
+  /// in one analytic jump instead of stepping through it.
+  bool coast = false;
+  double coast_dv_tol_v = 1e-4;
+
   // Recording.
   bool record_series = true;
   double record_interval_s = 0.25;
@@ -149,12 +163,29 @@ class SimEngine {
   Snapshot snapshot(double vc, double t) const;
   void dispatch_interrupt(hw::MonitorEdge edge, double t);
 
+  /// Steady-state coasting: if the span [t, horizon] (timed boundaries
+  /// and the circuit's vouched time-invariance window, computed inside)
+  /// is quiescent -- |dVC/dt| small enough that VC stays within
+  /// cfg_.coast_dv_tol_v, the flow at the tolerance boundaries points
+  /// inward (no jump across an unstable equilibrium), and every watched
+  /// threshold is out of reach -- advances the integrator analytically to
+  /// the horizon and returns true with `out` describing the jump.
+  /// Requires refresh_segment_power() and refresh_events() to be current.
+  bool try_coast(double t, double vc, double next_gov_tick,
+                 ehsim::IntegrationResult& out);
+
   /// Direct Load adapter into segment_load_current: one virtual call per
   /// derivative evaluation instead of virtual + std::function + closure.
   struct OdeLoad final : ehsim::Load {
     explicit OdeLoad(const SimEngine& engine) : engine_(&engine) {}
     double current(double v, double /*t*/) const override {
       return engine_->segment_load_current(v);
+    }
+    /// The segment load is constant in t by construction; everything
+    /// that changes it (OPP transitions, governor ticks, workload
+    /// demand) already bounds the coasting horizon in try_coast.
+    double constant_until(double /*t*/) const override {
+      return std::numeric_limits<double>::infinity();
     }
     const SimEngine* engine_;
   };

@@ -68,22 +68,37 @@ soc::OperatingPoint balanced_opp(const soc::Platform& platform,
   return best;
 }
 
-/// The returned source owns its trace via the closure; the mutable hint
-/// turns the integrator's near-monotone sampling of the long trace into
-/// O(1) lookups (bit-identical to the plain binary-search evaluation).
-ehsim::PvSource make_solar_source(const SolarScenario& scenario) {
-  auto sky = paper_clear_sky();
-  auto trace = trace::synthesize_irradiance(
-      sky, scenario.condition, scenario.t_start - 60.0,
+pns::PiecewiseLinear solar_weather_trace(const SolarScenario& scenario) {
+  return trace::synthesize_irradiance(
+      paper_clear_sky(), scenario.condition, scenario.t_start - 60.0,
       scenario.t_end + 60.0, scenario.trace_dt_s, scenario.seed);
-  auto sample = [trace = std::move(trace),
-                 hint = std::size_t{0}](double t) mutable {
-    return trace.eval_hinted(t, hint);
+}
+
+/// The returned source shares the (immutable) trace via the closures; the
+/// mutable hint turns the integrator's near-monotone sampling of the long
+/// trace into O(1) lookups (bit-identical to the plain binary-search
+/// evaluation).
+ehsim::PvSource make_solar_source(
+    const SolarScenario& scenario,
+    std::shared_ptr<const pns::PiecewiseLinear> trace) {
+  auto sample = [trace, hint = std::size_t{0}](double t) mutable {
+    return trace->eval_hinted(t, hint);
   };
-  if (scenario.pv_mode == ehsim::PvSource::Mode::kTabulated)
-    return ehsim::PvSource(paper_pv_array(), std::move(sample),
-                           paper_pv_table());
-  return ehsim::PvSource(paper_pv_array(), std::move(sample));
+  ehsim::PvSource source =
+      scenario.pv_mode == ehsim::PvSource::Mode::kTabulated
+          ? ehsim::PvSource(paper_pv_array(), std::move(sample),
+                            paper_pv_table())
+          : ehsim::PvSource(paper_pv_array(), std::move(sample));
+  source.set_irradiance_hold(
+      [trace = std::move(trace)](double t) { return trace->flat_until(t); });
+  return source;
+}
+
+ehsim::PvSource make_solar_source(const SolarScenario& scenario) {
+  return make_solar_source(
+      scenario,
+      std::make_shared<const pns::PiecewiseLinear>(
+          solar_weather_trace(scenario)));
 }
 
 ControlSelection ControlSelection::power_neutral(

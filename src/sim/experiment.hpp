@@ -17,6 +17,7 @@
 #include "trace/irradiance.hpp"
 #include "trace/supply_profiles.hpp"
 #include "trace/weather.hpp"
+#include "util/interp.hpp"
 
 namespace pns::sim {
 
@@ -93,6 +94,19 @@ SimResult run_pv_control(const soc::Platform& platform,
 /// evaluation mode. Exposed so registry source factories compose the
 /// exact source the experiment helpers use.
 ehsim::PvSource make_solar_source(const SolarScenario& scenario);
+
+/// The weather trace make_solar_source synthesises, exposed on its own so
+/// sweep workers can build it once and share it across the rows of an
+/// expansion (sweep/assets.hpp). Pure function of the scenario's
+/// condition, window, dt grid and seed.
+pns::PiecewiseLinear solar_weather_trace(const SolarScenario& scenario);
+
+/// make_solar_source over a prebuilt, shared weather trace -- bit-
+/// identical to make_solar_source(scenario) when `trace` came from
+/// solar_weather_trace(scenario). The source keeps the trace alive.
+ehsim::PvSource make_solar_source(
+    const SolarScenario& scenario,
+    std::shared_ptr<const pns::PiecewiseLinear> trace);
 
 /// Runs a solar-harvesting experiment with the power-neutral controller.
 SimResult run_solar_power_neutral(const soc::Platform& platform,

@@ -39,6 +39,15 @@ double PeriodicWorkload::utilization(double t) const {
   return phase < busy_s_ ? busy_util_ : idle_util_;
 }
 
+double PeriodicWorkload::constant_until(double t) const {
+  const double period = busy_s_ + idle_s_;
+  if (idle_s_ <= 0.0 || busy_util_ == idle_util_)
+    return std::numeric_limits<double>::infinity();
+  const double tc = std::max(t, 0.0);
+  const double phase = std::fmod(tc, period);
+  return tc + (phase < busy_s_ ? busy_s_ - phase : period - phase);
+}
+
 ConstantWorkload::ConstantWorkload(double util) : util_(util) {
   PNS_EXPECTS(util >= 0.0 && util <= 1.0);
 }

@@ -9,6 +9,7 @@
 // where they actually modulate frequency.
 #pragma once
 
+#include <limits>
 #include <string>
 
 namespace pns::soc {
@@ -21,6 +22,12 @@ class Workload {
 
   /// Demanded CPU utilisation in [0, 1] at time t.
   virtual double utilization(double t) const = 0;
+
+  /// Latest time T >= t such that utilization() is provably constant on
+  /// [t, T]. Workloads that cannot vouch return `t`; constant-demand
+  /// workloads return +infinity. Consulted by the engine's steady-state
+  /// coasting fast path, which must not jump across a demand change.
+  virtual double constant_until(double t) const { return t; }
 
   /// Accumulates `dt` seconds of execution at `instr_rate` instr/s.
   virtual void advance(double t, double dt, double instr_rate);
@@ -46,6 +53,9 @@ class RaytraceWorkload : public Workload {
   explicit RaytraceWorkload(double instr_per_frame);
 
   double utilization(double /*t*/) const override { return 1.0; }
+  double constant_until(double /*t*/) const override {
+    return std::numeric_limits<double>::infinity();
+  }
   const char* name() const override { return "raytrace"; }
 
   /// Frames completed (fractional; Table II reports averages like 0.246
@@ -64,6 +74,8 @@ class PeriodicWorkload : public Workload {
                    double idle_util = 0.05);
 
   double utilization(double t) const override;
+  /// Next square-wave edge after t.
+  double constant_until(double t) const override;
   const char* name() const override { return "periodic"; }
 
  private:
@@ -78,6 +90,9 @@ class ConstantWorkload : public Workload {
  public:
   explicit ConstantWorkload(double util);
   double utilization(double /*t*/) const override { return util_; }
+  double constant_until(double /*t*/) const override {
+    return std::numeric_limits<double>::infinity();
+  }
   const char* name() const override { return "constant"; }
 
  private:

@@ -1,0 +1,20 @@
+#include "sweep/assets.hpp"
+
+namespace pns::sweep {
+
+std::shared_ptr<const PiecewiseLinear> ScenarioAssets::trace(
+    const std::string& key,
+    const std::function<PiecewiseLinear()>& build) {
+  auto it = traces_.find(key);
+  if (it != traces_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  if (traces_.size() >= kMaxTraces) traces_.clear();
+  auto trace = std::make_shared<const PiecewiseLinear>(build());
+  traces_.emplace(key, trace);
+  return trace;
+}
+
+}  // namespace pns::sweep

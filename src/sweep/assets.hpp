@@ -1,0 +1,54 @@
+// Per-worker reuse of immutable scenario assets.
+//
+// Expanding a sweep multiplies a handful of *inputs* (weather traces,
+// shadow profiles, flicker waves) across many control/capacitance/seed
+// rows, but the plain run_scenario path re-synthesises those inputs for
+// every row: an 18-row table2 sweep builds the same three 36k-knot
+// weather traces eighteen times. A ScenarioAssets instance is a
+// per-worker memo of such assets, keyed by the exact parameters that
+// determine them. Because every cached asset is an immutable pure
+// function of its key, reuse is bit-identical to rebuilding -- the
+// sweep determinism guarantees (thread-/shard-count independence) hold
+// with or without the cache.
+//
+// One instance per worker thread, no locking: workers already own their
+// scenarios, so sharing a cache across threads would buy contention for
+// a second-order win. The process-wide PV interpolation table
+// (sim::paper_pv_table) stays shared as before -- it is built once per
+// process, not per scenario.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "util/interp.hpp"
+
+namespace pns::sweep {
+
+/// Per-worker memo of immutable, shareable scenario inputs.
+class ScenarioAssets {
+ public:
+  /// Returns the trace cached under `key`, building it with `build` on
+  /// the first request. The key must uniquely determine the trace's
+  /// contents (include every synthesis parameter).
+  std::shared_ptr<const PiecewiseLinear> trace(
+      const std::string& key,
+      const std::function<PiecewiseLinear()>& build);
+
+  std::size_t hits() const { return hits_; }
+  std::size_t misses() const { return misses_; }
+
+ private:
+  // Epoch-evicted: wiped wholesale when it reaches this many traces, so a
+  // 1000-seed sweep cannot hold 1000 36k-knot traces per worker.
+  static constexpr std::size_t kMaxTraces = 32;
+
+  std::map<std::string, std::shared_ptr<const PiecewiseLinear>> traces_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace pns::sweep

@@ -1,6 +1,8 @@
 #include "sweep/journal.hpp"
 
+#include <filesystem>
 #include <sstream>
+#include <system_error>
 #include <utility>
 
 #include "util/json.hpp"
@@ -11,6 +13,21 @@ namespace {
 
 constexpr const char* kJournalKind = "pns-sweep-journal";
 constexpr int kJournalVersion = 1;
+
+/// Folds one {"i": N, ["wall_s": S,] "row": {...}} entry -- a plain
+/// journal line or an element of a compacted "rows" block -- into the
+/// contents. Later entries win: a resume that re-ran a scenario whose
+/// line was torn must supersede nothing, but double-appended completed
+/// rows are identical anyway (deterministic simulation).
+void read_entry(const JsonValue& doc, JournalContents& contents) {
+  const auto index = static_cast<std::size_t>(doc.at("i").as_uint64());
+  contents.rows.insert_or_assign(index,
+                                 summary_row_from_json(doc.at("row")));
+  if (const JsonValue* wall = doc.find("wall_s"))
+    contents.costs.insert_or_assign(index, wall->as_double());
+  else
+    contents.costs.erase(index);
+}
 
 }  // namespace
 
@@ -37,12 +54,17 @@ JournalWriter JournalWriter::append_to(const std::string& path) {
   return JournalWriter(std::move(out));
 }
 
-void JournalWriter::append(std::size_t index, const SummaryRow& row) {
+void JournalWriter::append(std::size_t index, const SummaryRow& row,
+                           double wall_s) {
   std::ostringstream line;
   JsonWriter w(line, JsonStyle::kCompact);
   w.begin_object();
   w.kv("kind", "row");
   w.kv("i", static_cast<std::uint64_t>(index));
+  // Execution cost rides along as entry metadata (shard planning reads
+  // it); the row object itself stays exactly what the aggregate
+  // serialises.
+  if (wall_s >= 0.0) w.kv("wall_s", wall_s);
   w.key("row");
   write_summary_row_json(w, row);
   w.end_object();
@@ -83,16 +105,17 @@ JournalContents read_journal(const std::string& path) {
         header_seen = true;
         continue;
       }
+      if (kind == "rows") {
+        // Compacted form: one block carrying every entry.
+        for (const JsonValue& entry : doc.at("rows").items())
+          read_entry(entry, contents);
+        continue;
+      }
       if (kind != "row") {
         ++contents.dropped_lines;
         continue;
       }
-      const auto index = static_cast<std::size_t>(doc.at("i").as_uint64());
-      // Later appends win: a resume that re-ran a scenario whose line was
-      // torn must supersede nothing, but double-appended completes rows
-      // are identical anyway (deterministic simulation).
-      contents.rows.insert_or_assign(index,
-                                     summary_row_from_json(doc.at("row")));
+      read_entry(doc, contents);
     } catch (const JsonError& e) {
       if (!header_seen)
         throw JournalError(path + ": malformed journal header (" +
@@ -105,16 +128,75 @@ JournalContents read_journal(const std::string& path) {
   return contents;
 }
 
+std::size_t compact_journal(const std::string& in_path,
+                            const std::string& out_path) {
+  const JournalContents contents = read_journal(in_path);
+
+  // Write the replacement fully, then rename into place: a kill mid-way
+  // leaves either the original or the finished compaction, never a torn
+  // half-journal under the final name.
+  const std::string tmp_path = out_path + ".compact.tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::trunc);
+    if (!out)
+      throw JournalError("cannot write compacted journal: " + tmp_path);
+    std::ostringstream header;
+    JsonWriter hw(header, JsonStyle::kCompact);
+    hw.begin_object();
+    hw.kv("kind", kJournalKind);
+    hw.kv("version", kJournalVersion);
+    hw.kv("sweep", contents.header.sweep);
+    hw.kv("total", static_cast<std::uint64_t>(contents.header.total));
+    hw.end_object();
+    out << header.str() << '\n';
+
+    std::ostringstream block;
+    JsonWriter w(block, JsonStyle::kCompact);
+    w.begin_object();
+    w.kv("kind", "rows");
+    w.key("rows");
+    w.begin_array();
+    for (const auto& [index, row] : contents.rows) {
+      w.begin_object();
+      w.kv("i", static_cast<std::uint64_t>(index));
+      const auto cost = contents.costs.find(index);
+      if (cost != contents.costs.end()) w.kv("wall_s", cost->second);
+      w.key("row");
+      write_summary_row_json(w, row);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    out << block.str() << '\n';
+    out.flush();
+    if (!out)
+      throw JournalError("cannot write compacted journal: " + tmp_path);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, out_path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp_path, ec);
+    throw JournalError("cannot replace journal " + out_path + ": " +
+                       ec.message());
+  }
+  return contents.rows.size();
+}
+
 std::string sweep_identity(const std::string& sweep_name, double minutes,
                            ehsim::PvSource::Mode pv_mode,
                            const std::vector<ControlSpec>& controls,
-                           const std::vector<SourceSpec>& sources) {
+                           const std::vector<SourceSpec>& sources,
+                           const IntegratorSpec& integrator) {
   std::string id = sweep_name + "?minutes=" + shortest_double(minutes) +
                    "&pv=" +
                    (pv_mode == ehsim::PvSource::Mode::kExact ? "exact"
                                                              : "tabulated");
   for (const auto& c : controls) id += "&control=" + c.spec_string();
   for (const auto& s : sources) id += "&source=" + s.spec_string();
+  // The default integrator is omitted (it computes identically whether
+  // spelled out or not), so pre-existing journal identities stay valid.
+  if (integrator != IntegratorSpec{})
+    id += "&integrator=" + integrator.spec_string();
   return id;
 }
 

@@ -44,6 +44,12 @@ struct JournalContents {
   JournalHeader header;
   /// Completed rows keyed by global spec index.
   std::map<std::size_t, SummaryRow> rows;
+  /// Measured execution wall-clock per global spec index (seconds),
+  /// for the entries that recorded one. Feeds cost-weighted shard
+  /// planning (sweep/runner.hpp plan_shards); never part of the
+  /// aggregate, so a journal with or without costs publishes identical
+  /// CSV/JSON.
+  std::map<std::size_t, double> costs;
   /// Torn or unparseable lines that were skipped (at most the trailing
   /// line after a kill; more indicates external corruption).
   std::size_t dropped_lines = 0;
@@ -71,8 +77,12 @@ class JournalWriter {
   /// caller is expected to have validated the header via read_journal.
   static JournalWriter append_to(const std::string& path);
 
-  /// Appends one completed row under its global spec index.
-  void append(std::size_t index, const SummaryRow& row);
+  /// Appends one completed row under its global spec index. `wall_s`
+  /// (when >= 0) records the scenario's measured execution wall-clock so
+  /// later runs can plan cost-balanced shards; it is metadata, not part
+  /// of the row.
+  void append(std::size_t index, const SummaryRow& row,
+              double wall_s = -1.0);
 
  private:
   explicit JournalWriter(std::ofstream out) : out_(std::move(out)) {}
@@ -91,15 +101,31 @@ JournalContents read_journal(const std::string& path);
 JournalContents read_journal(const std::string& path,
                              const JournalHeader& expected);
 
+/// Rewrites the journal at `in_path` as its header plus ONE aggregate
+/// "rows" block holding every completed row (and recorded cost) -- the
+/// compaction the `pns_sweep compact` subcommand exposes. A long-lived
+/// journal accretes one line per scenario (plus superseded duplicates
+/// from re-runs); after compaction it holds two lines and parses in one
+/// shot, while resuming from it reproduces byte-identical aggregates
+/// (tests/sweep/test_checkpoint.cpp proves the round trip). `out_path`
+/// may equal `in_path`: the rewrite goes through a temp file + atomic
+/// rename, so a kill mid-compaction never loses the original. Returns
+/// the number of rows written.
+std::size_t compact_journal(const std::string& in_path,
+                            const std::string& out_path);
+
 /// Canonical identity string of a sweep invocation, used as
 /// JournalHeader::sweep by the pns_sweep CLI: the preset name plus every
 /// knob that changes what the scenarios compute -- the window length, the
-/// PV mode, and the full spec strings of any --control/--source
-/// overrides. A resume whose overrides differ therefore fails the header
-/// match instead of silently mixing differently-parameterised rows.
+/// PV mode, the full spec strings of any --control/--source overrides,
+/// and the integrator (appended only when it differs from the default
+/// "rk23", which computes identically whether spelled or omitted). A
+/// resume whose overrides differ therefore fails the header match
+/// instead of silently mixing differently-parameterised rows.
 std::string sweep_identity(const std::string& sweep_name, double minutes,
                            ehsim::PvSource::Mode pv_mode,
                            const std::vector<ControlSpec>& controls,
-                           const std::vector<SourceSpec>& sources);
+                           const std::vector<SourceSpec>& sources,
+                           const IntegratorSpec& integrator = {});
 
 }  // namespace pns::sweep

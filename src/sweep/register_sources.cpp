@@ -13,6 +13,8 @@
 // calibrated paper array. A new supply shape registers the same way:
 // SourceRegistry::instance().add({kind, summary, params, ...}).
 #include <cstddef>
+#include <initializer_list>
+#include <memory>
 #include <string>
 #include <utility>
 
@@ -36,16 +38,21 @@ ehsim::PvSource pv_source_from_sample(std::function<double(double)> sample,
   return ehsim::PvSource(sim::paper_pv_array(), std::move(sample));
 }
 
-/// Wraps a sampled irradiance trace with the hinted-evaluation closure
+/// Wraps a shared irradiance trace with the hinted-evaluation closure
 /// (bit-identical to binary search, O(1) for the integrator's
-/// near-monotone access).
-ehsim::PvSource pv_source_from_trace(pns::PiecewiseLinear trace,
-                                     ehsim::PvSource::Mode mode) {
-  return pv_source_from_sample(
-      [trace = std::move(trace), hint = std::size_t{0}](double t) mutable {
-        return trace.eval_hinted(t, hint);
+/// near-monotone access) and declares the trace's flat spans so the
+/// coasting fast path can jump across them.
+ehsim::PvSource pv_source_from_trace(
+    std::shared_ptr<const pns::PiecewiseLinear> trace,
+    ehsim::PvSource::Mode mode) {
+  auto source = pv_source_from_sample(
+      [trace, hint = std::size_t{0}](double t) mutable {
+        return trace->eval_hinted(t, hint);
       },
       mode);
+  source.set_irradiance_hold(
+      [trace = std::move(trace)](double t) { return trace->flat_until(t); });
+  return source;
 }
 
 trace::WeatherCondition effective_condition(const ScenarioSpec& spec,
@@ -64,7 +71,19 @@ trace::WeatherCondition effective_condition(const ScenarioSpec& spec,
   return *parsed;
 }
 
-ehsim::PvSource make_solar(const ScenarioSpec& spec, const ParamMap& params) {
+/// Composes a worker-cache key from synthesis parameters. Doubles go
+/// through shortest_double (via ParamMap::set_double) so distinct values
+/// can never collide on a formatting round-off.
+std::string asset_key(std::initializer_list<std::pair<const char*, double>>
+                          numbers,
+                      const std::string& prefix) {
+  ParamMap key;
+  for (const auto& [name, value] : numbers) key.set_double(name, value);
+  return prefix + ":" + key.serialize();
+}
+
+ehsim::PvSource make_solar(const ScenarioSpec& spec, const ParamMap& params,
+                           ScenarioAssets& assets) {
   sim::SolarScenario scenario;
   scenario.condition = effective_condition(spec, params);
   scenario.t_start = spec.t_start;
@@ -72,10 +91,24 @@ ehsim::PvSource make_solar(const ScenarioSpec& spec, const ParamMap& params) {
   scenario.seed = spec.seed;
   scenario.trace_dt_s = spec.trace_dt_s;
   scenario.pv_mode = spec.pv_mode;
-  return sim::make_solar_source(scenario);
+  // The weather trace is the expensive part (tens of thousands of PRNG
+  // knots); every row of an expansion that shares
+  // (condition, window, dt, seed) shares one immutable instance. The
+  // seed rides in the prefix as its exact decimal form -- a double
+  // round-trip would collide distinct seeds above 2^53.
+  auto trace = assets.trace(
+      asset_key({{"t0", scenario.t_start},
+                 {"t1", scenario.t_end},
+                 {"dt", scenario.trace_dt_s}},
+                std::string("solar/") +
+                    trace::to_string(scenario.condition) + "/seed=" +
+                    std::to_string(scenario.seed)),
+      [&] { return sim::solar_weather_trace(scenario); });
+  return sim::make_solar_source(scenario, std::move(trace));
 }
 
-ehsim::PvSource make_shadow(const ScenarioSpec& spec, const ParamMap& params) {
+ehsim::PvSource make_shadow(const ScenarioSpec& spec, const ParamMap& params,
+                            ScenarioAssets& /*assets*/) {
   ShadowingSpec sh = spec.shadow;
   sh.t_event_s = params.get_double("t_event", sh.t_event_s);
   sh.t_fall_s = params.get_double("fall", sh.t_fall_s);
@@ -83,35 +116,48 @@ ehsim::PvSource make_shadow(const ScenarioSpec& spec, const ParamMap& params) {
   sh.t_rise_s = params.get_double("rise", sh.t_rise_s);
   sh.depth = params.get_double("depth", sh.depth);
   sh.peak_wm2 = params.get_double("peak", sh.peak_wm2);
-  // Shadow times are offsets from t_start (see ShadowingSpec).
-  auto shade = trace::shadowing_event(
-      spec.t_start, spec.t_end, spec.t_start + sh.t_event_s, sh.t_fall_s,
-      sh.hold_s, sh.t_rise_s, sh.depth);
+  // Shadow times are offsets from t_start (see ShadowingSpec). The trace
+  // is a handful of knots -- not worth caching -- but its flat stretches
+  // (full sun before/after, the occluded hold) are exactly what coasting
+  // wants declared.
+  auto shade = std::make_shared<const pns::PiecewiseLinear>(
+      trace::shadowing_event(spec.t_start, spec.t_end,
+                             spec.t_start + sh.t_event_s, sh.t_fall_s,
+                             sh.hold_s, sh.t_rise_s, sh.depth));
   // Multiply at evaluation time (not via PiecewiseLinear::scaled): the
   // paper benches were recorded with this exact expression and
   // peak * lerp(y0, y1) and lerp(peak*y0, peak*y1) differ in the last
   // bits.
-  return pv_source_from_sample(
-      [shade = std::move(shade), peak = sh.peak_wm2,
-       hint = std::size_t{0}](double t) mutable {
-        return peak * shade.eval_hinted(t, hint);
+  auto source = pv_source_from_sample(
+      [shade, peak = sh.peak_wm2, hint = std::size_t{0}](double t) mutable {
+        return peak * shade->eval_hinted(t, hint);
       },
       spec.pv_mode);
+  source.set_irradiance_hold(
+      [shade = std::move(shade)](double t) { return shade->flat_until(t); });
+  return source;
 }
 
-ehsim::PvSource make_trace(const ScenarioSpec& spec, const ParamMap& params) {
+ehsim::PvSource make_trace(const ScenarioSpec& spec, const ParamMap& params,
+                           ScenarioAssets& assets) {
   const std::string file = params.get_string("file", "");
   if (file.empty())
     throw ParamError("source 'trace': missing required param 'file' "
                      "(two-column t,W/m^2 CSV)");
-  pns::PiecewiseLinear irradiance = trace::load_trace_csv(file);
   const double scale = params.get_double("scale", 1.0);
-  if (scale != 1.0) irradiance = irradiance.scaled(scale);
+  // Cached per worker: a sweep treats the file as immutable for its
+  // duration, so rows sharing (file, scale) share one parsed trace.
+  auto irradiance =
+      assets.trace(asset_key({{"scale", scale}}, "tracefile/" + file), [&] {
+        pns::PiecewiseLinear loaded = trace::load_trace_csv(file);
+        return scale != 1.0 ? loaded.scaled(scale) : loaded;
+      });
   return pv_source_from_trace(std::move(irradiance), spec.pv_mode);
 }
 
 ehsim::PvSource make_flicker(const ScenarioSpec& spec,
-                             const ParamMap& params) {
+                             const ParamMap& params,
+                             ScenarioAssets& assets) {
   trace::FlickerParams p;
   p.period_s = params.get_double("period", p.period_s);
   p.duty = params.get_double("duty", p.duty);
@@ -125,10 +171,24 @@ ehsim::PvSource make_flicker(const ScenarioSpec& spec,
   if (p.depth < 0.0 || p.depth > 1.0)
     throw ParamError("param 'depth': must be in [0, 1]");
   if (p.ramp_s < 0.0) throw ParamError("param 'ramp': must be >= 0");
-  // Same 60 s margin and dt grid as the solar weather synthesis.
-  auto trace = trace::synthesize_flicker_irradiance(
-      sim::paper_clear_sky(), p, spec.t_start - 60.0, spec.t_end + 60.0,
-      spec.trace_dt_s);
+  // Same 60 s margin and dt grid as the solar weather synthesis; the
+  // wave is deterministic in (params, window, dt), so rows sharing those
+  // share the trace.
+  auto trace = assets.trace(
+      asset_key({{"t0", spec.t_start},
+                 {"t1", spec.t_end},
+                 {"dt", spec.trace_dt_s},
+                 {"period", p.period_s},
+                 {"duty", p.duty},
+                 {"depth", p.depth},
+                 {"ramp", p.ramp_s},
+                 {"phase", p.phase_s}},
+                "flicker"),
+      [&] {
+        return trace::synthesize_flicker_irradiance(
+            sim::paper_clear_sky(), p, spec.t_start - 60.0,
+            spec.t_end + 60.0, spec.trace_dt_s);
+      });
   return pv_source_from_trace(std::move(trace), spec.pv_mode);
 }
 

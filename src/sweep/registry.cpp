@@ -63,6 +63,34 @@ SourceRegistry& SourceRegistry::instance() {
   return *registry;
 }
 
+IntegratorRegistry& IntegratorRegistry::instance() {
+  static IntegratorRegistry* registry = [] {
+    auto* r = new IntegratorRegistry();
+    register_builtin_integrators(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void IntegratorRegistry::add(IntegratorEntry entry) {
+  if (find(entry.kind))
+    throw std::invalid_argument("integrator kind already registered: " +
+                                entry.kind);
+  entries_.push_back(std::move(entry));
+}
+
+const IntegratorEntry* IntegratorRegistry::find(
+    const std::string& kind) const {
+  return find_entry(entries_, kind);
+}
+
+const IntegratorEntry& IntegratorRegistry::require(
+    const std::string& kind) const {
+  const IntegratorEntry* e = find(kind);
+  if (!e) unknown_kind("integrator", entries_, kind);
+  return *e;
+}
+
 void SourceRegistry::add(SourceEntry entry) {
   if (find(entry.kind))
     throw std::invalid_argument("source kind already registered: " +
@@ -89,12 +117,26 @@ sim::ControlSelection resolve_control(const ControlSpec& control,
   return entry.make(spec, control.params);
 }
 
-ehsim::PvSource resolve_source(const ScenarioSpec& spec) {
+ehsim::PvSource resolve_source(const ScenarioSpec& spec,
+                               ScenarioAssets& assets) {
   const SourceEntry& entry =
       SourceRegistry::instance().require(spec.source.kind);
   spec.source.params.validate_keys(entry.params,
                                    "source '" + spec.source.kind + "'");
-  return entry.make(spec, spec.source.params);
+  return entry.make(spec, spec.source.params, assets);
+}
+
+ehsim::PvSource resolve_source(const ScenarioSpec& spec) {
+  ScenarioAssets assets;
+  return resolve_source(spec, assets);
+}
+
+void resolve_integrator(const ScenarioSpec& spec, sim::SimConfig& cfg) {
+  const IntegratorEntry& entry =
+      IntegratorRegistry::instance().require(spec.integrator.kind);
+  spec.integrator.params.validate_keys(
+      entry.params, "integrator '" + spec.integrator.kind + "'");
+  entry.apply(spec, spec.integrator.params, cfg);
 }
 
 std::string source_condition_label(const ScenarioSpec& spec) {
@@ -130,6 +172,19 @@ ControlSpec ControlSpec::parse(std::string_view text) {
   spec.params = ParamMap::parse(parts.params);
   const ControlEntry& entry = ControlRegistry::instance().require(spec.kind);
   spec.params.validate_keys(entry.params, "control '" + spec.kind + "'");
+  spec.params.validate_types(entry.params);
+  return spec;
+}
+
+IntegratorSpec IntegratorSpec::parse(std::string_view text) {
+  const SpecParts parts = split_spec_string(text);
+  IntegratorSpec spec;
+  spec.kind = parts.kind;
+  spec.params = ParamMap::parse(parts.params);
+  const IntegratorEntry& entry =
+      IntegratorRegistry::instance().require(spec.kind);
+  spec.params.validate_keys(entry.params,
+                            "integrator '" + spec.kind + "'");
   spec.params.validate_types(entry.params);
   return spec;
 }

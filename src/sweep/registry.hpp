@@ -23,6 +23,7 @@
 
 #include "ehsim/sources.hpp"
 #include "sim/experiment.hpp"
+#include "sweep/assets.hpp"
 #include "sweep/scenario.hpp"
 #include "util/params.hpp"
 
@@ -58,7 +59,27 @@ struct SourceEntry {
   /// (e.g. the weather name for "solar", the fixed string "shadowing").
   std::function<std::string(const ScenarioSpec&)> condition_label;
   /// Builds the harvester feeding the storage node for one scenario.
-  std::function<ehsim::PvSource(const ScenarioSpec&, const ParamMap&)> make;
+  /// `assets` is the calling worker's immutable-input cache
+  /// (sweep/assets.hpp); factories whose inputs are expensive pure
+  /// functions of the spec should build them through it, others may
+  /// ignore it.
+  std::function<ehsim::PvSource(const ScenarioSpec&, const ParamMap&,
+                                ScenarioAssets&)>
+      make;
+};
+
+/// One registered integrator kind. Unlike controls/sources, an
+/// integrator resolves to *numerics*: its apply hook rewrites the
+/// SimConfig a scenario runs under (step-control law, event
+/// localisation, tolerances, coasting).
+struct IntegratorEntry {
+  std::string kind;
+  std::string summary;
+  std::vector<ParamInfo> params;
+  /// Applies the kind's tuning (validated params) onto the resolved
+  /// SimConfig. Called from make_sim_config.
+  std::function<void(const ScenarioSpec&, const ParamMap&, sim::SimConfig&)>
+      apply;
 };
 
 /// Registry of control kinds. instance() is created thread-safely on
@@ -97,6 +118,21 @@ class SourceRegistry {
   std::vector<SourceEntry> entries_;
 };
 
+/// Registry of integrator kinds; same contract as ControlRegistry.
+class IntegratorRegistry {
+ public:
+  static IntegratorRegistry& instance();
+
+  void add(IntegratorEntry entry);
+  const IntegratorEntry* find(const std::string& kind) const;
+  const IntegratorEntry& require(const std::string& kind) const;
+  const std::vector<IntegratorEntry>& entries() const { return entries_; }
+
+ private:
+  IntegratorRegistry() = default;
+  std::vector<IntegratorEntry> entries_;
+};
+
 /// Resolves a control spec for `spec` through the registry: unknown
 /// kinds and parameter keys throw ParamError naming the valid choices;
 /// parameter values are decoded by the entry's factory.
@@ -104,8 +140,18 @@ sim::ControlSelection resolve_control(const ControlSpec& control,
                                       const ScenarioSpec& spec);
 
 /// Builds the harvester for `spec.source` through the registry (same
-/// diagnostics contract as resolve_control).
+/// diagnostics contract as resolve_control), using `assets` for
+/// shareable inputs.
+ehsim::PvSource resolve_source(const ScenarioSpec& spec,
+                               ScenarioAssets& assets);
+
+/// Convenience overload with a throwaway asset cache.
 ehsim::PvSource resolve_source(const ScenarioSpec& spec);
+
+/// Applies `spec.integrator` onto `cfg` through the integrator registry
+/// (same diagnostics contract as resolve_control). Called by
+/// make_sim_config.
+void resolve_integrator(const ScenarioSpec& spec, sim::SimConfig& cfg);
 
 /// The report/label "condition" string of a scenario: its source kind's
 /// condition_label, or the bare kind string when the kind is unknown
@@ -122,5 +168,6 @@ bool source_uses_condition(const std::string& kind);
 /// constructors; separated per provider domain).
 void register_builtin_controls(ControlRegistry& registry);
 void register_builtin_sources(SourceRegistry& registry);
+void register_builtin_integrators(IntegratorRegistry& registry);
 
 }  // namespace pns::sweep

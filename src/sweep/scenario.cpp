@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "ehsim/sources.hpp"
+#include "sweep/assets.hpp"
 #include "sweep/registry.hpp"
 #include "util/contracts.hpp"
 
@@ -29,6 +30,10 @@ std::string SourceSpec::spec_string() const {
 }
 
 std::string ControlSpec::spec_string() const {
+  return params.empty() ? kind : kind + ":" + params.serialize();
+}
+
+std::string IntegratorSpec::spec_string() const {
   return params.empty() ? kind : kind + ":" + params.serialize();
 }
 
@@ -79,10 +84,14 @@ sim::SimConfig make_sim_config(const ScenarioSpec& spec) {
   cfg.record_series = spec.record_series;
   cfg.record_interval_s = spec.record_interval_s;
   cfg.initial_opp = spec.initial_opp;
+  // The integrator kind rewrites the numerics last, so its overrides win
+  // over the scenario defaults ("rk23" with no params is the identity).
+  resolve_integrator(spec, cfg);
   return cfg;
 }
 
-sim::SimResult run_scenario(const ScenarioSpec& spec) {
+sim::SimResult run_scenario(const ScenarioSpec& spec,
+                            ScenarioAssets& assets) {
   PNS_EXPECTS(spec.t_end > spec.t_start);
   PNS_EXPECTS(spec.capacitance_f > 0.0);
   const SourceEntry& source_entry =
@@ -90,10 +99,15 @@ sim::SimResult run_scenario(const ScenarioSpec& spec) {
   // Resolve the control first: a bad control spec should not cost a
   // weather-trace synthesis.
   sim::ControlSelection control = resolve_control(spec.control, spec);
-  const ehsim::PvSource source = resolve_source(spec);
+  const ehsim::PvSource source = resolve_source(spec, assets);
   return sim::run_pv_control(spec.platform, source, std::move(control),
                              make_sim_config(spec),
                              source_entry.solar_defaults);
+}
+
+sim::SimResult run_scenario(const ScenarioSpec& spec) {
+  ScenarioAssets assets;
+  return run_scenario(spec, assets);
 }
 
 namespace {

@@ -85,6 +85,25 @@ struct SourceSpec {
 /// meaning "is a shadowing source" whatever the parameters say.
 bool operator==(const SourceSpec& spec, SourceKind kind);
 
+/// Open integrator selection: a registry kind ("rk23" -- the original
+/// engine, bit-for-bit -- or "rk23pi" -- PI step control, dense-output
+/// event roots and steady-state coasting) plus numeric overrides, e.g.
+/// "rk23pi:rtol=1e-05,coast=false". Resolved by make_sim_config through
+/// the integrator registry (sweep/registry.hpp).
+struct IntegratorSpec {
+  std::string kind = "rk23";
+  ParamMap params;
+
+  /// Round-trippable "kind" / "kind:key=value,..." form.
+  std::string spec_string() const;
+
+  /// Parses a spec string, validating the kind and its parameter keys
+  /// against the integrator registry. Defined in registry.cpp.
+  static IntegratorSpec parse(std::string_view text);
+
+  bool operator==(const IntegratorSpec&) const = default;
+};
+
 /// Open control selection: a registry kind ("pns", "static",
 /// "gov:<name>", ...) plus its parameters. The compat factories encode
 /// their typed arguments into the ParamMap losslessly (shortest_double),
@@ -141,6 +160,9 @@ struct ScenarioSpec {
   /// PV evaluation mode (exact Newton vs measured-error table); applies to
   /// every source kind that models the PV array.
   ehsim::PvSource::Mode pv_mode = ehsim::PvSource::Mode::kExact;
+  /// Integration engine; the default reproduces the original RK23 stepper
+  /// bit for bit. Like pv_mode this is a whole-sweep knob, not an axis.
+  IntegratorSpec integrator{};
 
   // Storage node and regulation band.
   double capacitance_f = 47e-3;
@@ -165,11 +187,21 @@ struct ScenarioSpec {
 /// callers that need to tweak numerics before running).
 sim::SimConfig make_sim_config(const ScenarioSpec& spec);
 
+class ScenarioAssets;  // sweep/assets.hpp
+
 /// Runs one scenario to completion on the calling thread, resolving the
 /// source and control through their registries (sweep/registry.hpp).
 /// Constructs a fresh one-shot SimEngine internally; thread-safe with
 /// respect to other concurrent run_scenario calls on distinct specs.
 sim::SimResult run_scenario(const ScenarioSpec& spec);
+
+/// Same, but reusing `assets` -- a per-worker cache of immutable scenario
+/// inputs (synthesised weather traces and the like) -- so consecutive
+/// rows that share a trace stop re-synthesising it. Results are
+/// bit-identical to the cache-free overload: cached assets are pure
+/// functions of their keys. `assets` must not be shared across threads.
+sim::SimResult run_scenario(const ScenarioSpec& spec,
+                            ScenarioAssets& assets);
 
 /// What one scenario produced. `ok == false` means run_scenario threw
 /// (including unknown kinds/params in its specs); the exception text is

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/contracts.hpp"
 
@@ -72,6 +73,22 @@ double PiecewiseLinear::eval_hinted(double x, std::size_t& hint) const {
   const double y0 = ys_[i - 1], y1 = ys_[i];
   const double t = (x - x0) / (x1 - x0);
   return y0 + t * (y1 - y0);
+}
+
+double PiecewiseLinear::flat_until(double x) const {
+  PNS_EXPECTS(!empty());
+  if (x >= xs_.back())  // constant extrapolation beyond the last knot
+    return std::numeric_limits<double>::infinity();
+  // Index of the first knot strictly beyond x; the function is flat on
+  // [x, xs_[i]] iff the surrounding segment is level (or x sits in the
+  // clamped region before the first knot).
+  auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+  auto i = static_cast<std::size_t>(it - xs_.begin());
+  if (i >= 1 && ys_[i] != ys_[i - 1]) return x;
+  // Extend across consecutive level segments.
+  while (i + 1 < xs_.size() && ys_[i + 1] == ys_[i]) ++i;
+  return i + 1 < xs_.size() ? xs_[i]
+                            : std::numeric_limits<double>::infinity();
 }
 
 double PiecewiseLinear::slope_at(double x) const {

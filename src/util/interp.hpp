@@ -47,6 +47,13 @@ class PiecewiseLinear {
   /// hint per traversal; any value (including stale ones) is safe.
   double eval_hinted(double x, std::size_t& hint) const;
 
+  /// Largest X >= x such that y is constant on [x, X]: the end of the
+  /// run of level segments containing x, +infinity when that run reaches
+  /// the last knot (clamped extrapolation is constant), or `x` itself
+  /// when the containing segment has slope. Powers the steady-state
+  /// coasting fast path's "source is flat until" query.
+  double flat_until(double x) const;
+
   /// Derivative dy/dx of the segment containing x (one-sided at knots,
   /// 0 outside the knot range).
   double slope_at(double x) const;

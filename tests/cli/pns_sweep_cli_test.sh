@@ -55,6 +55,7 @@ grep -q "valid: exact, tabulated" err.txt || \
 "$BIN" list >list.txt 2>&1 || fail "list exited non-zero"
 for needle in "pns" "gov:ondemand" "static" "solar" "shadow" "trace" \
               "flicker" "period=<double>" "up_threshold=<double>" \
+              "rk23" "rk23pi" "coast=<bool>" \
               "table2" "quick"; do
   grep -q "$needle" list.txt || fail "list: '$needle' missing"
 done
@@ -73,6 +74,21 @@ if "$BIN" quick --source flicker:period=abc >out.txt 2>err.txt; then
 fi
 grep -q "expected a number" err.txt || \
   fail "malformed source value: no type diagnostic"
+
+# --- integrator spec strings: diagnostics + end-to-end run
+if "$BIN" quick --integrator rk99 >out.txt 2>err.txt; then
+  fail "unknown integrator kind exited 0"
+fi
+grep -q "rk23pi" err.txt || fail "unknown integrator: kinds not listed"
+if "$BIN" quick --integrator rk23pi:warp=1 >out.txt 2>err.txt; then
+  fail "unknown integrator param exited 0"
+fi
+grep -q "rtol" err.txt || fail "unknown integrator param: keys not listed"
+"$BIN" quick --quiet --integrator rk23pi --csv pi.csv >/dev/null || \
+  fail "rk23pi run failed"
+"$BIN" quick --quiet --integrator rk23pi --threads 4 --csv pi4.csv \
+  >/dev/null || fail "rk23pi threaded run failed"
+cmp -s pi.csv pi4.csv || fail "rk23pi CSV differs across thread counts"
 
 # --- a parameterized governor runs end-to-end from the CLI
 "$BIN" quick --quiet --control gov:ondemand:period=0.05 --control pns \
@@ -128,6 +144,33 @@ cmp -s ref.csv resumed.csv || fail "resumed CSV differs from single-run CSV"
 # --- a journal from different sweep parameters is refused
 "$BIN" quick --quiet --minutes 5 --resume --journal r.jsonl 2>err.txt && \
   fail "journal reused across differing --minutes"
+
+# --- a journal under a different --integrator is refused
+"$BIN" quick --quiet --integrator rk23pi --resume --journal r.jsonl \
+  2>err.txt && fail "journal reused across differing --integrator"
+
+# --- compact: rewritten journal resumes byte-identically
+"$BIN" quick --quiet --journal c.jsonl >/dev/null || fail "compact prep run failed"
+"$BIN" compact c.jsonl >compact_out.txt || fail "compact failed"
+grep -q "compacted" compact_out.txt || fail "compact: no summary line"
+[ "$(wc -l < c.jsonl)" -eq 2 ] || fail "compacted journal is not 2 lines"
+"$BIN" quick --quiet --resume --journal c.jsonl --csv compacted.csv \
+  >compact_resume.txt || fail "resume from compacted journal failed"
+grep -q "12 resumed from journal" compact_resume.txt || \
+  fail "compacted resume re-simulated scenarios"
+cmp -s ref.csv compacted.csv || fail "compacted-resume CSV differs"
+"$BIN" compact >/dev/null 2>&1 && fail "compact without a journal accepted"
+
+# --- cost-balanced sharding: planned shards merge byte-identically
+"$BIN" quick --quiet --cost-journal c.jsonl 2>/dev/null && \
+  fail "--cost-journal without --shard accepted"
+"$BIN" quick --quiet --shard 0/2 --journal b0.jsonl --cost-journal c.jsonl \
+  >/dev/null || fail "cost-balanced shard 0/2 failed"
+"$BIN" quick --quiet --shard 1/2 --journal b1.jsonl --cost-journal c.jsonl \
+  >/dev/null || fail "cost-balanced shard 1/2 failed"
+"$BIN" merge --quiet --csv balanced.csv b0.jsonl b1.jsonl >/dev/null || \
+  fail "merge of cost-balanced shards failed"
+cmp -s ref.csv balanced.csv || fail "cost-balanced merged CSV differs"
 
 if [ "$fails" -ne 0 ]; then
   echo "$fails CLI check(s) failed"

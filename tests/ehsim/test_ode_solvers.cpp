@@ -1,13 +1,21 @@
 // Tests for the ODE integrators (ehsim/rk23, ehsim/fixed_step):
-// convergence orders on analytic systems and event localisation.
+// convergence orders on analytic systems, event localisation (bisection
+// and dense-output root), the PI step controller, and cross-integrator
+// parity on the paper's storage-node circuit.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <numbers>
 
+#include "ehsim/circuit.hpp"
+#include "ehsim/dense_output.hpp"
 #include "ehsim/fixed_step.hpp"
+#include "ehsim/loads.hpp"
 #include "ehsim/ode.hpp"
 #include "ehsim/rk23.hpp"
+#include "ehsim/sources.hpp"
+#include "ehsim/stepper_pi.hpp"
+#include "sim/experiment.hpp"
 
 namespace pns::ehsim {
 namespace {
@@ -277,6 +285,194 @@ TEST(Rk23, AdvancePastEndIsNoop) {
   const auto res = ig.advance(0.5);
   EXPECT_EQ(res.steps_taken, 0u);
   EXPECT_DOUBLE_EQ(ig.time(), 1.0);
+}
+
+// ------------------------------------------------- PI step controller
+
+TEST(PiStepController, AcceptGrowsRejectShrinks) {
+  PiStepController pi;
+  const double grow = pi.on_accepted(1e-4);
+  EXPECT_GT(grow, 1.0);
+  const double shrink = pi.on_rejected(2.0);
+  EXPECT_LT(shrink, 1.0);
+  EXPECT_EQ(pi.rejections(), 1u);
+  // Growth immediately after a rejection is capped at 1.
+  EXPECT_LE(pi.on_accepted(1e-6), 1.0);
+}
+
+TEST(PiStepController, IntegralTermSmoothsGrowth) {
+  // With history, growth is damped by the previous (small) error: the
+  // controller walks h up smoothly instead of slamming into the clamp
+  // and rejecting. The first accepted step (no history) falls back to
+  // the eager elementary rule.
+  PiStepController with_history;
+  with_history.on_accepted(1e-4);
+  const double damped = with_history.on_accepted(1e-4);
+  PiStepController fresh;
+  const double eager = fresh.on_accepted(1e-4);
+  EXPECT_LT(damped, eager);
+  EXPECT_GT(damped, 1.0);
+}
+
+TEST(Rk23, PiControlTakesFewerStepsOnPaperCircuit) {
+  // Engine-shaped workload: the storage node under constant harvest,
+  // advanced in 50 ms segments at the classic 10 ms step ceiling. The
+  // clamped rule oscillates around the tolerable step (grow 5x,
+  // over-reach, shrink); the PI controller converges onto it and stays,
+  // which is where BM_Rk23PiSecondOfCircuit's speedup comes from.
+  const auto cell = pns::sim::paper_pv_array();
+  const PvSource source(cell, [](double) { return 800.0; });
+  const ConstantPowerLoad load(3.5);
+  const EhCircuit circuit(source, load, Capacitor{47e-3, 0.0, 50e3});
+  auto steps = [&](StepControl sc) {
+    Rk23Options opt;
+    opt.rel_tol = 1e-6;
+    opt.abs_tol = 1e-8;
+    opt.max_step = 0.01;
+    opt.step_control = sc;
+    Rk23Integrator ig(circuit, opt);
+    const double v0 = 5.0;
+    ig.reset(0.0, std::span<const double>(&v0, 1));
+    for (double t = 0.0; t < 10.0; t += 0.05) ig.advance(t + 0.05);
+    return ig.total_steps() + ig.total_rejected();
+  };
+  EXPECT_LT(steps(StepControl::kPi), steps(StepControl::kClamped));
+}
+
+TEST(Rk23, PiStaysAccurateOnExpDecay) {
+  ExpDecay sys(2.0);
+  Rk23Options opt;
+  opt.rel_tol = 1e-8;
+  opt.abs_tol = 1e-10;
+  opt.step_control = StepControl::kPi;
+  Rk23Integrator ig(sys, opt);
+  const double y0 = 1.0;
+  ig.reset(0.0, std::span<const double>(&y0, 1));
+  const auto res = ig.advance(2.0);
+  EXPECT_FALSE(res.event_fired);
+  EXPECT_NEAR(ig.state()[0], std::exp(-4.0), 1e-7);
+}
+
+// ------------------------------------------------- dense-output roots
+
+TEST(DenseOutput, HermiteCubicReproducesEndpointData) {
+  const auto c = HermiteCubic::from_step(0.5, 2.0, 1.0, -3.0, -1.0);
+  EXPECT_NEAR(c.eval(0.0), 2.0, 1e-12);
+  EXPECT_NEAR(c.eval(1.0), 1.0, 1e-12);
+  // deriv is d/ds = h * dy/dt.
+  EXPECT_NEAR(c.deriv(0.0), 0.5 * -3.0, 1e-12);
+  EXPECT_NEAR(c.deriv(1.0), 0.5 * -1.0, 1e-12);
+}
+
+TEST(DenseOutput, FindsEarliestOfMultipleCrossings) {
+  // y(s) = cos(2 pi s)-ish shape via Hermite data: falls then rises, so
+  // level 0 is crossed twice; kFalling must return the first crossing
+  // and kRising the second.
+  const auto c = HermiteCubic::from_step(1.0, 1.0, 1.0, -8.0, 8.0);
+  const auto falling =
+      earliest_crossing(c, 0.0, EventDirection::kFalling, 1e-9);
+  const auto rising =
+      earliest_crossing(c, 0.0, EventDirection::kRising, 1e-9);
+  // Falling crossing must exist and precede the rising one.
+  ASSERT_TRUE(falling.found);
+  ASSERT_TRUE(rising.found);
+  EXPECT_LT(falling.s, rising.s);
+  const auto any = earliest_crossing(c, 0.0, EventDirection::kAny, 1e-9);
+  ASSERT_TRUE(any.found);
+  EXPECT_NEAR(any.s, falling.s, 1e-6);
+}
+
+TEST(Rk23, DenseRootMatchesBisectionRoot) {
+  // The satellite contract: on the same event, the dense-output cubic
+  // root and the bisection root agree within the event tolerance.
+  ExpDecay sys(1.0);
+  const double y0 = 1.0;
+  auto run = [&](EventLocalization el) {
+    Rk23Options opt;
+    opt.event_tol = 1e-9;
+    opt.event_localization = el;
+    Rk23Integrator ig(sys, opt);
+    ig.reset(0.0, std::span<const double>(&y0, 1));
+    const auto ev =
+        EventSpec::threshold(0.5, EventDirection::kFalling, 3);
+    return ig.advance(5.0, std::span<const EventSpec>(&ev, 1));
+  };
+  const auto dense = run(EventLocalization::kDenseRoot);
+  const auto bisect = run(EventLocalization::kBisection);
+  ASSERT_TRUE(dense.event_fired);
+  ASSERT_TRUE(bisect.event_fired);
+  EXPECT_EQ(dense.event_tag, 3);
+  EXPECT_NEAR(dense.t, bisect.t, 1e-7);
+  EXPECT_NEAR(dense.t, std::numbers::ln2, 1e-5);
+}
+
+TEST(Rk23, DenseRootEarliestOfTwoEventsInOneStepWins) {
+  // The dense-root analogue of the ramp test: both thresholds cross in
+  // one forced large step; the later-listed (earlier-crossing) event
+  // must win under dense localisation too.
+  class Ramp : public OdeSystem {
+   public:
+    std::size_t dimension() const override { return 1; }
+    void derivatives(double, std::span<const double>,
+                     std::span<double> dydt) const override {
+      dydt[0] = -1.0;
+    }
+  };
+  Ramp sys;
+  Rk23Options opt;
+  opt.initial_step = 5.0;
+  opt.event_localization = EventLocalization::kDenseRoot;
+  Rk23Integrator ig(sys, opt);
+  const double y0 = 1.0;
+  ig.reset(0.0, std::span<const double>(&y0, 1));
+  std::vector<EventSpec> evs{
+      EventSpec::threshold(0.35, EventDirection::kFalling, 1),
+      EventSpec::threshold(0.65, EventDirection::kFalling, 2),
+  };
+  const auto res = ig.advance(5.0, evs);
+  ASSERT_TRUE(res.event_fired);
+  EXPECT_EQ(res.event_tag, 2);
+  EXPECT_NEAR(res.t, 0.35, 1e-5);
+}
+
+// ------------------------------------- cross-integrator circuit parity
+
+TEST(IntegratorParity, FixedRk23AndPiAgreeOnPaperCircuit) {
+  // The paper's storage node under constant irradiance and a constant-
+  // power load, integrated three ways: classic RK4 at a small fixed
+  // step (reference), the default adaptive RK23, and the rk23pi
+  // configuration (PI control + dense events, looser tolerance). All
+  // three must agree on the final node voltage to well under a
+  // millivolt over 10 simulated seconds.
+  const auto cell = pns::sim::paper_pv_array();
+  const PvSource source(cell, [](double) { return 800.0; });
+  const ConstantPowerLoad load(3.5);
+  const EhCircuit circuit(source, load, Capacitor{47e-3, 0.0, 50e3});
+
+  const double v0 = 5.0;
+  std::vector<double> ref{v0};
+  integrate_rk4(circuit, 0.0, ref, 10.0, 1e-3);
+
+  auto adaptive = [&](StepControl sc, EventLocalization el, double rtol,
+                      double max_step) {
+    Rk23Options opt;
+    opt.rel_tol = rtol;
+    opt.abs_tol = 1e-8;
+    opt.max_step = max_step;
+    opt.step_control = sc;
+    opt.event_localization = el;
+    Rk23Integrator ig(circuit, opt);
+    ig.reset(0.0, std::span<const double>(&v0, 1));
+    ig.advance(10.0);
+    return ig.state()[0];
+  };
+  const double rk23 = adaptive(StepControl::kClamped,
+                               EventLocalization::kBisection, 1e-6, 0.01);
+  const double rk23pi = adaptive(StepControl::kPi,
+                                 EventLocalization::kDenseRoot, 1e-4, 0.25);
+  EXPECT_NEAR(rk23, ref[0], 1e-4);
+  EXPECT_NEAR(rk23pi, ref[0], 5e-4);
+  EXPECT_NEAR(rk23pi, rk23, 5e-4);
 }
 
 class Rk23ToleranceSweep : public ::testing::TestWithParam<double> {};

@@ -7,10 +7,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "ehsim/sources.hpp"
 #include "governors/registry.hpp"
 #include "sim/experiment.hpp"
+#include "sweep/registry.hpp"
 #include "trace/supply_profiles.hpp"
 #include "util/contracts.hpp"
 
@@ -388,6 +390,108 @@ TEST(SimEngine, LoadVoltageFloorIsConfigurable) {
   // P/5.4 draws less than P/v_eq (~5.16 V), so the floored run settles
   // measurably higher.
   EXPECT_GT(v_floored, v_default + 0.005);
+}
+
+// ------------------------------------------------ steady-state coasting
+
+/// The registered rk23pi kind's engine settings (resolved through the
+/// integrator registry, so these tests track the shipped defaults),
+/// minus coasting unless asked.
+SimConfig rk23pi_config(SimConfig cfg, bool coast) {
+  sweep::ScenarioSpec spec;
+  spec.integrator = sweep::IntegratorSpec::parse("rk23pi");
+  sweep::resolve_integrator(spec, cfg);
+  cfg.coast = coast;
+  return cfg;
+}
+
+TEST(SimEngine, CoastingMatchesSteppedRunOnQuiescentHour) {
+  // Constant irradiance, pinned OPP: after the node settles at its
+  // stable equilibrium the coasting engine jumps to the end in analytic
+  // strides. Every reported metric must agree tightly with the fully
+  // stepped run -- coasting is a fast path, not an approximation knob.
+  auto run = [&](bool coast) {
+    ehsim::PvSource source(sim::paper_pv_array(),
+                           [](double) { return 700.0; });
+    source.set_irradiance_hold([](double) {
+      return std::numeric_limits<double>::infinity();
+    });
+    auto workload = make_workload();
+    SimConfig cfg;
+    cfg.t_end = 3600.0;
+    cfg.vc0 = 5.3;
+    cfg.initial_opp = balanced_opp(xu4(), source.available_power(0.0));
+    cfg.record_series = false;
+    SimEngine engine(xu4(), source, workload, rk23pi_config(cfg, coast));
+    return engine.run();
+  };
+  const auto coasted = run(true);
+  const auto stepped = run(false);
+  EXPECT_EQ(coasted.metrics.brownouts, 0u);
+  EXPECT_NEAR(coasted.metrics.energy_harvested_j,
+              stepped.metrics.energy_harvested_j,
+              1e-4 * stepped.metrics.energy_harvested_j);
+  EXPECT_NEAR(coasted.metrics.energy_consumed_j,
+              stepped.metrics.energy_consumed_j,
+              1e-4 * stepped.metrics.energy_consumed_j);
+  EXPECT_NEAR(coasted.metrics.vc_stats.mean(),
+              stepped.metrics.vc_stats.mean(), 1e-3);
+  EXPECT_EQ(coasted.metrics.instructions, stepped.metrics.instructions);
+}
+
+TEST(SimEngine, CoastingRespectsRecordingInterval) {
+  // A recording run must keep its series density: coasting is capped at
+  // the sampling interval, so the hour still records ~1 sample per
+  // interval instead of one giant jump.
+  ehsim::PvSource source(sim::paper_pv_array(),
+                         [](double) { return 700.0; });
+  source.set_irradiance_hold([](double) {
+    return std::numeric_limits<double>::infinity();
+  });
+  auto workload = make_workload();
+  SimConfig cfg;
+  cfg.t_end = 600.0;
+  cfg.vc0 = 5.3;
+  cfg.initial_opp = balanced_opp(xu4(), source.available_power(0.0));
+  cfg.record_series = true;
+  cfg.record_interval_s = 1.0;
+  SimEngine engine(xu4(), source, workload,
+                   rk23pi_config(cfg, /*coast=*/true));
+  const auto r = engine.run();
+  // ~600 intervals; decimation and forced samples make the exact count
+  // fuzzy, but a single coast-to-end would leave only a handful.
+  EXPECT_GT(r.series.vc.size(), 400u);
+}
+
+TEST(SimEngine, CoastingDoesNotSkipControllerLimitCycle) {
+  // Under the power-neutral controller at constant sun the node is NOT
+  // quiescent -- it limit-cycles between the comparator thresholds.
+  // Even though the source vouches for constancy, the quiescence and
+  // threshold-distance guards must keep the engine stepping, so the
+  // controlled run sees the same interrupt activity with coasting
+  // enabled.
+  auto run = [&](bool coast) {
+    ehsim::PvSource source(sim::paper_pv_array(),
+                           [](double) { return 700.0; });
+    source.set_irradiance_hold([](double) {
+      return std::numeric_limits<double>::infinity();
+    });
+    SimConfig cfg;
+    cfg.t_end = 120.0;
+    cfg.vc0 = 5.3;
+    cfg.v_target = 5.3;
+    cfg.record_series = false;
+    // Warm start (regulation-anchored window + balanced OPP), as the
+    // paper's recordings: this is the configuration whose limit cycle
+    // ticks ~2 interrupts per second at constant sun.
+    return run_pv_control(xu4(), source, ControlSelection::power_neutral(),
+                          rk23pi_config(cfg, coast), /*warm_start=*/true);
+  };
+  const auto coasted = run(true);
+  const auto stepped = run(false);
+  EXPECT_GT(coasted.controller.interrupts, 20u);  // the cycle is alive
+  EXPECT_EQ(coasted.controller.interrupts, stepped.controller.interrupts);
+  EXPECT_EQ(coasted.metrics.brownouts, stepped.metrics.brownouts);
 }
 
 TEST(SimEngine, RunIsOneShot) {

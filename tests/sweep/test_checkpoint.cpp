@@ -3,6 +3,7 @@
 // aggregate byte-identical to a single uninterrupted run.
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -219,6 +220,14 @@ TEST(SweepRunnerResume, IdentityPinsControlAndSourceSpecStrings) {
   EXPECT_EQ(original,
             "quick?minutes=2&pv=exact&control=gov:ondemand:period=0.05"
             "&source=flicker:period=30,depth=0.5");
+  // The default integrator is omitted (identical computation); any other
+  // integrator spec is pinned.
+  EXPECT_EQ(sweep_identity("quick", 2.0, mode, {}, {},
+                           IntegratorSpec::parse("rk23")),
+            "quick?minutes=2&pv=exact");
+  EXPECT_EQ(sweep_identity("quick", 2.0, mode, {}, {},
+                           IntegratorSpec::parse("rk23pi:rtol=0.001")),
+            "quick?minutes=2&pv=exact&integrator=rk23pi:rtol=0.001");
 
   TempFile file("pns-identity-specs");
   runner_with(1).resume(specs, file.path(), original);
@@ -265,6 +274,65 @@ TEST(SweepRunnerResume, JournaledLabelMismatchRejected) {
   }
   EXPECT_THROW(runner_with(1).resume(specs, file.path(), "small"),
                JournalError);
+}
+
+// ---------------------------------------------------------- compaction
+
+TEST(Journal, CompactedJournalResumesIdentically) {
+  // The satellite contract: compacting a completed journal must not
+  // change what a resume computes -- byte for byte.
+  const auto specs = small_sweep().expand();
+  TempFile original("pns-compact-src");
+  const auto first = runner_with(2).resume(specs, original.path(), "small");
+  const std::string reference_csv = csv_of(first.rows);
+
+  TempFile compacted("pns-compact-dst");
+  const std::size_t rows =
+      compact_journal(original.path(), compacted.path());
+  EXPECT_EQ(rows, specs.size());
+
+  // The compacted journal parses to identical contents...
+  const JournalContents a = read_journal(original.path());
+  const JournalContents b = read_journal(compacted.path());
+  EXPECT_EQ(a.header, b.header);
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  std::vector<SummaryRow> av, bv;
+  for (const auto& [i, row] : a.rows) av.push_back(row);
+  for (const auto& [i, row] : b.rows) bv.push_back(row);
+  EXPECT_EQ(csv_of(av), csv_of(bv));
+  EXPECT_EQ(a.costs, b.costs);
+  // ...and holds exactly two lines (header + rows block).
+  std::ifstream in(compacted.path());
+  std::size_t lines = 0;
+  for (std::string line; std::getline(in, line);) ++lines;
+  EXPECT_EQ(lines, 2u);
+
+  // Resuming from the compacted journal simulates nothing and publishes
+  // the identical aggregate.
+  const auto resumed =
+      runner_with(2).resume(specs, compacted.path(), "small");
+  EXPECT_EQ(resumed.reused, specs.size());
+  EXPECT_EQ(resumed.executed, 0u);
+  EXPECT_EQ(csv_of(resumed.rows), reference_csv);
+}
+
+TEST(Journal, CompactInPlaceKeepsResumability) {
+  const auto specs = small_sweep().expand();
+  TempFile file("pns-compact-inplace");
+  const auto first = runner_with(2).resume(specs, file.path(), "small");
+  compact_journal(file.path(), file.path());
+  const auto resumed = runner_with(1).resume(specs, file.path(), "small");
+  EXPECT_EQ(resumed.reused, specs.size());
+  EXPECT_EQ(csv_of(resumed.rows), csv_of(first.rows));
+}
+
+TEST(Journal, CheckpointedRunsRecordCosts) {
+  const auto specs = small_sweep().expand();
+  TempFile file("pns-costs");
+  runner_with(2).resume(specs, file.path(), "small");
+  const JournalContents contents = read_journal(file.path());
+  EXPECT_EQ(contents.costs.size(), specs.size());
+  for (const auto& [i, wall_s] : contents.costs) EXPECT_GE(wall_s, 0.0);
 }
 
 // -------------------------------------------------------------- shards
@@ -320,6 +388,111 @@ TEST(SweepRunnerShards, MergedShardJournalsMatchSingleRunByteForByte) {
     EXPECT_EQ(csv_of(rows), reference_csv) << n << " shards";
     EXPECT_EQ(json_of(rows), reference_json) << n << " shards";
   }
+}
+
+TEST(PlanShards, NoCostsDegradesToContiguousRanges) {
+  const std::map<std::size_t, double> none;
+  for (std::size_t total : {0u, 1u, 7u, 12u}) {
+    for (std::size_t n : {1u, 2u, 3u, 5u}) {
+      const auto plan = plan_shards(total, n, none);
+      ASSERT_EQ(plan.size(), n);
+      for (std::size_t k = 0; k < n; ++k) {
+        const ShardRange r = shard_range(total, k, n);
+        ASSERT_EQ(plan[k].size(), r.size());
+        for (std::size_t j = 0; j < plan[k].size(); ++j)
+          EXPECT_EQ(plan[k][j], r.begin + j);
+      }
+    }
+  }
+}
+
+TEST(PlanShards, BalancesByMeasuredCostAndPartitionsExactly) {
+  // One pathologically slow scenario: contiguous sharding would pair it
+  // with its neighbours; LPT must isolate it and spread the rest.
+  std::map<std::size_t, double> costs;
+  for (std::size_t i = 0; i < 8; ++i) costs[i] = 1.0;
+  costs[3] = 10.0;
+  const auto plan = plan_shards(8, 2, costs);
+  ASSERT_EQ(plan.size(), 2u);
+  // Exact partition of [0, 8).
+  std::vector<int> covered(8, 0);
+  for (const auto& shard : plan) {
+    EXPECT_TRUE(std::is_sorted(shard.begin(), shard.end()));
+    for (std::size_t i : shard) ++covered[i];
+  }
+  for (int c : covered) EXPECT_EQ(c, 1);
+  // The slow spec's shard carries it alone-ish: loads are 10 vs 7.
+  double load0 = 0.0, load1 = 0.0;
+  for (std::size_t i : plan[0]) load0 += costs[i];
+  for (std::size_t i : plan[1]) load1 += costs[i];
+  EXPECT_EQ(std::max(load0, load1), 10.0);
+  EXPECT_EQ(std::min(load0, load1), 7.0);
+  // Deterministic: same inputs, same partition.
+  EXPECT_EQ(plan_shards(8, 2, costs), plan);
+}
+
+TEST(SweepRunnerShards, CostBalancedShardsMergeByteIdentically) {
+  // The full cost-balanced workflow: a prior journal provides wall_s,
+  // plan_shards carves (non-contiguous) shards, each worker journals its
+  // share, and the merged union still reproduces the canonical
+  // aggregate byte for byte.
+  const auto specs = small_sweep().expand();
+  const auto full = uninterrupted_rows(specs);
+  const std::string reference_csv = csv_of(full);
+
+  TempFile prior("pns-balance-prior");
+  runner_with(2).resume(specs, prior.path(), "small");
+  const JournalContents measured = read_journal(prior.path());
+  ASSERT_EQ(measured.costs.size(), specs.size());
+
+  const auto plan = plan_shards(specs.size(), 3, measured.costs);
+  std::vector<TempFile> files;
+  files.reserve(3);
+  for (std::size_t k = 0; k < 3; ++k)
+    files.emplace_back("pns-balance-" + std::to_string(k));
+  for (std::size_t k = 0; k < 3; ++k) {
+    const auto report = runner_with(2).run_checkpointed(
+        specs, files[k].path(), "small", plan[k]);
+    EXPECT_EQ(report.executed, plan[k].size());
+    EXPECT_EQ(report.rows.size(), plan[k].size());
+  }
+  std::map<std::size_t, SummaryRow> merged;
+  for (const auto& f : files) {
+    JournalContents part =
+        read_journal(f.path(), JournalHeader{"small", specs.size()});
+    merged.insert(part.rows.begin(), part.rows.end());
+  }
+  ASSERT_EQ(merged.size(), specs.size());
+  std::vector<SummaryRow> rows;
+  for (auto& [i, row] : merged) rows.push_back(std::move(row));
+  EXPECT_EQ(csv_of(rows), reference_csv);
+}
+
+TEST(SweepRunnerShards, Rk23PiShardsMergeByteIdentically) {
+  // The rk23pi axis rides through the checkpoint/shard machinery like
+  // any other sweep knob: shard-merged output equals the single run.
+  auto sw = small_sweep();
+  sw.base.integrator = IntegratorSpec::parse("rk23pi");
+  const auto specs = sw.expand();
+  const auto full = uninterrupted_rows(specs);
+
+  std::vector<TempFile> files;
+  files.reserve(2);
+  for (std::size_t k = 0; k < 2; ++k)
+    files.emplace_back("pns-pi-shard-" + std::to_string(k));
+  for (std::size_t k = 0; k < 2; ++k)
+    runner_with(2).run_checkpointed(specs, files[k].path(), "small-pi",
+                                    shard_range(specs.size(), k, 2));
+  std::map<std::size_t, SummaryRow> merged;
+  for (const auto& f : files) {
+    JournalContents part =
+        read_journal(f.path(), JournalHeader{"small-pi", specs.size()});
+    merged.insert(part.rows.begin(), part.rows.end());
+  }
+  ASSERT_EQ(merged.size(), specs.size());
+  std::vector<SummaryRow> rows;
+  for (auto& [i, row] : merged) rows.push_back(std::move(row));
+  EXPECT_EQ(csv_of(rows), csv_of(full));
 }
 
 TEST(SweepRunnerShards, InterruptedShardResumes) {

@@ -82,6 +82,51 @@ TEST(Registry, CompatFactoriesRoundTripThroughSpecStrings) {
   EXPECT_EQ(ControlSpec::parse(pin.spec_string()), pin);
 }
 
+TEST(Registry, EveryIntegratorKindRoundTripsItsSpecString) {
+  for (const auto& entry : IntegratorRegistry::instance().entries()) {
+    const IntegratorSpec bare = IntegratorSpec::parse(entry.kind);
+    EXPECT_EQ(bare.spec_string(), entry.kind);
+    EXPECT_EQ(IntegratorSpec::parse(bare.spec_string()), bare);
+    const std::string text = spec_with_defaults(entry);
+    const IntegratorSpec full = IntegratorSpec::parse(text);
+    EXPECT_EQ(full.spec_string(), text) << entry.kind;
+    EXPECT_EQ(IntegratorSpec::parse(full.spec_string()), full)
+        << entry.kind;
+  }
+}
+
+TEST(Registry, IntegratorKindsResolveToDistinctNumerics) {
+  auto spec = tiny_solar_spec();
+  const auto default_cfg = make_sim_config(spec);
+  EXPECT_EQ(default_cfg.step_control, ehsim::StepControl::kClamped);
+  EXPECT_FALSE(default_cfg.coast);
+
+  spec.integrator = IntegratorSpec::parse("rk23pi");
+  const auto pi_cfg = make_sim_config(spec);
+  EXPECT_EQ(pi_cfg.step_control, ehsim::StepControl::kPi);
+  EXPECT_EQ(pi_cfg.event_localization,
+            ehsim::EventLocalization::kDenseRoot);
+  EXPECT_TRUE(pi_cfg.coast);
+  EXPECT_DOUBLE_EQ(pi_cfg.rel_tol, 1e-4);
+  EXPECT_DOUBLE_EQ(pi_cfg.max_segment_s, 0.25);
+  EXPECT_DOUBLE_EQ(pi_cfg.max_ode_step_s, 0.25);
+
+  spec.integrator = IntegratorSpec::parse(
+      "rk23pi:rtol=1e-05,seg=0.1,coast=false");
+  const auto tuned = make_sim_config(spec);
+  EXPECT_DOUBLE_EQ(tuned.rel_tol, 1e-5);
+  EXPECT_DOUBLE_EQ(tuned.max_segment_s, 0.1);
+  EXPECT_DOUBLE_EQ(tuned.max_ode_step_s, 0.1);
+  EXPECT_FALSE(tuned.coast);
+
+  // The explicit "rk23" kind with numeric overrides tweaks tolerances
+  // without flipping the engine.
+  spec.integrator = IntegratorSpec::parse("rk23:rtol=1e-07");
+  const auto tightened = make_sim_config(spec);
+  EXPECT_EQ(tightened.step_control, ehsim::StepControl::kClamped);
+  EXPECT_DOUBLE_EQ(tightened.rel_tol, 1e-7);
+}
+
 // ------------------------------------------------------------ diagnostics
 
 TEST(Registry, UnknownKindsNameTheValidChoices) {
@@ -111,6 +156,9 @@ TEST(Registry, UnknownAndMalformedParamsRejectedAtParseTime) {
   EXPECT_THROW(ControlSpec::parse("pns:warp=1"), ParamError);
   EXPECT_THROW(ControlSpec::parse("gov:ondemand:period=abc"), ParamError);
   EXPECT_THROW(SourceSpec::parse("flicker:cadence=3"), ParamError);
+  EXPECT_THROW(IntegratorSpec::parse("rk99"), ParamError);
+  EXPECT_THROW(IntegratorSpec::parse("rk23pi:warp=1"), ParamError);
+  EXPECT_THROW(IntegratorSpec::parse("rk23pi:rtol=tight"), ParamError);
   // Unsigned tunables reject negatives at parse time, not mid-sweep.
   EXPECT_THROW(ControlSpec::parse("static:opp=-1"), ParamError);
   EXPECT_THROW(ControlSpec::parse("gov:userspace:index=-2"), ParamError);

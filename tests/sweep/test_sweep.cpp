@@ -266,6 +266,65 @@ TEST(SweepRunner, TabulatedPvModeBitIdenticalAcrossThreadCounts) {
   EXPECT_EQ(csv_of(serial), csv_of(parallel));
 }
 
+TEST(SweepRunner, Rk23PiAggregateBitIdenticalAcrossThreadCounts) {
+  // The rk23pi integrator changes the numerics, not the determinism
+  // story: its aggregate CSV may not depend on thread count either.
+  auto sw = determinism_sweep();
+  sw.base.integrator = IntegratorSpec::parse("rk23pi");
+  const auto serial = runner_with(1).run(sw);
+  const auto parallel = runner_with(4).run(sw);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_TRUE(serial[i].ok) << serial[i].error;
+    ASSERT_TRUE(parallel[i].ok) << parallel[i].error;
+    EXPECT_EQ(serial[i].result.metrics.instructions,
+              parallel[i].result.metrics.instructions);
+  }
+  EXPECT_EQ(csv_of(serial), csv_of(parallel));
+}
+
+TEST(SweepRunner, AssetReuseBitIdenticalToRebuilding) {
+  // Cached weather traces are pure functions of their keys: disabling
+  // the per-worker asset cache must not move a single output bit.
+  const auto sw = determinism_sweep();
+  SweepRunnerOptions no_reuse_opt;
+  no_reuse_opt.threads = 2;
+  no_reuse_opt.reuse_assets = false;
+  const auto reused = runner_with(2).run(sw);
+  const auto rebuilt = SweepRunner(no_reuse_opt).run(sw);
+  EXPECT_EQ(csv_of(reused), csv_of(rebuilt));
+}
+
+TEST(RunScenario, Rk23PiStaysCloseToDefaultIntegrator) {
+  // Bounded divergence: the looser rk23pi numerics shift trajectories,
+  // but paper-level metrics agree to a fraction of a percent.
+  auto spec = tiny_solar_spec();
+  spec.control = ControlSpec::power_neutral();
+  const auto exact = run_scenario(spec);
+  spec.integrator = IntegratorSpec::parse("rk23pi");
+  const auto pi = run_scenario(spec);
+  EXPECT_NEAR(pi.metrics.energy_harvested_j,
+              exact.metrics.energy_harvested_j,
+              0.005 * exact.metrics.energy_harvested_j);
+  EXPECT_NEAR(pi.metrics.energy_consumed_j,
+              exact.metrics.energy_consumed_j,
+              0.005 * exact.metrics.energy_consumed_j);
+  EXPECT_NEAR(pi.metrics.vc_stats.mean(), exact.metrics.vc_stats.mean(),
+              0.01);
+  EXPECT_EQ(pi.metrics.brownouts, exact.metrics.brownouts);
+}
+
+TEST(RunScenario, UnknownIntegratorKindFailsWithDiagnostics) {
+  auto spec = tiny_solar_spec();
+  spec.integrator.kind = "rk99";
+  const auto outcomes =
+      runner_with(1).run(std::vector<ScenarioSpec>{spec});
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_FALSE(outcomes[0].ok);
+  EXPECT_NE(outcomes[0].error.find("rk99"), std::string::npos);
+  EXPECT_NE(outcomes[0].error.find("rk23pi"), std::string::npos);
+}
+
 TEST(RunScenario, PvModeReachesTheSolarSource) {
   // Exact and tabulated runs of the same scenario agree closely (the
   // table's current error is ~mA) but are distinct trajectories.

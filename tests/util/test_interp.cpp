@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "util/contracts.hpp"
@@ -122,6 +123,30 @@ TEST(PiecewiseLinear, SingleKnotBehavesAsConstant) {
   EXPECT_DOUBLE_EQ(f(0.0), 7.0);
   EXPECT_DOUBLE_EQ(f(5.0), 7.0);
   EXPECT_DOUBLE_EQ(f.slope_at(2.0), 0.0);
+}
+
+TEST(PiecewiseLinear, FlatUntilWalksLevelRuns) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  //            sloped      flat run          sloped   flat tail
+  PiecewiseLinear f({0.0, 1.0, 2.0, 3.0, 4.0, 5.0},
+                    {0.0, 2.0, 2.0, 2.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(f.flat_until(0.5), 0.5);   // inside a sloped segment
+  EXPECT_DOUBLE_EQ(f.flat_until(1.0), 3.0);   // start of the level run
+  EXPECT_DOUBLE_EQ(f.flat_until(2.5), 3.0);   // inside the level run
+  EXPECT_DOUBLE_EQ(f.flat_until(3.5), 3.5);   // sloped again
+  EXPECT_DOUBLE_EQ(f.flat_until(4.2), kInf);  // level to the end + clamp
+  EXPECT_DOUBLE_EQ(f.flat_until(9.0), kInf);  // clamped extrapolation
+  EXPECT_DOUBLE_EQ(f.flat_until(-2.0), 0.0);  // clamped region before
+}
+
+TEST(PiecewiseLinear, FlatUntilOnConstantAndSingleKnot) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  PiecewiseLinear flat({0.0, 1.0, 2.0}, {3.0, 3.0, 3.0});
+  EXPECT_DOUBLE_EQ(flat.flat_until(0.0), kInf);
+  EXPECT_DOUBLE_EQ(flat.flat_until(1.5), kInf);
+  PiecewiseLinear single({2.0}, {7.0});
+  EXPECT_DOUBLE_EQ(single.flat_until(0.0), kInf);
+  EXPECT_DOUBLE_EQ(single.flat_until(5.0), kInf);
 }
 
 class InterpLinearityProperty : public ::testing::TestWithParam<double> {};

@@ -1,16 +1,18 @@
 // pns_bench_report -- machine-readable performance trajectory runner.
 //
 // Executes the google-benchmark micro suite (bench_micro_hotpaths, when it
-// was built) plus a wall-clock timing of the `table2` sweep in both PV
-// modes, and writes one JSON document (BENCH_<n>.json) that future PRs
-// append to -- the repo's record that the hot path stays fast:
+// was built) plus wall-clock timings of the `table2` sweep -- exact and
+// tabulated PV, the rk23pi integrator, and an asset-reuse A/B -- and
+// writes one JSON document (BENCH_<n>.json) that future PRs append to --
+// the repo's record that the hot path stays fast:
 //
-//   pns_bench_report                        # full run, writes BENCH_2.json
+//   pns_bench_report                        # full run, writes BENCH_5.json
 //   pns_bench_report --quick --out q.json   # CI smoke (~seconds)
 //
-// The sweep timing runs in-process; the micro suite is spawned as the
-// sibling bench_micro_hotpaths binary so the numbers are exactly what a
-// developer gets running it by hand.
+// scripts/check_bench_regression.py diffs a fresh report against the
+// checked-in baseline. The sweep timing runs in-process; the micro suite
+// is spawned as the sibling bench_micro_hotpaths binary so the numbers
+// are exactly what a developer gets running it by hand.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -33,7 +35,7 @@ namespace {
 using namespace pns;
 
 struct Options {
-  std::string out_path = "BENCH_2.json";
+  std::string out_path = "BENCH_5.json";
   std::string bench_bin;  // empty = <dir of argv[0]>/bench_micro_hotpaths
   double minutes = 60.0;
   unsigned threads = 0;
@@ -116,13 +118,17 @@ struct SweepTiming {
   unsigned threads = 0;
 };
 
-SweepTiming time_table2(const Options& opt, ehsim::PvSource::Mode mode) {
+SweepTiming time_table2(const Options& opt, ehsim::PvSource::Mode mode,
+                        const std::string& integrator = "rk23",
+                        bool reuse_assets = true) {
   auto sw = sweep::table2_sweep(opt.minutes, {42, 43, 44});
   sw.base.pv_mode = mode;
+  sw.base.integrator = sweep::IntegratorSpec::parse(integrator);
   const auto specs = sw.expand();
 
   sweep::SweepRunnerOptions ropt;
   ropt.threads = opt.threads;
+  ropt.reuse_assets = reuse_assets;
   sweep::SweepRunner runner(ropt);
 
   SweepTiming t;
@@ -155,7 +161,7 @@ void usage(const char* argv0) {
       "usage: %s [options]\n"
       "\n"
       "options:\n"
-      "  --out PATH       output JSON path (default BENCH_2.json)\n"
+      "  --out PATH       output JSON path (default BENCH_5.json)\n"
       "  --bench-bin P    micro-benchmark binary (default: next to this "
       "binary)\n"
       "  --minutes M      simulated window of the table2 timing "
@@ -220,6 +226,16 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "timing table2 sweep (tabulated PV, %.0f min)...\n",
                opt.minutes);
   const auto tab = time_table2(opt, ehsim::PvSource::Mode::kTabulated);
+  std::fprintf(stderr, "timing table2 sweep (rk23pi, %.0f min)...\n",
+               opt.minutes);
+  const auto pi =
+      time_table2(opt, ehsim::PvSource::Mode::kExact, "rk23pi");
+  std::fprintf(stderr,
+               "timing table2 sweep (exact PV, no asset reuse, %.0f "
+               "min)...\n",
+               opt.minutes);
+  const auto no_reuse = time_table2(opt, ehsim::PvSource::Mode::kExact,
+                                    "rk23", /*reuse_assets=*/false);
 
   std::ofstream out(opt.out_path);
   if (!out) {
@@ -238,6 +254,10 @@ int main(int argc, char** argv) {
   write_sweep(w, exact);
   w.key("tabulated");
   write_sweep(w, tab);
+  w.key("rk23pi");
+  write_sweep(w, pi);
+  w.key("exact_no_asset_reuse");
+  write_sweep(w, no_reuse);
   w.end_object();
   w.key("micro");
   if (micro_ok) {
@@ -260,10 +280,14 @@ int main(int argc, char** argv) {
 
   std::printf("wrote %s\n", opt.out_path.c_str());
   std::printf("table2 exact: %.2f s wall (%.0fx realtime); tabulated: "
-              "%.2f s wall (%.0fx realtime)\n",
+              "%.2f s wall (%.0fx realtime); rk23pi: %.2f s wall "
+              "(%.0fx realtime); no asset reuse: %.2f s wall\n",
               exact.wall_s,
               exact.wall_s > 0 ? exact.simulated_s / exact.wall_s : 0.0,
-              tab.wall_s, tab.wall_s > 0 ? tab.simulated_s / tab.wall_s : 0.0);
-  const bool sweeps_ok = exact.failed == 0 && tab.failed == 0;
+              tab.wall_s, tab.wall_s > 0 ? tab.simulated_s / tab.wall_s : 0.0,
+              pi.wall_s, pi.wall_s > 0 ? pi.simulated_s / pi.wall_s : 0.0,
+              no_reuse.wall_s);
+  const bool sweeps_ok = exact.failed == 0 && tab.failed == 0 &&
+                         pi.failed == 0 && no_reuse.failed == 0;
   return sweeps_ok ? 0 : 1;
 }

@@ -68,12 +68,19 @@ struct Options {
   std::vector<sweep::ControlSpec> controls;
   std::vector<sweep::SourceSpec> sources;
 
+  // Integration engine (whole-sweep knob, like --pv-mode).
+  sweep::IntegratorSpec integrator;
+
   // Checkpointing / sharding.
   std::string journal_path;
   bool resume = false;
   bool sharded = false;
   std::size_t shard_k = 0;
   std::size_t shard_n = 1;
+  /// Prior journal whose measured wall_s entries balance the shards.
+  std::string cost_journal_path;
+  /// `compact --out`: compacted journal destination (default: in place).
+  std::string out_path;
 
   // Adaptive refinement.
   bool refine = false;
@@ -85,9 +92,10 @@ void usage(const char* argv0) {
       "usage: %s <sweep> [options]\n"
       "       %s list\n"
       "       %s merge [--csv PATH] [--json PATH] [--quiet] JOURNAL...\n"
+      "       %s compact [--out PATH] JOURNAL\n"
       "\n"
       "sweeps:\n",
-      argv0, argv0, argv0);
+      argv0, argv0, argv0, argv0);
   for (const auto& p : sweep::sweep_presets())
     std::printf("  %-12s %s\n", p.name.c_str(), p.summary.c_str());
   std::printf(
@@ -109,6 +117,10 @@ void usage(const char* argv0) {
       "  --pv-mode M   PV solve mode: exact (default, bit-reproducible)\n"
       "                or tabulated (interpolation table with a measured\n"
       "                error bound, ~3x faster sweep wall-clock)\n"
+      "  --integrator S  integration engine spec string: rk23 (default,\n"
+      "                bit-reproducible) or rk23pi[:rtol=...,coast=...]\n"
+      "                (PI step control + dense events + coasting, ~2x\n"
+      "                faster; docs/performance.md has the grammar)\n"
       "  --journal P   append each completed scenario to the checkpoint\n"
       "                journal at P (JSON lines; see docs/sweeps.md)\n"
       "  --resume      reuse completed rows from an existing --journal\n"
@@ -116,6 +128,9 @@ void usage(const char* argv0) {
       "  --shard K/N   run only the K-th (0-based) of N contiguous spec\n"
       "                ranges; requires --journal, fold partial journals\n"
       "                with the merge subcommand\n"
+      "  --cost-journal P  balance --shard K/N by the measured wall_s\n"
+      "                entries of the prior journal at P (same sweep)\n"
+      "                instead of contiguous index ranges\n"
       "  --refine      after the pass, bisect capacitance intervals whose\n"
       "                adjacent rows diverge (adaptive axis refinement)\n"
       "  --refine-metric M  aggregate column compared (default brownouts)\n"
@@ -152,6 +167,11 @@ int run_list() {
   }
   std::printf("\nsources (--source KIND[:key=value,...]):\n");
   for (const auto& e : sweep::SourceRegistry::instance().entries()) {
+    std::printf("  %-16s %s\n", e.kind.c_str(), e.summary.c_str());
+    print_params(e.params);
+  }
+  std::printf("\nintegrators (--integrator KIND[:key=value,...]):\n");
+  for (const auto& e : sweep::IntegratorRegistry::instance().entries()) {
     std::printf("  %-16s %s\n", e.kind.c_str(), e.summary.c_str());
     print_params(e.params);
   }
@@ -232,6 +252,28 @@ int run_merge(const std::vector<std::string>& journals, const Options& opt) {
   }
 }
 
+/// The `compact` subcommand: rewrites a journal as header + one
+/// aggregate rows block (sweep::compact_journal).
+int run_compact(const std::vector<std::string>& journals,
+                const Options& opt) {
+  if (journals.size() != 1) {
+    std::fprintf(stderr, "compact: expected exactly one journal file\n");
+    return 2;
+  }
+  const std::string& in = journals[0];
+  const std::string out = opt.out_path.empty() ? in : opt.out_path;
+  try {
+    const std::size_t rows = sweep::compact_journal(in, out);
+    if (!opt.quiet)
+      std::printf("compacted %s -> %s (%zu rows)\n", in.c_str(),
+                  out.c_str(), rows);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "compact: %s\n", e.what());
+    return 1;
+  }
+}
+
 bool parse_shard(const std::string& text, Options& opt) {
   const std::size_t slash = text.find('/');
   if (slash == std::string::npos || slash == 0 ||
@@ -270,7 +312,8 @@ int main(int argc, char** argv) {
   if (opt.sweep_name == "list") return run_list();
 
   const bool merging = opt.sweep_name == "merge";
-  std::vector<std::string> merge_journals;
+  const bool compacting = opt.sweep_name == "compact";
+  std::vector<std::string> positional_journals;
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -281,15 +324,17 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (arg == "--control" || arg == "--source") {
+    if (arg == "--control" || arg == "--source" || arg == "--integrator") {
       // Spec strings are validated against the registries up front so a
       // typo fails in milliseconds, not after the sweep ran.
       const std::string spec = next();
       try {
         if (arg == "--control")
           opt.controls.push_back(sweep::ControlSpec::parse(spec));
-        else
+        else if (arg == "--source")
           opt.sources.push_back(sweep::SourceSpec::parse(spec));
+        else
+          opt.integrator = sweep::IntegratorSpec::parse(spec);
       } catch (const std::exception& e) {
         std::fprintf(stderr, "invalid %s '%s': %s\n", arg.c_str(),
                      spec.c_str(), e.what());
@@ -321,6 +366,10 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--journal")
       opt.journal_path = next();
+    else if (arg == "--cost-journal")
+      opt.cost_journal_path = next();
+    else if (arg == "--out")
+      opt.out_path = next();
     else if (arg == "--resume")
       opt.resume = true;
     else if (arg == "--shard") {
@@ -345,8 +394,8 @@ int main(int argc, char** argv) {
     else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
-    } else if (merging && arg.rfind("--", 0) != 0) {
-      merge_journals.push_back(arg);
+    } else if ((merging || compacting) && arg.rfind("--", 0) != 0) {
+      positional_journals.push_back(arg);
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       usage(argv[0]);
@@ -354,7 +403,12 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (merging) return run_merge(merge_journals, opt);
+  if (!compacting && !opt.out_path.empty()) {
+    std::fprintf(stderr, "--out only applies to the compact subcommand\n");
+    return 2;
+  }
+  if (merging) return run_merge(positional_journals, opt);
+  if (compacting) return run_compact(positional_journals, opt);
 
   const sweep::SweepPreset* preset =
       sweep::find_sweep_preset(opt.sweep_name);
@@ -393,6 +447,12 @@ int main(int argc, char** argv) {
                  "instead of a shard\n");
     return 2;
   }
+  if (!opt.cost_journal_path.empty() && !opt.sharded) {
+    std::fprintf(stderr,
+                 "--cost-journal only balances sharded runs; pass "
+                 "--shard K/N\n");
+    return 2;
+  }
   if (opt.refine && !sweep::metric_accessor(opt.refine_options.metric)) {
     std::fprintf(stderr, "unknown --refine-metric: %s (valid:",
                  opt.refine_options.metric.c_str());
@@ -403,18 +463,47 @@ int main(int argc, char** argv) {
   }
 
   sw.base.pv_mode = opt.pv_mode;
+  sw.base.integrator = opt.integrator;
 
   // The journal identity pins every knob that changes what the scenarios
-  // compute (window length, PV mode, control/source overrides) -- labels
-  // alone would not catch a --minutes mismatch between the original run
-  // and the resume.
-  const std::string journal_name = sweep::sweep_identity(
-      opt.sweep_name, opt.minutes, opt.pv_mode, opt.controls, opt.sources);
+  // compute (window length, PV mode, control/source/integrator
+  // overrides) -- labels alone would not catch a --minutes mismatch
+  // between the original run and the resume.
+  const std::string journal_name =
+      sweep::sweep_identity(opt.sweep_name, opt.minutes, opt.pv_mode,
+                            opt.controls, opt.sources, opt.integrator);
 
   const auto specs = sw.expand();
-  const sweep::ShardRange range =
-      opt.sharded ? sweep::shard_range(specs.size(), opt.shard_k, opt.shard_n)
-                  : sweep::ShardRange{0, specs.size()};
+
+  // The shard's index set: contiguous by default; balanced by the prior
+  // journal's measured costs when one is given (falls back to contiguous
+  // when the journal recorded none).
+  sweep::ShardIndices shard_indices;
+  if (opt.sharded && !opt.cost_journal_path.empty()) {
+    try {
+      const sweep::JournalContents prior = sweep::read_journal(
+          opt.cost_journal_path,
+          sweep::JournalHeader{journal_name, specs.size()});
+      shard_indices = sweep::plan_shards(specs.size(), opt.shard_n,
+                                         prior.costs)[opt.shard_k];
+      if (!opt.quiet && prior.costs.empty())
+        std::fprintf(stderr,
+                     "note: %s holds no wall_s entries; using contiguous "
+                     "shards\n",
+                     opt.cost_journal_path.c_str());
+    } catch (const sweep::JournalError& e) {
+      std::fprintf(stderr, "--cost-journal: %s\n", e.what());
+      return 1;
+    }
+  } else {
+    const sweep::ShardRange range =
+        opt.sharded
+            ? sweep::shard_range(specs.size(), opt.shard_k, opt.shard_n)
+            : sweep::ShardRange{0, specs.size()};
+    shard_indices.resize(range.size());
+    for (std::size_t j = 0; j < range.size(); ++j)
+      shard_indices[j] = range.begin + j;
+  }
 
   if (!opt.journal_path.empty() && !opt.resume &&
       std::ifstream(opt.journal_path).good()) {
@@ -437,15 +526,19 @@ int main(int argc, char** argv) {
 
   std::printf("sweep '%s': %zu scenarios", opt.sweep_name.c_str(),
               specs.size());
-  if (opt.sharded)
-    std::printf(", shard %zu/%zu -> specs [%zu, %zu)", opt.shard_k,
-                opt.shard_n, range.begin, range.end);
-  std::printf(" on %u thread(s)\n\n", runner.effective_threads(range.size()));
+  if (opt.sharded) {
+    std::printf(", shard %zu/%zu -> %zu spec(s)", opt.shard_k, opt.shard_n,
+                shard_indices.size());
+    if (!opt.cost_journal_path.empty())
+      std::printf(" (cost-balanced)");
+  }
+  std::printf(" on %u thread(s)\n\n",
+              runner.effective_threads(shard_indices.size()));
 
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<sweep::SummaryRow> rows;
   std::size_t reused = 0;
-  std::size_t executed = range.size();
+  std::size_t executed = shard_indices.size();
   try {
     if (opt.journal_path.empty()) {
       const auto outcomes = runner.run(specs);
@@ -453,7 +546,7 @@ int main(int argc, char** argv) {
       for (const auto& o : outcomes) rows.push_back(sweep::summarize(o));
     } else {
       auto report = runner.run_checkpointed(specs, opt.journal_path,
-                                            journal_name, range);
+                                            journal_name, shard_indices);
       rows = std::move(report.rows);
       reused = report.reused;
       executed = report.executed;
