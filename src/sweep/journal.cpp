@@ -1,5 +1,8 @@
 #include "sweep/journal.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <filesystem>
 #include <sstream>
 #include <system_error>
@@ -13,6 +16,47 @@ namespace {
 
 constexpr const char* kJournalKind = "pns-sweep-journal";
 constexpr int kJournalVersion = 1;
+
+std::string header_line(const JournalHeader& header) {
+  std::ostringstream line;
+  JsonWriter w(line, JsonStyle::kCompact);
+  w.begin_object();
+  w.kv("kind", kJournalKind);
+  w.kv("version", kJournalVersion);
+  w.kv("sweep", header.sweep);
+  w.kv("total", static_cast<std::uint64_t>(header.total));
+  w.end_object();
+  return line.str();
+}
+
+std::string row_line(std::size_t index, const SummaryRow& row,
+                     double wall_s) {
+  std::ostringstream line;
+  JsonWriter w(line, JsonStyle::kCompact);
+  w.begin_object();
+  w.kv("kind", "row");
+  w.kv("i", static_cast<std::uint64_t>(index));
+  // Execution cost rides along as entry metadata (shard planning reads
+  // it); the row object itself stays exactly what the aggregate
+  // serialises.
+  if (wall_s >= 0.0) w.kv("wall_s", wall_s);
+  w.key("row");
+  write_summary_row_json(w, row);
+  w.end_object();
+  return line.str();
+}
+
+/// fsyncs the directory containing `path`, so a rename into it is
+/// durable. Best-effort on filesystems that refuse O_DIRECTORY fsync.
+void fsync_parent_dir(const std::string& path) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  const std::string dir = parent.empty() ? "." : parent.string();
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
 
 /// Folds one {"i": N, ["wall_s": S,] "row": {...}} entry -- a plain
 /// journal line or an element of a compacted "rows" block -- into the
@@ -32,46 +76,55 @@ void read_entry(const JsonValue& doc, JournalContents& contents) {
 }  // namespace
 
 JournalWriter JournalWriter::create(const std::string& path,
-                                    const JournalHeader& header) {
-  std::ofstream out(path, std::ios::trunc);
+                                    const JournalHeader& header,
+                                    JournalDurability durability) {
+  std::FILE* out = std::fopen(path.c_str(), "wb");
   if (!out) throw JournalError("cannot create journal: " + path);
-  std::ostringstream line;
-  JsonWriter w(line, JsonStyle::kCompact);
-  w.begin_object();
-  w.kv("kind", kJournalKind);
-  w.kv("version", kJournalVersion);
-  w.kv("sweep", header.sweep);
-  w.kv("total", static_cast<std::uint64_t>(header.total));
-  w.end_object();
-  out << line.str() << '\n';
-  out.flush();
-  return JournalWriter(std::move(out));
+  JournalWriter writer(out, durability);
+  writer.write_line(header_line(header));
+  return writer;
 }
 
-JournalWriter JournalWriter::append_to(const std::string& path) {
-  std::ofstream out(path, std::ios::app);
+JournalWriter JournalWriter::append_to(const std::string& path,
+                                       JournalDurability durability) {
+  std::FILE* out = std::fopen(path.c_str(), "ab");
   if (!out) throw JournalError("cannot open journal for append: " + path);
-  return JournalWriter(std::move(out));
+  return JournalWriter(out, durability);
+}
+
+JournalWriter::JournalWriter(JournalWriter&& other) noexcept
+    : out_(other.out_), durability_(other.durability_) {
+  other.out_ = nullptr;
+}
+
+JournalWriter& JournalWriter::operator=(JournalWriter&& other) noexcept {
+  if (this != &other) {
+    if (out_) std::fclose(out_);
+    out_ = other.out_;
+    durability_ = other.durability_;
+    other.out_ = nullptr;
+  }
+  return *this;
+}
+
+JournalWriter::~JournalWriter() {
+  if (out_) std::fclose(out_);
+}
+
+void JournalWriter::write_line(const std::string& line) {
+  // One whole line per append, flushed, so a kill can only tear the line
+  // being written -- which read_journal drops. With kFsync the line also
+  // reaches the platter before append() returns: an acknowledged row
+  // survives a machine crash, not just a process crash.
+  std::fwrite(line.data(), 1, line.size(), out_);
+  std::fputc('\n', out_);
+  std::fflush(out_);
+  if (durability_ == JournalDurability::kFsync) ::fsync(::fileno(out_));
 }
 
 void JournalWriter::append(std::size_t index, const SummaryRow& row,
                            double wall_s) {
-  std::ostringstream line;
-  JsonWriter w(line, JsonStyle::kCompact);
-  w.begin_object();
-  w.kv("kind", "row");
-  w.kv("i", static_cast<std::uint64_t>(index));
-  // Execution cost rides along as entry metadata (shard planning reads
-  // it); the row object itself stays exactly what the aggregate
-  // serialises.
-  if (wall_s >= 0.0) w.kv("wall_s", wall_s);
-  w.key("row");
-  write_summary_row_json(w, row);
-  w.end_object();
-  // One whole line per append, flushed, so a kill can only tear the line
-  // being written -- which read_journal drops.
-  out_ << line.str() << '\n';
-  out_.flush();
+  write_line(row_line(index, row, wall_s));
 }
 
 JournalContents read_journal(const std::string& path) {
@@ -128,58 +181,87 @@ JournalContents read_journal(const std::string& path) {
   return contents;
 }
 
-std::size_t compact_journal(const std::string& in_path,
-                            const std::string& out_path) {
-  const JournalContents contents = read_journal(in_path);
+namespace {
 
-  // Write the replacement fully, then rename into place: a kill mid-way
-  // leaves either the original or the finished compaction, never a torn
-  // half-journal under the final name.
-  const std::string tmp_path = out_path + ".compact.tmp";
+/// Shared temp + fsync + atomic-rename tail of the journal rewriters:
+/// `emit` writes the replacement contents onto the stream; the temp file
+/// is fsynced before the rename and the directory after it, so a crash
+/// at any point leaves either the original or the complete replacement
+/// durably under the final name -- never a torn file.
+template <typename Emit>
+void replace_journal_atomically(const std::string& out_path,
+                                const char* what, Emit&& emit) {
+  const std::string tmp_path = out_path + ".tmp";
   {
     std::ofstream out(tmp_path, std::ios::trunc);
     if (!out)
-      throw JournalError("cannot write compacted journal: " + tmp_path);
-    std::ostringstream header;
-    JsonWriter hw(header, JsonStyle::kCompact);
-    hw.begin_object();
-    hw.kv("kind", kJournalKind);
-    hw.kv("version", kJournalVersion);
-    hw.kv("sweep", contents.header.sweep);
-    hw.kv("total", static_cast<std::uint64_t>(contents.header.total));
-    hw.end_object();
-    out << header.str() << '\n';
-
-    std::ostringstream block;
-    JsonWriter w(block, JsonStyle::kCompact);
-    w.begin_object();
-    w.kv("kind", "rows");
-    w.key("rows");
-    w.begin_array();
-    for (const auto& [index, row] : contents.rows) {
-      w.begin_object();
-      w.kv("i", static_cast<std::uint64_t>(index));
-      const auto cost = contents.costs.find(index);
-      if (cost != contents.costs.end()) w.kv("wall_s", cost->second);
-      w.key("row");
-      write_summary_row_json(w, row);
-      w.end_object();
-    }
-    w.end_array();
-    w.end_object();
-    out << block.str() << '\n';
+      throw JournalError(std::string("cannot write ") + what + ": " +
+                         tmp_path);
+    emit(out);
     out.flush();
     if (!out)
-      throw JournalError("cannot write compacted journal: " + tmp_path);
+      throw JournalError(std::string("cannot write ") + what + ": " +
+                         tmp_path);
+  }
+  // Reopen by path for the fsync: ofstream exposes no fd.
+  const int fd = ::open(tmp_path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
   }
   std::error_code ec;
   std::filesystem::rename(tmp_path, out_path, ec);
   if (ec) {
     std::filesystem::remove(tmp_path, ec);
-    throw JournalError("cannot replace journal " + out_path + ": " +
-                       ec.message());
+    throw JournalError(std::string("cannot replace ") + what + " " +
+                       out_path + ": " + ec.message());
   }
+  fsync_parent_dir(out_path);
+}
+
+}  // namespace
+
+std::size_t compact_journal(const std::string& in_path,
+                            const std::string& out_path) {
+  const JournalContents contents = read_journal(in_path);
+
+  replace_journal_atomically(
+      out_path, "compacted journal", [&](std::ostream& out) {
+        out << header_line(contents.header) << '\n';
+
+        std::ostringstream block;
+        JsonWriter w(block, JsonStyle::kCompact);
+        w.begin_object();
+        w.kv("kind", "rows");
+        w.key("rows");
+        w.begin_array();
+        for (const auto& [index, row] : contents.rows) {
+          w.begin_object();
+          w.kv("i", static_cast<std::uint64_t>(index));
+          const auto cost = contents.costs.find(index);
+          if (cost != contents.costs.end()) w.kv("wall_s", cost->second);
+          w.key("row");
+          write_summary_row_json(w, row);
+          w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        out << block.str() << '\n';
+      });
   return contents.rows.size();
+}
+
+void write_canonical_journal(
+    const std::string& path, const JournalHeader& header,
+    const std::map<std::size_t, SummaryRow>& rows) {
+  replace_journal_atomically(
+      path, "canonical journal", [&](std::ostream& out) {
+        out << header_line(header) << '\n';
+        // Index order, no wall_s: the bytes depend only on what the
+        // sweep computed, never on which worker computed it or how fast.
+        for (const auto& [index, row] : rows)
+          out << row_line(index, row, -1.0) << '\n';
+      });
 }
 
 std::string sweep_identity(const std::string& sweep_name, double minutes,

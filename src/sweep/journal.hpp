@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdio>
 #include <fstream>
 #include <map>
 #include <string>
@@ -63,19 +64,38 @@ class JournalError : public std::runtime_error {
       : std::runtime_error(what) {}
 };
 
-/// Appends journal lines to a file, flushing after every line so a kill
-/// loses at most the scenario in flight. Not thread-safe: callers
-/// serialise appends (SweepRunner's on_outcome hook already runs under a
-/// mutex).
+/// Journal durability level.
+///
+/// kFlush pushes every appended line into the OS (a crashed *process*
+/// loses at most the line being written); kFsync additionally fsyncs the
+/// file after each append, so even a machine crash or power cut cannot
+/// lose a row that was acknowledged -- the contract the sweep daemon
+/// needs before telling a worker its lease results are safe. kFsync
+/// costs a disk round-trip per row, so it is opt-in (`--fsync`).
+enum class JournalDurability { kFlush, kFsync };
+
+/// Appends journal lines to a file, flushing (and optionally fsyncing)
+/// after every line so a kill loses at most the scenario in flight. Not
+/// thread-safe: callers serialise appends (SweepRunner's on_outcome hook
+/// already runs under a mutex).
 class JournalWriter {
  public:
   /// Creates (truncating) `path` and writes the header line.
-  static JournalWriter create(const std::string& path,
-                              const JournalHeader& header);
+  static JournalWriter create(
+      const std::string& path, const JournalHeader& header,
+      JournalDurability durability = JournalDurability::kFlush);
 
   /// Opens `path` for appending without touching existing contents. The
   /// caller is expected to have validated the header via read_journal.
-  static JournalWriter append_to(const std::string& path);
+  static JournalWriter append_to(
+      const std::string& path,
+      JournalDurability durability = JournalDurability::kFlush);
+
+  JournalWriter(JournalWriter&& other) noexcept;
+  JournalWriter& operator=(JournalWriter&& other) noexcept;
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+  ~JournalWriter();
 
   /// Appends one completed row under its global spec index. `wall_s`
   /// (when >= 0) records the scenario's measured execution wall-clock so
@@ -85,9 +105,14 @@ class JournalWriter {
               double wall_s = -1.0);
 
  private:
-  explicit JournalWriter(std::ofstream out) : out_(std::move(out)) {}
+  JournalWriter(std::FILE* out, JournalDurability durability)
+      : out_(out), durability_(durability) {}
 
-  std::ofstream out_;
+  void write_line(const std::string& line);
+
+  std::FILE* out_ = nullptr;  ///< FILE* (not ofstream) so fsync can reach
+                              ///< the fd behind the stream
+  JournalDurability durability_ = JournalDurability::kFlush;
 };
 
 /// Reads a journal back, dropping a torn trailing line (and counting any
@@ -113,6 +138,19 @@ JournalContents read_journal(const std::string& path,
 /// the number of rows written.
 std::size_t compact_journal(const std::string& in_path,
                             const std::string& out_path);
+
+/// Writes `rows` as a *canonical* journal: the header line, then one row
+/// line per entry in ascending index order, with no wall_s metadata.
+/// Because row JSON round-trips bit-for-bit and execution timing is
+/// excluded, the canonical form of a journal is a pure function of the
+/// sweep -- a single-process run, an N-shard merge and a `pns_sweepd`
+/// distributed run all canonicalise to the *same bytes*, which is how
+/// the distributed byte-identity contract is enforced (`pns_sweep merge
+/// --journal`, tests/sweepd). Goes through temp + fsync + atomic rename
+/// like compact_journal. Throws JournalError on IO failure.
+void write_canonical_journal(const std::string& path,
+                             const JournalHeader& header,
+                             const std::map<std::size_t, SummaryRow>& rows);
 
 /// Canonical identity string of a sweep invocation, used as
 /// JournalHeader::sweep by the pns_sweep CLI: the preset name plus every

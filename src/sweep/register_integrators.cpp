@@ -31,7 +31,9 @@ void apply_numeric_overrides(const ParamMap& params, sim::SimConfig& cfg) {
 void register_builtin_integrators(IntegratorRegistry& registry) {
   registry.add(IntegratorEntry{
       "rk23",
-      "adaptive RK2(3), clamped step rule + bisection events (default)",
+      // `pns_sweep list` derives the "(default)" marker from
+      // IntegratorSpec{}.kind; don't bake it into the description.
+      "adaptive RK2(3), clamped step rule + bisection events",
       {
           {"rtol", "double", "", "relative tolerance (default: scenario's)"},
           {"atol", "double", "", "absolute tolerance (default: scenario's)"},

@@ -197,8 +197,11 @@ ResumeReport SweepRunner::run_checkpointed(
 
   std::optional<JournalWriter> journal;
   if (journalled) {
-    journal = journal_exists ? JournalWriter::append_to(journal_path)
-                             : JournalWriter::create(journal_path, header);
+    journal = journal_exists
+                  ? JournalWriter::append_to(journal_path,
+                                             options_.journal_durability)
+                  : JournalWriter::create(journal_path, header,
+                                          options_.journal_durability);
   }
 
   ResumeReport report;

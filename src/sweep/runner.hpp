@@ -43,6 +43,10 @@ struct SweepRunnerOptions {
   /// worker threads under the same mutex as `progress`, in completion
   /// order (not spec order). The checkpoint journal hangs off this hook.
   std::function<void(std::size_t, const SweepOutcome&)> on_outcome;
+  /// Durability of run_checkpointed's journal appends: kFsync makes an
+  /// acknowledged row survive a machine crash, at a disk round-trip per
+  /// row (`pns_sweep --fsync`). Identical journal bytes either way.
+  JournalDurability journal_durability = JournalDurability::kFlush;
 };
 
 /// Contiguous half-open index range [begin, end) of one shard.

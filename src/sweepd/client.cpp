@@ -1,0 +1,133 @@
+#include "sweepd/client.hpp"
+
+#include <optional>
+#include <utility>
+
+#include "sweepd/protocol.hpp"
+
+namespace pns::sweepd {
+
+namespace {
+
+net::LineConn connect(const net::Endpoint& endpoint) {
+  return net::LineConn(net::connect_endpoint(endpoint));
+}
+
+std::string must_recv(net::LineConn& conn) {
+  std::optional<std::string> line = conn.recv_line_blocking();
+  if (!line) throw ProtocolError("connection to daemon lost");
+  return *std::move(line);
+}
+
+void must_send(net::LineConn& conn, const std::string& line) {
+  if (!conn.send_line_blocking(line))
+    throw ProtocolError("connection to daemon lost");
+}
+
+/// Receives the next message, surfacing daemon-side `error` replies as
+/// ProtocolError and checking the type when one is expected.
+JsonValue expect(net::LineConn& conn, const std::string& type) {
+  const JsonValue msg = parse_message(must_recv(conn));
+  const std::string& got = message_type(msg);
+  if (got == "error")
+    throw ProtocolError(msg.at("error").as_string());
+  if (!type.empty() && got != type)
+    throw ProtocolError("expected " + type + ", got '" + got + "'");
+  return msg;
+}
+
+}  // namespace
+
+SubmitResult submit_job(const net::Endpoint& endpoint,
+                        const JobSpec& spec) {
+  net::LineConn conn = connect(endpoint);
+  must_send(conn, make_submit(spec));
+  const JsonValue msg = expect(conn, "submitted");
+  SubmitResult result;
+  result.job = msg.at("job").as_string();
+  result.identity = msg.at("identity").as_string();
+  result.total = static_cast<std::size_t>(msg.at("total").as_uint64());
+  return result;
+}
+
+StatusReport fetch_status(const net::Endpoint& endpoint,
+                          const std::string& job) {
+  net::LineConn conn = connect(endpoint);
+  must_send(conn, make_status(job));
+  const JsonValue msg = expect(conn, "status_ok");
+  StatusReport report;
+  report.workers =
+      static_cast<std::size_t>(msg.at("workers").as_uint64());
+  for (const JsonValue& j : msg.at("jobs").items()) {
+    JobStatus s;
+    s.job = j.at("job").as_string();
+    s.identity = j.at("identity").as_string();
+    s.total = static_cast<std::size_t>(j.at("total").as_uint64());
+    s.done = static_cast<std::size_t>(j.at("done").as_uint64());
+    s.failed = static_cast<std::size_t>(j.at("failed").as_uint64());
+    s.pending = static_cast<std::size_t>(j.at("pending").as_uint64());
+    s.leased = static_cast<std::size_t>(j.at("leased").as_uint64());
+    s.duplicates =
+        static_cast<std::size_t>(j.at("duplicates").as_uint64());
+    s.complete = j.at("complete").as_bool();
+    report.jobs.push_back(std::move(s));
+  }
+  if (!job.empty() && report.jobs.empty())
+    throw ProtocolError("unknown job '" + job + "'");
+  return report;
+}
+
+ResultsReport fetch_results(const net::Endpoint& endpoint,
+                            const std::string& job) {
+  net::LineConn conn = connect(endpoint);
+  must_send(conn, make_results(job));
+  const JsonValue begin = expect(conn, "results_begin");
+  ResultsReport report;
+  report.job = begin.at("job").as_string();
+  report.identity = begin.at("identity").as_string();
+  report.total = static_cast<std::size_t>(begin.at("total").as_uint64());
+  report.complete = begin.at("complete").as_bool();
+  for (;;) {
+    const JsonValue msg = expect(conn, "");
+    const std::string& type = message_type(msg);
+    if (type == "results_end") {
+      report.failed =
+          static_cast<std::size_t>(msg.at("failed").as_uint64());
+      break;
+    }
+    if (type != "row")
+      throw ProtocolError("expected row/results_end, got '" + type + "'");
+    const auto index = static_cast<std::size_t>(msg.at("i").as_uint64());
+    report.rows.emplace(index,
+                        sweep::summary_row_from_json(msg.at("row")));
+  }
+  return report;
+}
+
+std::size_t watch_job(
+    const net::Endpoint& endpoint, const std::string& job,
+    const std::function<void(std::size_t, const sweep::SummaryRow&)>&
+        on_row) {
+  net::LineConn conn = connect(endpoint);
+  must_send(conn, make_watch(job));
+  expect(conn, "watch_ok");
+  for (;;) {
+    const JsonValue msg = expect(conn, "");
+    const std::string& type = message_type(msg);
+    if (type == "job_done")
+      return static_cast<std::size_t>(msg.at("failed").as_uint64());
+    if (type != "row")
+      throw ProtocolError("expected row/job_done, got '" + type + "'");
+    if (on_row)
+      on_row(static_cast<std::size_t>(msg.at("i").as_uint64()),
+             sweep::summary_row_from_json(msg.at("row")));
+  }
+}
+
+void shutdown_daemon(const net::Endpoint& endpoint) {
+  net::LineConn conn = connect(endpoint);
+  must_send(conn, make_shutdown());
+  expect(conn, "bye");
+}
+
+}  // namespace pns::sweepd

@@ -1,0 +1,71 @@
+// Client-side operations against a running sweep daemon.
+//
+// Thin blocking wrappers over the JSON-lines protocol, one function per
+// conversation shape (submit / status / results / watch / shutdown).
+// These back the `pns_sweep submit|status|results|watch|shutdown`
+// subcommands and the sweepd tests; anything they can do, a handwritten
+// client in any language can do with a socket and a JSON library.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sweep/aggregate.hpp"
+#include "sweepd/daemon.hpp"
+#include "sweepd/job.hpp"
+#include "util/socket.hpp"
+
+namespace pns::sweepd {
+
+/// The daemon's acknowledgement of a submitted job.
+struct SubmitResult {
+  std::string job;       ///< daemon-assigned id ("job-N")
+  std::string identity;  ///< canonical sweep identity string
+  std::size_t total = 0; ///< scenario count
+};
+
+/// Daemon-wide status snapshot.
+struct StatusReport {
+  std::size_t workers = 0;       ///< currently connected workers
+  std::vector<JobStatus> jobs;   ///< creation order
+};
+
+/// A job's rows as fetched by `results`: global spec order, possibly
+/// partial (check `complete`).
+struct ResultsReport {
+  std::string job;
+  std::string identity;
+  std::size_t total = 0;
+  std::size_t failed = 0;
+  bool complete = false;
+  std::map<std::size_t, sweep::SummaryRow> rows;
+};
+
+/// Submits a job; throws ProtocolError / net::SocketError on failure
+/// (a daemon-side rejection arrives as ProtocolError with its message).
+SubmitResult submit_job(const net::Endpoint& endpoint, const JobSpec& spec);
+
+/// Fetches status of every job ("" ) or one job id.
+StatusReport fetch_status(const net::Endpoint& endpoint,
+                          const std::string& job = "");
+
+/// Fetches the rows a job has accumulated so far.
+ResultsReport fetch_results(const net::Endpoint& endpoint,
+                            const std::string& job);
+
+/// Subscribes to a job's row stream: `on_row(index, row)` fires for
+/// every journalled row (replay first, then live) until the job
+/// completes. Returns the completed job's failed-row count.
+std::size_t watch_job(
+    const net::Endpoint& endpoint, const std::string& job,
+    const std::function<void(std::size_t, const sweep::SummaryRow&)>&
+        on_row);
+
+/// Asks the daemon to exit its serve loop. Returns once the daemon says
+/// goodbye.
+void shutdown_daemon(const net::Endpoint& endpoint);
+
+}  // namespace pns::sweepd

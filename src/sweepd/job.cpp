@@ -1,0 +1,84 @@
+#include "sweepd/job.hpp"
+
+#include "sweep/presets.hpp"
+
+namespace pns::sweepd {
+
+namespace {
+
+const char* pv_mode_name(ehsim::PvSource::Mode mode) {
+  return mode == ehsim::PvSource::Mode::kExact ? "exact" : "tabulated";
+}
+
+ehsim::PvSource::Mode pv_mode_from_name(const std::string& name) {
+  if (name == "exact") return ehsim::PvSource::Mode::kExact;
+  if (name == "tabulated") return ehsim::PvSource::Mode::kTabulated;
+  throw JobError("unknown pv mode '" + name +
+                 "' (valid: exact, tabulated)");
+}
+
+}  // namespace
+
+std::string JobSpec::identity() const {
+  return sweep::sweep_identity(preset, minutes, pv_mode, controls, sources,
+                               integrator);
+}
+
+std::vector<sweep::ScenarioSpec> JobSpec::expand() const {
+  const sweep::SweepPreset* p = sweep::find_sweep_preset(preset);
+  if (!p) {
+    std::string msg = "unknown sweep preset '" + preset + "' (valid:";
+    for (const auto& known : sweep::sweep_presets())
+      msg += " " + known.name;
+    msg += ")";
+    throw JobError(msg);
+  }
+  sweep::SweepSpec sw = p->make(minutes);
+  if (!controls.empty()) sw.controls = controls;
+  if (!sources.empty()) sw.sources = sources;
+  sw.base.pv_mode = pv_mode;
+  sw.base.integrator = integrator;
+  return sw.expand();
+}
+
+void JobSpec::write_json(JsonWriter& w) const {
+  // Spec strings (not exploded param objects): round-trippable through
+  // the same parse() the CLI flags use, and identical to what
+  // sweep_identity pins.
+  w.begin_object();
+  w.kv("preset", preset);
+  w.kv("minutes", minutes);
+  w.kv("pv", pv_mode_name(pv_mode));
+  w.key("controls");
+  w.begin_array();
+  for (const auto& c : controls) w.value(c.spec_string());
+  w.end_array();
+  w.key("sources");
+  w.begin_array();
+  for (const auto& s : sources) w.value(s.spec_string());
+  w.end_array();
+  w.kv("integrator", integrator.spec_string());
+  w.end_object();
+}
+
+JobSpec JobSpec::from_json(const JsonValue& v) {
+  JobSpec spec;
+  try {
+    spec.preset = v.at("preset").as_string();
+    spec.minutes = v.at("minutes").as_double();
+    spec.pv_mode = pv_mode_from_name(v.at("pv").as_string());
+    for (const JsonValue& c : v.at("controls").items())
+      spec.controls.push_back(sweep::ControlSpec::parse(c.as_string()));
+    for (const JsonValue& s : v.at("sources").items())
+      spec.sources.push_back(sweep::SourceSpec::parse(s.as_string()));
+    spec.integrator =
+        sweep::IntegratorSpec::parse(v.at("integrator").as_string());
+  } catch (const JsonError& e) {
+    throw JobError(std::string("malformed job spec: ") + e.what());
+  } catch (const ParamError& e) {
+    throw JobError(std::string("invalid job spec: ") + e.what());
+  }
+  return spec;
+}
+
+}  // namespace pns::sweepd

@@ -1,0 +1,57 @@
+// Serializable sweep-job description shared by daemon, worker and client.
+//
+// A JobSpec is exactly the knob set of a `pns_sweep <preset>` invocation
+// -- preset name, window length, PV mode, control/source/integrator spec
+// strings -- no more, no less. Both the daemon and every worker expand
+// it through the same preset + registry code that the local CLI uses, so
+// a job means the *same* vector of ScenarioSpecs on every machine, and
+// the daemon's journal identity (sweep_identity) pins that meaning: a
+// worker built from different code fails the row-label check instead of
+// silently corrupting the aggregate.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sweep/journal.hpp"
+#include "sweep/scenario.hpp"
+#include "util/json.hpp"
+
+namespace pns::sweepd {
+
+/// Error raised for an invalid job: unknown preset, malformed spec
+/// strings, or a malformed JSON encoding.
+class JobError : public std::runtime_error {
+ public:
+  explicit JobError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// One submitted sweep, as data.
+struct JobSpec {
+  std::string preset;  ///< sweep preset name ("table2", "quick", ...)
+  double minutes = 60.0;
+  ehsim::PvSource::Mode pv_mode = ehsim::PvSource::Mode::kExact;
+  /// Axis overrides; empty keeps the preset's own axis (the same
+  /// wholesale-replacement semantics as the CLI's --control/--source).
+  std::vector<sweep::ControlSpec> controls;
+  std::vector<sweep::SourceSpec> sources;
+  sweep::IntegratorSpec integrator;
+
+  /// The canonical sweep identity (sweep/journal.hpp sweep_identity):
+  /// journal headers of this job's checkpoints carry exactly this.
+  std::string identity() const;
+
+  /// Expands to the concrete scenario vector via the preset registry +
+  /// axis overrides -- identical on daemon and workers. Throws JobError
+  /// on an unknown preset (spec strings were validated at parse time).
+  std::vector<sweep::ScenarioSpec> expand() const;
+
+  /// Emits the JSON object form carried in submit/lease messages.
+  void write_json(JsonWriter& w) const;
+  /// Parses the JSON object form, validating preset and spec strings
+  /// (throws JobError naming the valid choices).
+  static JobSpec from_json(const JsonValue& v);
+};
+
+}  // namespace pns::sweepd

@@ -1,0 +1,100 @@
+// Wire protocol of the sweep daemon: one compact JSON object per line.
+//
+// Every message is a single '\n'-terminated JSON document with a "type"
+// field (util/socket.hpp moves the lines; util/json parses them). The
+// builders here produce the exact bytes each side sends, so the daemon,
+// worker, client and the protocol tests cannot drift apart. Receivers
+// parse with parse_message() and dispatch on the type string, reading
+// fields straight off the JsonValue.
+//
+// Conversation shapes (docs/sweepd.md has the full reference):
+//
+//   worker:  hello -> hello_ok, then repeatedly
+//            lease_request -> lease | idle,
+//            row* + lease_done while executing a lease
+//   client:  submit -> submitted | error
+//            status -> status_ok
+//            results -> results_begin, row*, results_end | error
+//            watch -> watch_ok, row* (replay + live), job_done
+//            shutdown -> bye
+//
+// Row payloads are SummaryRow JSON exactly as the checkpoint journal
+// stores them (aggregate.hpp write_summary_row_json), so a row travels
+// daemon-ward bit-for-bit and the distributed aggregate stays
+// byte-identical to a local run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sweep/aggregate.hpp"
+#include "sweepd/job.hpp"
+#include "util/json.hpp"
+
+namespace pns::sweepd {
+
+/// Protocol revision carried in hello; bumped on breaking changes.
+constexpr int kProtocolVersion = 1;
+
+/// Error raised for a line that is not a valid protocol message
+/// (unparseable JSON, missing/mistyped fields, unknown type where a
+/// specific one was required).
+class ProtocolError : public std::runtime_error {
+ public:
+  explicit ProtocolError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Parses one message line; throws ProtocolError when it is not a JSON
+/// object with a string "type" member.
+JsonValue parse_message(const std::string& line);
+
+/// The "type" member of a parsed message.
+const std::string& message_type(const JsonValue& msg);
+
+// --- builders (each returns one unframed line) --------------------------
+
+std::string make_hello(const std::string& role, unsigned threads);
+std::string make_hello_ok();
+
+std::string make_submit(const JobSpec& spec);
+std::string make_submitted(const std::string& job,
+                           const std::string& identity, std::size_t total);
+
+std::string make_lease_request();
+/// A work lease: the job's full spec (workers are stateless) plus the
+/// global row indices to execute.
+std::string make_lease(const std::string& job, std::uint64_t lease,
+                       double timeout_s, const JobSpec& spec,
+                       const std::vector<std::size_t>& indices);
+std::string make_idle(std::size_t active_jobs, double poll_s);
+
+/// One completed row, worker -> daemon (lease-tagged) or daemon ->
+/// client (lease 0 = none). `wall_s` < 0 omits the cost field.
+std::string make_row(const std::string& job, std::uint64_t lease,
+                     std::size_t index, double wall_s,
+                     const sweep::SummaryRow& row);
+std::string make_lease_done(const std::string& job, std::uint64_t lease);
+
+std::string make_status(const std::string& job = "");  ///< "" = all jobs
+
+std::string make_results(const std::string& job);
+std::string make_results_begin(const std::string& job,
+                               const std::string& identity,
+                               std::size_t total, std::size_t done,
+                               bool complete);
+std::string make_results_end(const std::string& job, std::size_t failed);
+
+std::string make_watch(const std::string& job);
+std::string make_watch_ok(const std::string& job, std::size_t total,
+                          std::size_t done);
+std::string make_job_done(const std::string& job, std::size_t failed);
+
+std::string make_shutdown();
+std::string make_bye();
+
+std::string make_error(const std::string& text);
+
+}  // namespace pns::sweepd

@@ -1,0 +1,133 @@
+#include "sweepd/worker.hpp"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "sweep/runner.hpp"
+#include "sweepd/job.hpp"
+#include "sweepd/protocol.hpp"
+
+namespace pns::sweepd {
+
+namespace {
+
+struct ExpandedJob {
+  std::string identity;
+  std::vector<sweep::ScenarioSpec> specs;
+};
+
+void log_to(const WorkerOptions& options, const std::string& line) {
+  if (options.log) options.log(line);
+}
+
+/// Receives the next line or throws: the worker protocol is strictly
+/// request/response, so silence means the daemon is gone.
+std::string must_recv(net::LineConn& conn) {
+  std::optional<std::string> line = conn.recv_line_blocking();
+  if (!line) throw ProtocolError("connection to daemon lost");
+  return *std::move(line);
+}
+
+}  // namespace
+
+WorkerReport run_worker(const WorkerOptions& options) {
+  net::LineConn conn(net::connect_endpoint(options.endpoint));
+  WorkerReport report;
+
+  if (!conn.send_line_blocking(make_hello("worker", options.threads)))
+    throw ProtocolError("connection to daemon lost");
+  {
+    const JsonValue reply = parse_message(must_recv(conn));
+    if (message_type(reply) != "hello_ok")
+      throw ProtocolError("expected hello_ok, got '" +
+                          message_type(reply) + "'");
+  }
+  log_to(options, "connected to " + options.endpoint.to_string());
+
+  // The expansion of the last-seen job is kept: leases of one job arrive
+  // back to back, and expanding is pure spec work but not free.
+  ExpandedJob cached;
+
+  for (;;) {
+    if (!conn.send_line_blocking(make_lease_request())) break;
+    const JsonValue msg = parse_message(must_recv(conn));
+    const std::string& type = message_type(msg);
+
+    if (type == "idle") {
+      // `once` exits when every job is *complete*, not merely when
+      // nothing is momentarily pending: rows leased to another worker
+      // may yet come back for re-leasing if that worker dies.
+      const JsonValue* active = msg.find("active_jobs");
+      if (options.once && (!active || active->as_uint64() == 0)) {
+        log_to(options, "no unfinished jobs; exiting (--once)");
+        break;
+      }
+      const JsonValue* poll = msg.find("poll_s");
+      const double poll_s = poll ? poll->as_double() : 0.5;
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(poll_s));
+      continue;
+    }
+    if (type == "bye") break;
+    if (type == "error")
+      throw ProtocolError("daemon error: " +
+                          msg.at("error").as_string());
+    if (type != "lease")
+      throw ProtocolError("expected lease/idle, got '" + type + "'");
+
+    const std::string job = msg.at("job").as_string();
+    const std::uint64_t lease = msg.at("lease").as_uint64();
+    JobSpec spec = JobSpec::from_json(msg.at("spec"));
+    const std::string identity = spec.identity();
+    if (identity != cached.identity) {
+      cached.identity = identity;
+      cached.specs = spec.expand();
+    }
+
+    std::vector<std::size_t> global;
+    std::vector<sweep::ScenarioSpec> subset;
+    for (const JsonValue& v : msg.at("indices").items()) {
+      const auto i = static_cast<std::size_t>(v.as_uint64());
+      if (i >= cached.specs.size())
+        throw ProtocolError("leased index " + std::to_string(i) +
+                            " out of range (spec drift between daemon "
+                            "and worker?)");
+      global.push_back(i);
+      subset.push_back(cached.specs[i]);
+    }
+    log_to(options, job + ": leased " + std::to_string(global.size()) +
+                        " rows (lease " + std::to_string(lease) + ")");
+
+    // Stream each row the moment it completes. on_outcome runs on
+    // worker threads under the runner's mutex while this thread blocks
+    // in run(), so writing the connection from it is serialised.
+    bool peer_lost = false;
+    sweep::SweepRunnerOptions ropt;
+    ropt.threads = options.threads;
+    ropt.on_outcome = [&](std::size_t local,
+                          const sweep::SweepOutcome& outcome) {
+      if (peer_lost) return;
+      const sweep::SummaryRow row = sweep::summarize(outcome);
+      if (!row.ok) ++report.failed;
+      ++report.rows;
+      if (!conn.send_line_blocking(make_row(job, lease, global[local],
+                                            outcome.wall_s, row)))
+        peer_lost = true;
+    };
+    sweep::SweepRunner(ropt).run(subset);
+    if (peer_lost) break;
+
+    if (!conn.send_line_blocking(make_lease_done(job, lease))) break;
+    ++report.leases;
+  }
+
+  log_to(options, "worker done: " + std::to_string(report.leases) +
+                      " leases, " + std::to_string(report.rows) +
+                      " rows (" + std::to_string(report.failed) +
+                      " failed)");
+  return report;
+}
+
+}  // namespace pns::sweepd

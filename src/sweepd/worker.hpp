@@ -1,0 +1,51 @@
+// Pull-worker for the sweep daemon (`pns_sweep worker --connect ...`).
+//
+// A worker is stateless: it connects, announces itself, and then pulls
+// leases until told there is nothing left. Each lease carries the job's
+// full JobSpec plus the global row indices to execute, so the worker
+// expands the very same scenario list the daemon holds (shared preset +
+// registry code, pinned by the sweep identity) and runs the leased subset
+// on a local SweepRunner -- streaming every row back the moment it
+// completes, in completion order. The daemon re-orders by global index,
+// so worker count, speed and interleaving never show in the output.
+//
+// Crash model: a worker that dies mid-lease simply stops sending rows;
+// the daemon re-leases the remainder after the lease timeout. Rows it
+// did deliver were journalled on arrival and are kept -- duplicates from
+// the re-lease are dropped idempotently.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "util/socket.hpp"
+
+namespace pns::sweepd {
+
+struct WorkerOptions {
+  net::Endpoint endpoint;  ///< daemon address to connect to
+  /// SweepRunner threads per lease; 0 = hardware concurrency.
+  unsigned threads = 0;
+  /// Exit once the daemon has no unfinished jobs, instead of polling
+  /// for future submissions. Rows leased to *other* workers keep a
+  /// `once` worker polling -- they may come back for re-leasing.
+  bool once = false;
+  /// Diagnostic sink (one line per event); null = silent.
+  std::function<void(const std::string&)> log;
+};
+
+/// What one worker session accomplished.
+struct WorkerReport {
+  std::size_t leases = 0;  ///< leases executed to completion
+  std::size_t rows = 0;    ///< rows computed and sent
+  std::size_t failed = 0;  ///< rows whose scenario failed (ok == false)
+};
+
+/// Runs the worker loop until the daemon says goodbye, the connection
+/// drops, or (with `once`) the work runs dry. Throws net::SocketError
+/// when the initial connection cannot be established and ProtocolError
+/// when the daemon speaks an unexpected dialect.
+WorkerReport run_worker(const WorkerOptions& options);
+
+}  // namespace pns::sweepd

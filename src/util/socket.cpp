@@ -1,0 +1,301 @@
+#include "util/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace pns::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw SocketError(what + ": " + std::strerror(errno));
+}
+
+bool parse_port(const std::string& text, std::uint16_t& port) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long v = std::strtoul(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size() || v > 65535)
+    return false;
+  port = static_cast<std::uint16_t>(v);
+  return true;
+}
+
+sockaddr_un unix_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() + 1 > sizeof(addr.sun_path))
+    throw SocketError("unix socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+sockaddr_in tcp_addr(const Endpoint& ep) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(ep.port);
+  if (inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1) {
+    // Not a dotted quad: resolve the name (getaddrinfo, IPv4).
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* res = nullptr;
+    if (getaddrinfo(ep.host.c_str(), nullptr, &hints, &res) != 0 || !res)
+      throw SocketError("cannot resolve host: " + ep.host);
+    addr.sin_addr =
+        reinterpret_cast<sockaddr_in*>(res->ai_addr)->sin_addr;
+    freeaddrinfo(res);
+  }
+  return addr;
+}
+
+}  // namespace
+
+Endpoint Endpoint::parse(const std::string& spec) {
+  const auto invalid = [&]() -> std::invalid_argument {
+    return std::invalid_argument(
+        "invalid endpoint '" + spec +
+        "' (expected unix:PATH, tcp:HOST:PORT, tcp:PORT or HOST:PORT)");
+  };
+  Endpoint ep;
+  if (spec.rfind("unix:", 0) == 0) {
+    ep.kind = Kind::kUnix;
+    ep.path = spec.substr(5);
+    if (ep.path.empty()) throw invalid();
+    return ep;
+  }
+  std::string rest = spec;
+  if (rest.rfind("tcp:", 0) == 0) rest = rest.substr(4);
+  const auto colon = rest.rfind(':');
+  if (colon == std::string::npos) {
+    // "tcp:PORT" -- loopback on the given port.
+    if (rest == spec || !parse_port(rest, ep.port)) throw invalid();
+    return ep;
+  }
+  const std::string host = rest.substr(0, colon);
+  if (host.empty() || !parse_port(rest.substr(colon + 1), ep.port))
+    throw invalid();
+  ep.host = host;
+  return ep;
+}
+
+std::string Endpoint::to_string() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+int Socket::release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void set_nonblocking(int fd, bool on) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0) throw_errno("fcntl(F_GETFL)");
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (fcntl(fd, F_SETFL, want) < 0) throw_errno("fcntl(F_SETFL)");
+}
+
+Socket listen_endpoint(const Endpoint& ep, int backlog) {
+  const int family = ep.kind == Endpoint::Kind::kUnix ? AF_UNIX : AF_INET;
+  Socket s(::socket(family, SOCK_STREAM, 0));
+  if (!s.valid()) throw_errno("socket");
+  if (ep.kind == Endpoint::Kind::kUnix) {
+    // A stale socket file from a previous daemon would fail the bind.
+    ::unlink(ep.path.c_str());
+    const sockaddr_un addr = unix_addr(ep.path);
+    if (::bind(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) < 0)
+      throw_errno("bind " + ep.to_string());
+  } else {
+    const int one = 1;
+    ::setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    const sockaddr_in addr = tcp_addr(ep);
+    if (::bind(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) < 0)
+      throw_errno("bind " + ep.to_string());
+  }
+  if (::listen(s.fd(), backlog) < 0) throw_errno("listen " + ep.to_string());
+  return s;
+}
+
+Socket connect_endpoint(const Endpoint& ep) {
+  const int family = ep.kind == Endpoint::Kind::kUnix ? AF_UNIX : AF_INET;
+  Socket s(::socket(family, SOCK_STREAM, 0));
+  if (!s.valid()) throw_errno("socket");
+  int rc;
+  if (ep.kind == Endpoint::Kind::kUnix) {
+    const sockaddr_un addr = unix_addr(ep.path);
+    do {
+      rc = ::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+    } while (rc < 0 && errno == EINTR);
+  } else {
+    const sockaddr_in addr = tcp_addr(ep);
+    do {
+      rc = ::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+    } while (rc < 0 && errno == EINTR);
+  }
+  if (rc < 0) throw_errno("connect " + ep.to_string());
+  if (ep.kind == Endpoint::Kind::kTcp) {
+    // Row messages are latency-sensitive single lines; don't batch them.
+    const int one = 1;
+    ::setsockopt(s.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  return s;
+}
+
+Socket accept_connection(const Socket& listener) {
+  int fd;
+  do {
+    fd = ::accept(listener.fd(), nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return Socket();  // EAGAIN/transient: nothing pending
+  return Socket(fd);
+}
+
+std::uint16_t local_port(const Socket& s) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(s.fd(), reinterpret_cast<sockaddr*>(&addr), &len) < 0)
+    throw_errno("getsockname");
+  return ntohs(addr.sin_port);
+}
+
+LineConn::LineConn(Socket s, std::size_t max_line)
+    : sock_(std::move(s)), max_line_(max_line) {}
+
+bool LineConn::drain_lines(std::vector<std::string>& out) {
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t nl = read_buf_.find('\n', start);
+    if (nl == std::string::npos) break;
+    // The limit applies to complete lines too, not just the unterminated
+    // tail -- an oversized frame that happens to arrive whole is still a
+    // protocol violation, not a free pass.
+    if (nl - start > max_line_) {
+      overflowed_ = true;
+      return false;
+    }
+    out.emplace_back(read_buf_, start, nl - start);
+    start = nl + 1;
+  }
+  if (start > 0) read_buf_.erase(0, start);
+  if (read_buf_.size() > max_line_) {
+    overflowed_ = true;
+    return false;
+  }
+  return true;
+}
+
+IoStatus LineConn::read_lines(std::vector<std::string>& out) {
+  if (overflowed_) return IoStatus::kLineTooLong;
+  // Mixed use with recv_line_blocking: hand over anything it framed.
+  for (; next_pending_ < pending_lines_.size(); ++next_pending_)
+    out.push_back(std::move(pending_lines_[next_pending_]));
+  pending_lines_.clear();
+  next_pending_ = 0;
+  char chunk[16384];
+  for (;;) {
+    const ssize_t n = ::recv(sock_.fd(), chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      read_buf_.append(chunk, static_cast<std::size_t>(n));
+      if (!drain_lines(out)) return IoStatus::kLineTooLong;
+      continue;
+    }
+    if (n == 0) return IoStatus::kClosed;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kOk;
+    return IoStatus::kError;
+  }
+}
+
+void LineConn::queue_line(const std::string& line) {
+  // Compact the consumed prefix occasionally so a long-lived streaming
+  // connection doesn't grow its buffer without bound.
+  if (write_pos_ > 0 && write_pos_ == write_buf_.size()) {
+    write_buf_.clear();
+    write_pos_ = 0;
+  } else if (write_pos_ > (64u << 10)) {
+    write_buf_.erase(0, write_pos_);
+    write_pos_ = 0;
+  }
+  write_buf_ += line;
+  write_buf_ += '\n';
+}
+
+IoStatus LineConn::flush() {
+  while (write_pos_ < write_buf_.size()) {
+    const ssize_t n =
+        ::send(sock_.fd(), write_buf_.data() + write_pos_,
+               write_buf_.size() - write_pos_, MSG_NOSIGNAL);
+    if (n > 0) {
+      write_pos_ += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kOk;
+    return errno == EPIPE || errno == ECONNRESET ? IoStatus::kClosed
+                                                 : IoStatus::kError;
+  }
+  return IoStatus::kOk;
+}
+
+bool LineConn::send_line_blocking(const std::string& line) {
+  queue_line(line);
+  const IoStatus st = flush();
+  return st == IoStatus::kOk && !pending_write();
+}
+
+std::optional<std::string> LineConn::recv_line_blocking() {
+  // Serve lines framed by an earlier read first.
+  if (next_pending_ < pending_lines_.size())
+    return std::move(pending_lines_[next_pending_++]);
+  pending_lines_.clear();
+  next_pending_ = 0;
+
+  char chunk[16384];
+  for (;;) {
+    const ssize_t n = ::recv(sock_.fd(), chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      read_buf_.append(chunk, static_cast<std::size_t>(n));
+      if (!drain_lines(pending_lines_)) return std::nullopt;
+      if (pending_lines_.empty()) continue;
+      return std::move(pending_lines_[next_pending_++]);
+    }
+    if (n == 0) return std::nullopt;
+    if (errno == EINTR) continue;
+    return std::nullopt;
+  }
+}
+
+}  // namespace pns::net

@@ -1,0 +1,153 @@
+// POSIX stream sockets + newline framing for the sweep daemon protocol.
+//
+// The `pns_sweepd` wire format is JSON Lines: one compact JSON document
+// per '\n'-terminated line (util/json writes and parses the documents;
+// this header moves the bytes). Two address families are supported,
+// selected by an Endpoint spec string:
+//
+//   "unix:/run/pns/sweepd.sock"   -- Unix domain socket (local workers)
+//   "tcp:host:port"               -- TCP (remote workers); "tcp:port" and
+//                                    a bare "host:port" also parse
+//
+// Socket is a move-only RAII fd. LineConn layers buffered line framing on
+// top: a bounded read buffer that yields complete lines (an over-long
+// line is a protocol error, not an allocation bomb), a write buffer that
+// absorbs partial non-blocking writes, and blocking send/receive helpers
+// for the worker/client side where a simple sequential loop is clearer
+// than a poll state machine.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pns::net {
+
+/// Error raised for socket-level failures (bind/connect/accept/IO); the
+/// message carries the endpoint and errno text.
+class SocketError : public std::runtime_error {
+ public:
+  explicit SocketError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A parsed listen/connect address.
+struct Endpoint {
+  enum class Kind { kTcp, kUnix };
+
+  Kind kind = Kind::kTcp;
+  std::string host = "127.0.0.1";  ///< TCP only
+  std::uint16_t port = 0;          ///< TCP only; 0 = ephemeral (tests)
+  std::string path;                ///< Unix only
+
+  /// Parses "unix:PATH", "tcp:HOST:PORT", "tcp:PORT" or "HOST:PORT".
+  /// Throws std::invalid_argument naming the accepted forms.
+  static Endpoint parse(const std::string& spec);
+
+  /// Round-trippable spec string ("unix:/x", "tcp:127.0.0.1:7654").
+  std::string to_string() const;
+};
+
+/// Move-only owning file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void close();
+  /// Releases ownership without closing.
+  int release();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Creates a listening socket bound to `ep` (SO_REUSEADDR for TCP; an
+/// existing Unix socket file is unlinked first). Throws SocketError.
+Socket listen_endpoint(const Endpoint& ep, int backlog = 16);
+
+/// Connects to `ep` (blocking). Throws SocketError.
+Socket connect_endpoint(const Endpoint& ep);
+
+/// Accepts one pending connection; an invalid Socket when none is
+/// pending (EAGAIN) or the accept was interrupted.
+Socket accept_connection(const Socket& listener);
+
+/// The port a bound TCP socket actually listens on (resolves port 0).
+std::uint16_t local_port(const Socket& s);
+
+void set_nonblocking(int fd, bool on);
+
+/// Result of a LineConn IO step.
+enum class IoStatus {
+  kOk,           ///< progress made (possibly zero bytes; retry later)
+  kClosed,       ///< orderly EOF from the peer
+  kError,        ///< connection-level error (errno-style failure)
+  kLineTooLong,  ///< peer sent a line beyond the framing limit
+};
+
+/// Newline framing over one connected socket.
+///
+/// The daemon drives read_lines()/flush() from a poll loop on a
+/// non-blocking fd; workers and clients use the *_blocking helpers on a
+/// blocking fd. Lines handed to queue_line/send_line_blocking must not
+/// contain '\n' (the frame delimiter is appended here).
+class LineConn {
+ public:
+  /// Takes ownership of `s`. `max_line` bounds one *incoming* line
+  /// (delimiter excluded); the JSON-lines messages this protocol reads
+  /// are row-sized, so the default is generous rather than tight.
+  explicit LineConn(Socket s, std::size_t max_line = 4u << 20);
+
+  int fd() const { return sock_.fd(); }
+  bool valid() const { return sock_.valid(); }
+  void close() { sock_.close(); }
+
+  /// Non-blocking read step: consumes whatever the socket has and
+  /// appends every complete line to `out` (delimiter stripped). kOk
+  /// means "call again when readable"; kClosed reports EOF *after* any
+  /// final complete lines were delivered. On kLineTooLong the connection
+  /// must be dropped -- the stream can no longer be re-synchronised.
+  IoStatus read_lines(std::vector<std::string>& out);
+
+  /// Queues `line` + '\n' on the write buffer (no IO yet).
+  void queue_line(const std::string& line);
+  /// Non-blocking write step; kOk with pending_write() still true means
+  /// "poll for writability".
+  IoStatus flush();
+  bool pending_write() const { return write_pos_ < write_buf_.size(); }
+
+  /// Blocking send of one framed line (loops over partial writes).
+  /// Returns false when the peer is gone.
+  bool send_line_blocking(const std::string& line);
+  /// Blocking receive of the next line; nullopt on EOF or error (an
+  /// over-long line counts as an error: the stream is unrecoverable).
+  std::optional<std::string> recv_line_blocking();
+
+ private:
+  Socket sock_;
+  std::size_t max_line_;
+  std::string read_buf_;
+  std::string write_buf_;
+  std::size_t write_pos_ = 0;
+  bool overflowed_ = false;
+  /// Lines already framed but not yet handed out (recv_line_blocking
+  /// yields one line per call; a read may deliver several).
+  std::vector<std::string> pending_lines_;
+  std::size_t next_pending_ = 0;
+
+  /// Splits complete lines out of read_buf_; false on overflow.
+  bool drain_lines(std::vector<std::string>& out);
+};
+
+}  // namespace pns::net

@@ -128,6 +128,71 @@ TEST(Journal, TornTrailingLineIsDropped) {
   EXPECT_EQ(contents.dropped_lines, 1u);
 }
 
+TEST(Journal, FsyncDurabilityWritesIdenticalBytes) {
+  const auto specs = small_sweep().expand();
+  const auto rows = uninterrupted_rows(specs);
+  TempFile flushed("pns-journal-flush");
+  TempFile fsynced("pns-journal-fsync");
+  {
+    JournalWriter a = JournalWriter::create(
+        flushed.path(), {"small", specs.size()}, JournalDurability::kFlush);
+    JournalWriter b = JournalWriter::create(
+        fsynced.path(), {"small", specs.size()}, JournalDurability::kFsync);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      a.append(i, rows[i], 0.5);
+      b.append(i, rows[i], 0.5);
+    }
+  }
+  // --fsync changes crash durability, never the bytes.
+  std::ifstream fa(flushed.path(), std::ios::binary);
+  std::ifstream fb(fsynced.path(), std::ios::binary);
+  std::stringstream sa, sb;
+  sa << fa.rdbuf();
+  sb << fb.rdbuf();
+  EXPECT_EQ(sa.str(), sb.str());
+  EXPECT_NE(sa.str().find("pns-sweep-journal"), std::string::npos);
+}
+
+TEST(Journal, CanonicalFormIsIndexOrderedAndTimingFree) {
+  const auto specs = small_sweep().expand();
+  const auto rows = uninterrupted_rows(specs);
+  TempFile file("pns-journal-canon");
+
+  // Completion-order appends with wall_s metadata...
+  std::map<std::size_t, SummaryRow> by_index;
+  {
+    JournalWriter writer =
+        JournalWriter::create(file.path(), {"small", specs.size()});
+    for (std::size_t k = rows.size(); k-- > 0;)
+      writer.append(k, rows[k], 0.1 * static_cast<double>(k));
+    for (std::size_t i = 0; i < rows.size(); ++i)
+      by_index.emplace(i, rows[i]);
+  }
+  TempFile canon_a("pns-journal-canon-a");
+  write_canonical_journal(canon_a.path(), {"small", specs.size()},
+                          by_index);
+  // ...canonicalise to the same bytes as rows that never saw a journal:
+  // the canonical form is a pure function of the sweep.
+  const JournalContents round = read_journal(file.path());
+  TempFile canon_b("pns-journal-canon-b");
+  write_canonical_journal(canon_b.path(), round.header, round.rows);
+
+  std::ifstream fa(canon_a.path(), std::ios::binary);
+  std::ifstream fb(canon_b.path(), std::ios::binary);
+  std::stringstream sa, sb;
+  sa << fa.rdbuf();
+  sb << fb.rdbuf();
+  EXPECT_EQ(sa.str(), sb.str());
+  EXPECT_EQ(sa.str().find("wall_s"), std::string::npos);
+
+  // And reading the canonical journal back yields the original rows.
+  const JournalContents canon = read_journal(canon_a.path());
+  ASSERT_EQ(canon.rows.size(), rows.size());
+  std::vector<SummaryRow> parsed;
+  for (const auto& [i, row] : canon.rows) parsed.push_back(row);
+  EXPECT_EQ(csv_of(parsed), csv_of(rows));
+}
+
 TEST(Journal, MissingHeaderRejected) {
   TempFile file("pns-journal-noheader");
   std::ofstream(file.path()) << "{\"kind\":\"row\",\"i\":0}\n";

@@ -1,0 +1,459 @@
+// Integration tests of the sweep daemon: an in-process Daemon serves on
+// an ephemeral TCP (or Unix) socket while worker loops and raw protocol
+// clients run against it from test threads.
+//
+// The headline property under test is the distributed byte-identity
+// contract: however rows reach the daemon -- two clean workers, a worker
+// killed mid-lease, duplicated results, a daemon restart -- the final
+// canonical journal and aggregate CSV must equal a single-machine run of
+// the same sweep byte for byte.
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sweep/aggregate.hpp"
+#include "sweep/journal.hpp"
+#include "sweep/runner.hpp"
+#include "sweepd/client.hpp"
+#include "sweepd/daemon.hpp"
+#include "sweepd/protocol.hpp"
+#include "sweepd/worker.hpp"
+#include "util/socket.hpp"
+
+namespace pns::sweepd {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Unique scratch directory, removed recursively on destruction.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& stem) {
+    path_ = (fs::temp_directory_path() /
+             (stem + "-" + std::to_string(::getpid())))
+                .string();
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() { fs::remove_all(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// The job every test runs: the quick preset over a tiny window.
+JobSpec quick_job() {
+  JobSpec spec;
+  spec.preset = "quick";
+  spec.minutes = 1.0;
+  return spec;
+}
+
+/// Ground truth: the same sweep executed locally, as index -> row.
+std::map<std::size_t, sweep::SummaryRow> local_rows(const JobSpec& spec) {
+  sweep::SweepRunnerOptions opt;
+  opt.threads = 2;
+  const auto outcomes = sweep::SweepRunner(opt).run(spec.expand());
+  std::map<std::size_t, sweep::SummaryRow> rows;
+  for (std::size_t i = 0; i < outcomes.size(); ++i)
+    rows.emplace(i, sweep::summarize(outcomes[i]));
+  return rows;
+}
+
+/// Canonical-journal bytes of a row set (the comparable form).
+std::string canonical_bytes(
+    const std::string& identity, std::size_t total,
+    const std::map<std::size_t, sweep::SummaryRow>& rows) {
+  TempDir dir("pns-sweepd-canon");
+  const std::string path = dir.path() + "/canon.jsonl";
+  sweep::write_canonical_journal(path,
+                                 sweep::JournalHeader{identity, total},
+                                 rows);
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::string csv_bytes(const std::map<std::size_t, sweep::SummaryRow>& rows) {
+  std::vector<sweep::SummaryRow> ordered;
+  for (const auto& [i, row] : rows) ordered.push_back(row);
+  std::ostringstream os;
+  sweep::Aggregator(ordered).write_csv(os);
+  return os.str();
+}
+
+/// An in-process daemon on an ephemeral endpoint, served from a thread.
+class TestDaemon {
+ public:
+  explicit TestDaemon(const std::string& state_dir,
+                      double lease_timeout_s = 30.0,
+                      std::size_t lease_rows = 0) {
+    options_.endpoint = net::Endpoint::parse("tcp:127.0.0.1:0");
+    options_.state_dir = state_dir;
+    options_.lease_timeout_s = lease_timeout_s;
+    options_.lease_rows = lease_rows;
+    options_.idle_poll_s = 0.02;  // fast idle polling keeps tests quick
+    daemon_.emplace(options_);
+    daemon_->bind();
+    thread_ = std::thread([this] { daemon_->run(); });
+  }
+
+  ~TestDaemon() { stop(); }
+
+  net::Endpoint endpoint() const {
+    return net::Endpoint::parse("tcp:127.0.0.1:" +
+                                std::to_string(daemon_->port()));
+  }
+
+  /// Stops the serve loop and joins; jobs() is safe afterwards.
+  void stop() {
+    if (thread_.joinable()) {
+      daemon_->stop();
+      thread_.join();
+    }
+  }
+
+  Daemon& daemon() { return *daemon_; }
+
+ private:
+  DaemonOptions options_;
+  std::optional<Daemon> daemon_;
+  std::thread thread_;
+};
+
+/// A hand-driven protocol connection (for misbehaving-peer tests the
+/// well-behaved worker/client helpers cannot express).
+class RawConn {
+ public:
+  explicit RawConn(const net::Endpoint& ep)
+      : conn_(net::connect_endpoint(ep)) {}
+
+  void send(const std::string& line) {
+    ASSERT_TRUE(conn_.send_line_blocking(line));
+  }
+  JsonValue recv() {
+    std::optional<std::string> line = conn_.recv_line_blocking();
+    if (!line) throw ProtocolError("peer closed");
+    return parse_message(*line);
+  }
+  void close() { conn_.close(); }
+  net::LineConn& io() { return conn_; }
+
+ private:
+  net::LineConn conn_;
+};
+
+WorkerOptions worker_options(const net::Endpoint& ep) {
+  WorkerOptions w;
+  w.endpoint = ep;
+  w.threads = 2;
+  w.once = true;
+  return w;
+}
+
+void expect_distributed_equals_local(const net::Endpoint& ep,
+                                     const std::string& job,
+                                     const JobSpec& spec) {
+  const ResultsReport report = fetch_results(ep, job);
+  ASSERT_TRUE(report.complete);
+  const auto local = local_rows(spec);
+  ASSERT_EQ(report.rows.size(), local.size());
+  EXPECT_EQ(canonical_bytes(report.identity, report.total, report.rows),
+            canonical_bytes(spec.identity(), local.size(), local));
+  EXPECT_EQ(csv_bytes(report.rows), csv_bytes(local));
+}
+
+// ------------------------------------------------------------- happy path
+
+TEST(Daemon, TwoWorkersMatchLocalByteForByte) {
+  TempDir state("pns-sweepd-two");
+  TestDaemon td(state.path());
+  const net::Endpoint ep = td.endpoint();
+  const JobSpec spec = quick_job();
+
+  const SubmitResult submitted = submit_job(ep, spec);
+  EXPECT_EQ(submitted.job, "job-1");
+  EXPECT_EQ(submitted.identity, spec.identity());
+  EXPECT_EQ(submitted.total, spec.expand().size());
+
+  WorkerReport r1, r2;
+  std::thread w1([&] { r1 = run_worker(worker_options(ep)); });
+  std::thread w2([&] { r2 = run_worker(worker_options(ep)); });
+  w1.join();
+  w2.join();
+  EXPECT_EQ(r1.rows + r2.rows, submitted.total);
+
+  const StatusReport status = fetch_status(ep);
+  ASSERT_EQ(status.jobs.size(), 1u);
+  EXPECT_TRUE(status.jobs[0].complete);
+  EXPECT_EQ(status.jobs[0].done, submitted.total);
+  EXPECT_EQ(status.jobs[0].duplicates, 0u);
+
+  expect_distributed_equals_local(ep, submitted.job, spec);
+}
+
+TEST(Daemon, ServesUnixSockets) {
+  TempDir state("pns-sweepd-unix");
+  DaemonOptions opt;
+  opt.endpoint = net::Endpoint::parse("unix:" + state.path() + "/d.sock");
+  opt.state_dir = state.path();
+  opt.idle_poll_s = 0.02;
+  Daemon daemon(opt);
+  daemon.bind();
+  std::thread serve([&] { daemon.run(); });
+
+  const SubmitResult submitted = submit_job(opt.endpoint, quick_job());
+  run_worker(worker_options(opt.endpoint));
+  expect_distributed_equals_local(opt.endpoint, submitted.job,
+                                  quick_job());
+  shutdown_daemon(opt.endpoint);  // covers the client shutdown path too
+  serve.join();
+}
+
+// --------------------------------------------------------- failure paths
+
+TEST(Daemon, WorkerKilledMidLeaseIsReLeasedAndStaysByteIdentical) {
+  TempDir state("pns-sweepd-kill");
+  TestDaemon td(state.path(), /*lease_timeout_s=*/30.0);
+  const net::Endpoint ep = td.endpoint();
+  const JobSpec spec = quick_job();
+  const SubmitResult submitted = submit_job(ep, spec);
+  const auto local = local_rows(spec);
+
+  // A worker takes a lease, delivers exactly one row, then dies without
+  // lease_done: the daemon must revoke on disconnect (not wait for the
+  // 30 s timeout) and hand the remainder to the next worker.
+  {
+    RawConn evil(ep);
+    evil.send(make_hello("worker", 1));
+    EXPECT_EQ(message_type(evil.recv()), "hello_ok");
+    evil.send(make_lease_request());
+    const JsonValue lease = evil.recv();
+    ASSERT_EQ(message_type(lease), "lease");
+    const auto& indices = lease.at("indices").items();
+    ASSERT_FALSE(indices.empty());
+    const auto first =
+        static_cast<std::size_t>(indices[0].as_uint64());
+    evil.send(make_row(submitted.job, lease.at("lease").as_uint64(),
+                       first, 0.1, local.at(first)));
+    evil.close();  // mid-lease death
+  }
+
+  std::thread w([&] { run_worker(worker_options(ep)); });
+  w.join();
+
+  const StatusReport status = fetch_status(ep);
+  ASSERT_EQ(status.jobs.size(), 1u);
+  EXPECT_TRUE(status.jobs[0].complete);
+  EXPECT_EQ(status.jobs[0].duplicates, 0u);  // revoked rows, not re-run rows
+  expect_distributed_equals_local(ep, submitted.job, spec);
+}
+
+TEST(Daemon, DuplicateRowsAreAcceptedIdempotently) {
+  TempDir state("pns-sweepd-dup");
+  TestDaemon td(state.path());
+  const net::Endpoint ep = td.endpoint();
+  const JobSpec spec = quick_job();
+  const SubmitResult submitted = submit_job(ep, spec);
+  const auto local = local_rows(spec);
+
+  {
+    RawConn conn(ep);
+    conn.send(make_lease_request());
+    const JsonValue lease = conn.recv();
+    ASSERT_EQ(message_type(lease), "lease");
+    const auto lease_id = lease.at("lease").as_uint64();
+    const auto first = static_cast<std::size_t>(
+        lease.at("indices").items()[0].as_uint64());
+    // The same completed row three times: replayed frames and re-leased
+    // work must both fold into exactly one journalled row.
+    for (int k = 0; k < 3; ++k)
+      conn.send(
+          make_row(submitted.job, lease_id, first, 0.1, local.at(first)));
+    conn.send(make_lease_done(submitted.job, lease_id));
+    // Round-trip a status request so all five sends are known-processed
+    // before the connection drops.
+    conn.send(make_status());
+    EXPECT_EQ(message_type(conn.recv()), "status_ok");
+  }
+
+  std::thread w([&] { run_worker(worker_options(ep)); });
+  w.join();
+
+  const StatusReport status = fetch_status(ep);
+  ASSERT_EQ(status.jobs.size(), 1u);
+  EXPECT_TRUE(status.jobs[0].complete);
+  EXPECT_EQ(status.jobs[0].done, submitted.total);
+  EXPECT_EQ(status.jobs[0].duplicates, 2u);
+  expect_distributed_equals_local(ep, submitted.job, spec);
+}
+
+TEST(Daemon, LeaseTimeoutReturnsRowsToThePool) {
+  TempDir state("pns-sweepd-timeout");
+  TestDaemon td(state.path(), /*lease_timeout_s=*/0.2);
+  const net::Endpoint ep = td.endpoint();
+  const JobSpec spec = quick_job();
+  const SubmitResult submitted = submit_job(ep, spec);
+
+  // This worker takes a lease and then just sits on it, connection
+  // open: only the timeout can recover its rows.
+  RawConn stalled(ep);
+  stalled.send(make_lease_request());
+  ASSERT_EQ(message_type(stalled.recv()), "lease");
+
+  std::thread w([&] { run_worker(worker_options(ep)); });
+  w.join();
+
+  const StatusReport status = fetch_status(ep);
+  ASSERT_EQ(status.jobs.size(), 1u);
+  EXPECT_TRUE(status.jobs[0].complete);
+  expect_distributed_equals_local(ep, submitted.job, spec);
+}
+
+TEST(Daemon, RestartResumesFromJournalByteIdentically) {
+  TempDir state("pns-sweepd-restart");
+  const JobSpec spec = quick_job();
+  const auto local = local_rows(spec);
+  std::string job_id;
+
+  {
+    TestDaemon td(state.path(), 30.0, /*lease_rows=*/4);
+    const net::Endpoint ep = td.endpoint();
+    const SubmitResult submitted = submit_job(ep, spec);
+    job_id = submitted.job;
+
+    // Deliver exactly one 4-row lease, then let the daemon die.
+    RawConn conn(ep);
+    conn.send(make_lease_request());
+    const JsonValue lease = conn.recv();
+    ASSERT_EQ(message_type(lease), "lease");
+    const auto lease_id = lease.at("lease").as_uint64();
+    for (const JsonValue& v : lease.at("indices").items()) {
+      const auto i = static_cast<std::size_t>(v.as_uint64());
+      conn.send(make_row(job_id, lease_id, i, 0.1, local.at(i)));
+    }
+    conn.send(make_lease_done(job_id, lease_id));
+    conn.send(make_status());
+    EXPECT_EQ(message_type(conn.recv()), "status_ok");
+    td.stop();
+
+    const std::vector<JobStatus> jobs = td.daemon().jobs();
+    ASSERT_EQ(jobs.size(), 1u);
+    EXPECT_EQ(jobs[0].done, 4u);
+    EXPECT_FALSE(jobs[0].complete);
+  }
+
+  // Same state dir, fresh daemon: the job must come back with its 4
+  // journalled rows and only the missing 8 get leased out.
+  TestDaemon td(state.path());
+  const net::Endpoint ep = td.endpoint();
+  {
+    const StatusReport status = fetch_status(ep);
+    ASSERT_EQ(status.jobs.size(), 1u);
+    EXPECT_EQ(status.jobs[0].job, job_id);
+    EXPECT_EQ(status.jobs[0].done, 4u);
+  }
+  WorkerReport finish;
+  std::thread w([&] { finish = run_worker(worker_options(ep)); });
+  w.join();
+  EXPECT_EQ(finish.rows, local.size() - 4);
+
+  expect_distributed_equals_local(ep, job_id, spec);
+}
+
+// ------------------------------------------------------------- robustness
+
+TEST(Daemon, SurvivesGarbageAndOversizedFrames) {
+  TempDir state("pns-sweepd-fuzz");
+  TestDaemon td(state.path());
+  const net::Endpoint ep = td.endpoint();
+
+  const char* garbage[] = {
+      "not json at all",
+      "{\"type\":\"submit\"",  // truncated
+      "[]",
+      "{\"no\":\"type\"}",
+      "{\"type\":\"frobnicate\"}",  // unknown type
+      "{\"type\":\"row\",\"job\":\"job-99\",\"i\":0,\"row\":{}}",
+  };
+  for (const char* line : garbage) {
+    RawConn conn(ep);
+    conn.send(line);
+    // Every bad frame earns an explanatory error and a closed stream.
+    const JsonValue reply = conn.recv();
+    EXPECT_EQ(message_type(reply), "error") << line;
+    EXPECT_FALSE(conn.io().recv_line_blocking().has_value()) << line;
+  }
+
+  {  // One line beyond the 4 MB framing limit.
+    RawConn conn(ep);
+    conn.send(std::string((4u << 20) + 100, 'a'));
+    for (;;) {
+      std::optional<std::string> line = conn.io().recv_line_blocking();
+      if (!line) break;  // daemon closed on us, possibly after an error
+      EXPECT_EQ(message_type(parse_message(*line)), "error");
+    }
+  }
+
+  // The daemon shrugged all of it off and still serves real clients.
+  const SubmitResult submitted = submit_job(ep, quick_job());
+  run_worker(worker_options(ep));
+  expect_distributed_equals_local(ep, submitted.job, quick_job());
+}
+
+TEST(Daemon, BadSubmissionsAreReportedWithoutDroppingTheConnection) {
+  TempDir state("pns-sweepd-badsubmit");
+  TestDaemon td(state.path());
+  RawConn conn(td.endpoint());
+
+  JobSpec bad = quick_job();
+  bad.preset = "no-such-preset";
+  conn.send(make_submit(bad));
+  const JsonValue reply = conn.recv();
+  ASSERT_EQ(message_type(reply), "error");
+  // The error must name the valid presets, mirroring the CLI.
+  EXPECT_NE(reply.at("error").as_string().find("quick"),
+            std::string::npos);
+
+  // Same connection, valid submit: still usable.
+  conn.send(make_submit(quick_job()));
+  EXPECT_EQ(message_type(conn.recv()), "submitted");
+}
+
+TEST(Daemon, WatchStreamsReplayAndLiveRows) {
+  TempDir state("pns-sweepd-watch");
+  TestDaemon td(state.path());
+  const net::Endpoint ep = td.endpoint();
+  const JobSpec spec = quick_job();
+  const SubmitResult submitted = submit_job(ep, spec);
+
+  std::map<std::size_t, sweep::SummaryRow> streamed;
+  std::thread watcher([&] {
+    watch_job(ep, submitted.job,
+              [&](std::size_t i, const sweep::SummaryRow& row) {
+                streamed.emplace(i, row);
+              });
+  });
+  std::thread w([&] { run_worker(worker_options(ep)); });
+  w.join();
+  watcher.join();
+
+  ASSERT_EQ(streamed.size(), submitted.total);
+  EXPECT_EQ(canonical_bytes(submitted.identity, submitted.total, streamed),
+            canonical_bytes(spec.identity(), submitted.total,
+                            local_rows(spec)));
+}
+
+}  // namespace
+}  // namespace pns::sweepd
