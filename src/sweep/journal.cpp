@@ -3,11 +3,17 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
 #include <filesystem>
 #include <sstream>
 #include <system_error>
 #include <utility>
 
+#include "util/crc32.hpp"
+#include "util/fault.hpp"
 #include "util/json.hpp"
 
 namespace pns::sweep {
@@ -46,6 +52,58 @@ std::string row_line(std::size_t index, const SummaryRow& row,
   return line.str();
 }
 
+// --- per-line CRC framing -----------------------------------------
+//
+// The checksum is spliced in as the final member of the (compact, one-
+// object) line, so a framed line is still one valid JSON document:
+//   {"kind":"row",...}  ->  {"kind":"row",...,"crc":"1a2b3c4d"}
+// The CRC covers the *original* line bytes; the fixed-width hex keeps
+// the suffix a constant 18 characters, which is what lets the reader
+// recognise and strip it without parsing first.
+
+constexpr std::string_view kCrcPrefix = ",\"crc\":\"";
+constexpr std::size_t kCrcSuffixLen =
+    kCrcPrefix.size() + 8 + 2;  // ,"crc":" + 8 hex + "}
+
+std::string crc_framed(const std::string& line) {
+  std::string out(line, 0, line.size() - 1);  // drop the closing '}'
+  out += kCrcPrefix;
+  out += crc32_hex(crc32(line));
+  out += "\"}";
+  return out;
+}
+
+enum class CrcCheck { kLegacy, kOk, kMismatch };
+
+/// Detects and strips the crc member: on kOk `line` is rewritten to the
+/// original (checksummed) bytes; on kLegacy it is left alone (journals
+/// written before checksums existed); kMismatch means corruption.
+CrcCheck strip_crc(std::string& line) {
+  if (line.size() < kCrcSuffixLen + 2) return CrcCheck::kLegacy;
+  const std::size_t at = line.size() - kCrcSuffixLen;
+  if (line.compare(at, kCrcPrefix.size(), kCrcPrefix) != 0 ||
+      line.compare(line.size() - 2, 2, "\"}") != 0)
+    return CrcCheck::kLegacy;
+  std::uint32_t stored = 0;
+  for (std::size_t i = at + kCrcPrefix.size();
+       i < at + kCrcPrefix.size() + 8; ++i) {
+    const char c = line[i];
+    std::uint32_t digit;
+    if (c >= '0' && c <= '9')
+      digit = static_cast<std::uint32_t>(c - '0');
+    else if (c >= 'a' && c <= 'f')
+      digit = static_cast<std::uint32_t>(c - 'a' + 10);
+    else
+      return CrcCheck::kLegacy;  // not our suffix after all
+    stored = (stored << 4) | digit;
+  }
+  std::string original = line.substr(0, at);
+  original += '}';
+  if (crc32(original) != stored) return CrcCheck::kMismatch;
+  line = std::move(original);
+  return CrcCheck::kOk;
+}
+
 /// fsyncs the directory containing `path`, so a rename into it is
 /// durable. Best-effort on filesystems that refuse O_DIRECTORY fsync.
 void fsync_parent_dir(const std::string& path) {
@@ -75,25 +133,30 @@ void read_entry(const JsonValue& doc, JournalContents& contents) {
 
 }  // namespace
 
-JournalWriter JournalWriter::create(const std::string& path,
-                                    const JournalHeader& header,
-                                    JournalDurability durability) {
+JournalWriter JournalWriter::create(
+    const std::string& path, const JournalHeader& header,
+    JournalDurability durability,
+    std::shared_ptr<fault::FaultInjector> fault) {
   std::FILE* out = std::fopen(path.c_str(), "wb");
   if (!out) throw JournalError("cannot create journal: " + path);
-  JournalWriter writer(out, durability);
+  JournalWriter writer(out, durability, std::move(fault));
   writer.write_line(header_line(header));
   return writer;
 }
 
-JournalWriter JournalWriter::append_to(const std::string& path,
-                                       JournalDurability durability) {
+JournalWriter JournalWriter::append_to(
+    const std::string& path, JournalDurability durability,
+    std::shared_ptr<fault::FaultInjector> fault) {
   std::FILE* out = std::fopen(path.c_str(), "ab");
   if (!out) throw JournalError("cannot open journal for append: " + path);
-  return JournalWriter(out, durability);
+  return JournalWriter(out, durability, std::move(fault));
 }
 
 JournalWriter::JournalWriter(JournalWriter&& other) noexcept
-    : out_(other.out_), durability_(other.durability_) {
+    : out_(other.out_),
+      durability_(other.durability_),
+      fault_(std::move(other.fault_)),
+      maybe_torn_(other.maybe_torn_) {
   other.out_ = nullptr;
 }
 
@@ -102,6 +165,8 @@ JournalWriter& JournalWriter::operator=(JournalWriter&& other) noexcept {
     if (out_) std::fclose(out_);
     out_ = other.out_;
     durability_ = other.durability_;
+    fault_ = std::move(other.fault_);
+    maybe_torn_ = other.maybe_torn_;
     other.out_ = nullptr;
   }
   return *this;
@@ -115,17 +180,79 @@ void JournalWriter::write_line(const std::string& line) {
   // One whole line per append, flushed, so a kill can only tear the line
   // being written -- which read_journal drops. With kFsync the line also
   // reaches the platter before append() returns: an acknowledged row
-  // survives a machine crash, not just a process crash.
-  std::fwrite(line.data(), 1, line.size(), out_);
-  std::fputc('\n', out_);
-  std::fflush(out_);
-  if (durability_ == JournalDurability::kFsync) ::fsync(::fileno(out_));
+  // survives a machine crash, not just a process crash. Every IO step is
+  // checked: an append that did not durably land must *fail loudly*
+  // (the daemon then refuses to acknowledge the row), never pretend.
+  const auto fail = [&](const char* what) -> void {
+    maybe_torn_ = true;
+    throw JournalError(std::string("journal ") + what + " failed: " +
+                       std::strerror(errno));
+  };
+  if (maybe_torn_) {
+    // The file may end mid-line after the previous failure; starting on
+    // a fresh line turns that fragment into its own (dropped) line
+    // instead of gluing it to this row.
+    if (std::fputc('\n', out_) == EOF) fail("resync");
+    maybe_torn_ = false;
+  }
+  const std::string framed = crc_framed(line);
+  if (fault_) {
+    const std::size_t torn = fault_->tear_append(framed.size());
+    if (torn < framed.size()) {
+      // Scheduled torn append: leave a partial line behind, exactly as
+      // a crash mid-write would, then report the failure.
+      std::fwrite(framed.data(), 1, torn, out_);
+      std::fflush(out_);
+      maybe_torn_ = true;
+      throw JournalError("journal append torn (injected fault)");
+    }
+  }
+  if (std::fwrite(framed.data(), 1, framed.size(), out_) != framed.size())
+    fail("append");
+  if (std::fputc('\n', out_) == EOF) fail("append");
+  if (std::fflush(out_) != 0) fail("flush");
+  if (durability_ == JournalDurability::kFsync) {
+    if (fault_ && fault_->fail_fsync()) {
+      errno = EIO;
+      throw JournalError("journal fsync failed (injected fault)");
+    }
+    if (::fsync(::fileno(out_)) != 0) {
+      // The bytes are written and flushed -- only durability is in
+      // doubt -- so the line is complete and needs no resync.
+      throw JournalError(std::string("journal fsync failed: ") +
+                         std::strerror(errno));
+    }
+  }
 }
 
 void JournalWriter::append(std::size_t index, const SummaryRow& row,
                            double wall_s) {
   write_line(row_line(index, row, wall_s));
 }
+
+bool JournalWriter::probe() {
+  if (!out_) return false;
+  if (std::fflush(out_) != 0) return false;
+  if (durability_ == JournalDurability::kFsync) {
+    if (fault_ && fault_->fail_fsync()) return false;
+    if (::fsync(::fileno(out_)) != 0) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// The torn/corrupt-header diagnostic. A journal whose first line cannot
+/// be trusted has no trustworthy identity at all, so nothing in it is
+/// salvageable -- unlike a torn *row*, which costs one re-run scenario.
+[[noreturn]] void throw_unrecoverable_header(const std::string& path,
+                                             const char* why) {
+  throw JournalError(path + ": journal header is " + why +
+                     " -- journal unrecoverable; re-run the sweep or "
+                     "restore the journal from a backup");
+}
+
+}  // namespace
 
 JournalContents read_journal(const std::string& path) {
   std::ifstream in(path);
@@ -134,15 +261,32 @@ JournalContents read_journal(const std::string& path) {
   JournalContents contents;
   std::string line;
   bool header_seen = false;
+  std::size_t lineno = 0;
   while (std::getline(in, line)) {
-    if (line.empty()) continue;
+    ++lineno;
+    if (line.empty()) continue;  // resync padding after a torn append
+    const CrcCheck crc = strip_crc(line);
+    if (crc == CrcCheck::kMismatch) {
+      // The line *looks* complete but its checksum disagrees: silent
+      // corruption. Quarantine it -- the row is not folded in, so a
+      // resume or the daemon simply re-runs that scenario.
+      if (!header_seen) throw_unrecoverable_header(path, "corrupt");
+      ++contents.quarantined_lines;
+      contents.notes.push_back(path + ":" + std::to_string(lineno) +
+                               ": checksum mismatch -- line quarantined");
+      continue;
+    }
     JsonValue doc;
     try {
       doc = parse_json(line);
     } catch (const JsonError&) {
-      // A torn trailing line from a killed run -- or corruption; either
-      // way the row was not durably recorded, so skip and count it.
+      // A torn line from a killed run -- the row was not durably
+      // recorded, so skip and count it. Torn *first* line: the header
+      // itself is gone and the journal with it.
+      if (!header_seen) throw_unrecoverable_header(path, "torn");
       ++contents.dropped_lines;
+      contents.notes.push_back(path + ":" + std::to_string(lineno) +
+                               ": torn line dropped");
       continue;
     }
     try {
@@ -166,6 +310,9 @@ JournalContents read_journal(const std::string& path) {
       }
       if (kind != "row") {
         ++contents.dropped_lines;
+        contents.notes.push_back(path + ":" + std::to_string(lineno) +
+                                 ": unknown line kind '" + kind +
+                                 "' dropped");
         continue;
       }
       read_entry(doc, contents);
@@ -174,6 +321,9 @@ JournalContents read_journal(const std::string& path) {
         throw JournalError(path + ": malformed journal header (" +
                            e.what() + ")");
       ++contents.dropped_lines;
+      contents.notes.push_back(path + ":" + std::to_string(lineno) +
+                               ": malformed line dropped (" + e.what() +
+                               ")");
     }
   }
   if (!header_seen)
@@ -227,7 +377,7 @@ std::size_t compact_journal(const std::string& in_path,
 
   replace_journal_atomically(
       out_path, "compacted journal", [&](std::ostream& out) {
-        out << header_line(contents.header) << '\n';
+        out << crc_framed(header_line(contents.header)) << '\n';
 
         std::ostringstream block;
         JsonWriter w(block, JsonStyle::kCompact);
@@ -246,7 +396,7 @@ std::size_t compact_journal(const std::string& in_path,
         }
         w.end_array();
         w.end_object();
-        out << block.str() << '\n';
+        out << crc_framed(block.str()) << '\n';
       });
   return contents.rows.size();
 }
@@ -256,11 +406,11 @@ void write_canonical_journal(
     const std::map<std::size_t, SummaryRow>& rows) {
   replace_journal_atomically(
       path, "canonical journal", [&](std::ostream& out) {
-        out << header_line(header) << '\n';
+        out << crc_framed(header_line(header)) << '\n';
         // Index order, no wall_s: the bytes depend only on what the
         // sweep computed, never on which worker computed it or how fast.
         for (const auto& [index, row] : rows)
-          out << row_line(index, row, -1.0) << '\n';
+          out << crc_framed(row_line(index, row, -1.0)) << '\n';
       });
 }
 

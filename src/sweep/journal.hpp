@@ -14,19 +14,30 @@
 // canonical aggregate, byte-identical to a single-process run (numeric
 // fields round-trip exactly via shortest_double; see aggregate.hpp).
 //
-// Format, one JSON document per line:
-//   {"kind":"pns-sweep-journal","version":1,"sweep":"table2","total":18}
-//   {"kind":"row","i":0,"row":{...aggregate row object...}}
-//   {"kind":"row","i":7,"row":{...}}
+// Format, one JSON document per line; every written line carries a
+// trailing CRC-32 of the line *without* the crc member, so silent
+// corruption (bit flips, partial sector overwrites) is detected and the
+// row quarantined instead of folded into the aggregate. Lines without a
+// crc member are legacy journals and still read fine:
+//   {"kind":"pns-sweep-journal","version":1,"sweep":"table2","total":18,
+//    "crc":"d41c87a0"}
+//   {"kind":"row","i":0,"row":{...aggregate row object...},"crc":"..."}
+//   {"kind":"row","i":7,"row":{...},"crc":"..."}
 #pragma once
 
 #include <cstddef>
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "sweep/aggregate.hpp"
+
+namespace pns::fault {
+class FaultInjector;
+}
 
 namespace pns::sweep {
 
@@ -54,6 +65,13 @@ struct JournalContents {
   /// Torn or unparseable lines that were skipped (at most the trailing
   /// line after a kill; more indicates external corruption).
   std::size_t dropped_lines = 0;
+  /// Lines that parsed but failed their CRC-32 check: complete-looking
+  /// yet corrupt, so their rows were *not* folded in. A resume (or the
+  /// daemon's reload) simply re-runs those scenarios.
+  std::size_t quarantined_lines = 0;
+  /// One human-readable diagnostic per dropped or quarantined line
+  /// ("path:line: why"), so recovery logs exactly what was lost.
+  std::vector<std::string> notes;
 };
 
 /// Error raised for a missing/unreadable journal, a malformed header, or
@@ -80,16 +98,20 @@ enum class JournalDurability { kFlush, kFsync };
 /// already runs under a mutex).
 class JournalWriter {
  public:
-  /// Creates (truncating) `path` and writes the header line.
+  /// Creates (truncating) `path` and writes the header line. The
+  /// optional fault injector schedules torn appends and failed fsyncs
+  /// (chaos testing); null = none.
   static JournalWriter create(
       const std::string& path, const JournalHeader& header,
-      JournalDurability durability = JournalDurability::kFlush);
+      JournalDurability durability = JournalDurability::kFlush,
+      std::shared_ptr<fault::FaultInjector> fault = nullptr);
 
   /// Opens `path` for appending without touching existing contents. The
   /// caller is expected to have validated the header via read_journal.
   static JournalWriter append_to(
       const std::string& path,
-      JournalDurability durability = JournalDurability::kFlush);
+      JournalDurability durability = JournalDurability::kFlush,
+      std::shared_ptr<fault::FaultInjector> fault = nullptr);
 
   JournalWriter(JournalWriter&& other) noexcept;
   JournalWriter& operator=(JournalWriter&& other) noexcept;
@@ -100,26 +122,43 @@ class JournalWriter {
   /// Appends one completed row under its global spec index. `wall_s`
   /// (when >= 0) records the scenario's measured execution wall-clock so
   /// later runs can plan cost-balanced shards; it is metadata, not part
-  /// of the row.
+  /// of the row. Throws JournalError when the append did not durably
+  /// complete (write/flush/fsync failure, injected or real); the writer
+  /// stays usable -- the next append re-synchronises onto a fresh line,
+  /// so a torn fragment becomes its own dropped line instead of
+  /// corrupting the row that follows it.
   void append(std::size_t index, const SummaryRow& row,
               double wall_s = -1.0);
 
+  /// True when the journal is currently writable (flush + fsync at this
+  /// writer's durability succeed). The daemon's degraded mode polls this
+  /// to discover that a sick state dir has healed.
+  bool probe();
+
  private:
-  JournalWriter(std::FILE* out, JournalDurability durability)
-      : out_(out), durability_(durability) {}
+  JournalWriter(std::FILE* out, JournalDurability durability,
+                std::shared_ptr<fault::FaultInjector> fault)
+      : out_(out), durability_(durability), fault_(std::move(fault)) {}
 
   void write_line(const std::string& line);
 
   std::FILE* out_ = nullptr;  ///< FILE* (not ofstream) so fsync can reach
                               ///< the fd behind the stream
   JournalDurability durability_ = JournalDurability::kFlush;
+  std::shared_ptr<fault::FaultInjector> fault_;
+  /// Set after a failed append: the file may end mid-line, so the next
+  /// append starts with a '\n' to re-synchronise.
+  bool maybe_torn_ = false;
 };
 
-/// Reads a journal back, dropping a torn trailing line (and counting any
-/// other unparseable lines). Later duplicates of an index win, so a row
-/// appended twice (e.g. two resumes racing) stays consistent. Throws
-/// JournalError when the file cannot be opened or its header is missing
-/// or malformed.
+/// Reads a journal back. Torn or unparseable lines are dropped and
+/// counted; lines whose CRC-32 check fails are quarantined (counted
+/// separately, rows not folded in) -- both leave a per-line note in
+/// `notes`. Later duplicates of an index win, so a row appended twice
+/// (e.g. two resumes racing) stays consistent. Throws JournalError when
+/// the file cannot be opened, or when the *header* line itself is torn
+/// or corrupt: a journal without a trustworthy identity is
+/// unrecoverable, and the error says to re-run or restore it.
 JournalContents read_journal(const std::string& path);
 
 /// Reads and validates against an expected identity in one step.

@@ -58,6 +58,24 @@ StatusReport fetch_status(const net::Endpoint& endpoint,
   StatusReport report;
   report.workers =
       static_cast<std::size_t>(msg.at("workers").as_uint64());
+  if (const JsonValue* d = msg.find("degraded"))
+    report.degraded = d->as_bool();
+  if (const JsonValue* r = msg.find("degraded_reason"))
+    report.degraded_reason = r->as_string();
+  if (const JsonValue* wi = msg.find("worker_info")) {
+    for (const JsonValue& j : wi->items()) {
+      WorkerLiveness w;
+      w.worker = static_cast<std::size_t>(j.at("worker").as_uint64());
+      w.threads = static_cast<unsigned>(j.at("threads").as_uint64());
+      w.leases = static_cast<std::size_t>(j.at("leases").as_uint64());
+      w.rows = static_cast<std::size_t>(j.at("rows").as_uint64());
+      w.duplicates =
+          static_cast<std::size_t>(j.at("duplicates").as_uint64());
+      w.retries = static_cast<std::size_t>(j.at("retries").as_uint64());
+      w.last_seen_s = j.at("last_seen_s").as_double();
+      report.worker_info.push_back(w);
+    }
+  }
   for (const JsonValue& j : msg.at("jobs").items()) {
     JobStatus s;
     s.job = j.at("job").as_string();

@@ -29,8 +29,15 @@ struct SubmitResult {
 
 /// Daemon-wide status snapshot.
 struct StatusReport {
-  std::size_t workers = 0;       ///< currently connected workers
-  std::vector<JobStatus> jobs;   ///< creation order
+  std::size_t workers = 0;      ///< currently connected workers
+  std::vector<JobStatus> jobs;  ///< creation order
+  /// Per-worker liveness (heartbeat age, leases held, retries) --
+  /// empty when talking to a pre-liveness daemon.
+  std::vector<WorkerLiveness> worker_info;
+  /// True when the daemon has paused leasing because its state dir
+  /// stopped accepting journal appends.
+  bool degraded = false;
+  std::string degraded_reason;
 };
 
 /// A job's rows as fetched by `results`: global spec order, possibly

@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cmath>
@@ -73,25 +74,42 @@ struct Daemon::Impl {
   };
 
   struct Conn {
-    explicit Conn(net::Socket s) : io(std::move(s)) {}
+    explicit Conn(net::Socket s)
+        : io(std::move(s)), last_seen(Clock::now()) {}
     net::LineConn io;
     bool is_worker = false;
     unsigned threads = 0;
     std::set<std::string> watching;
     std::uint64_t lease = 0;  ///< outstanding lease id; 0 = none
     bool closing = false;     ///< close once the write buffer drains
+
+    // Liveness bookkeeping surfaced via `status` (WorkerLiveness).
+    std::size_t worker_num = 0;  ///< assigned on first worker activity
+    std::size_t reconnects = 0;  ///< from hello; worker-side retry count
+    std::size_t rows = 0;
+    std::size_t duplicates = 0;
+    Clock::time_point last_seen;
   };
 
   DaemonOptions options;
   net::Socket listener;
   int wake_read = -1;   ///< self-pipe: stop() writes, the loop drains
   int wake_write = -1;
-  bool running = false;
+  std::atomic<bool> running{false};  ///< stop() writes from other threads
   bool bound = false;
+
+  /// Degraded mode: a journal append failed (state dir unwritable), so
+  /// the daemon stops handing out leases -- it cannot uphold the
+  /// journal-before-acknowledge contract -- but keeps serving status,
+  /// results and watch streams from memory. Every poll iteration probes
+  /// the journals; when the state dir heals, leasing resumes.
+  bool degraded_mode = false;
+  std::string degraded_reason;
 
   std::vector<std::unique_ptr<Job>> job_list;  // creation order
   std::map<std::string, Job*> jobs_by_id;
   std::uint64_t next_job = 1;
+  std::size_t next_worker = 1;  ///< ordinal for WorkerLiveness::worker
 
   std::map<std::uint64_t, Lease> leases;
   std::uint64_t next_lease = 1;
@@ -167,7 +185,8 @@ struct Daemon::Impl {
       out << doc.str() << '\n';
     }
     job->journal = sweep::JournalWriter::create(
-        state_path(journal_filename(job->id)), job->header, durability());
+        state_path(journal_filename(job->id)), job->header, durability(),
+        options.fault);
 
     log("job " + job->id + ": submitted '" + job->identity + "', " +
         std::to_string(job->specs.size()) + " scenarios");
@@ -180,7 +199,17 @@ struct Daemon::Impl {
     std::string line;
     if (!in || !std::getline(in, line))
       throw JobError("cannot read job spec: " + spec_path);
-    const JsonValue doc = parse_json(line);
+    JsonValue doc;
+    try {
+      doc = parse_json(line);
+    } catch (const JsonError& e) {
+      // A truncated sidecar (crash mid-create, torn write) must not
+      // read as a generic parse abort: name the file and the remedy.
+      throw JobError(spec_path +
+                     ": job spec file is torn or corrupt -- re-submit "
+                     "the job or restore the file from a backup (" +
+                     e.what() + ")");
+    }
     auto job = std::make_unique<Job>();
     job->id = doc.at("job").as_string();
     job->spec = JobSpec::from_json(doc.at("spec"));
@@ -192,6 +221,11 @@ struct Daemon::Impl {
     if (std::filesystem::exists(jpath)) {
       sweep::JournalContents contents =
           sweep::read_journal(jpath, job->header);
+      for (const std::string& note : contents.notes) log(note);
+      if (contents.quarantined_lines > 0)
+        log("job " + job->id + ": " +
+            std::to_string(contents.quarantined_lines) +
+            " corrupt row(s) quarantined; their scenarios re-run");
       job->done = std::move(contents.rows);
       job->costs = std::move(contents.costs);
       for (const auto& [i, row] : job->done) {
@@ -202,11 +236,12 @@ struct Daemon::Impl {
               std::to_string(i));
         if (!row.ok) ++job->failed;
       }
-      job->journal =
-          sweep::JournalWriter::append_to(jpath, durability());
+      job->journal = sweep::JournalWriter::append_to(jpath, durability(),
+                                                     options.fault);
     } else {
       job->journal = sweep::JournalWriter::create(jpath, job->header,
-                                                  durability());
+                                                  durability(),
+                                                  options.fault);
     }
     for (std::size_t i = 0; i < job->specs.size(); ++i)
       if (!job->done.count(i)) job->pending.insert(i);
@@ -305,10 +340,24 @@ struct Daemon::Impl {
     return {};
   }
 
+  /// Marks a connection as a worker and assigns its status ordinal.
+  void ensure_worker(Conn& conn) {
+    conn.is_worker = true;
+    if (conn.worker_num == 0) conn.worker_num = next_worker++;
+  }
+
   /// Grants a lease to the requesting worker, or reports idle.
   void grant_lease(Conn& conn) {
     // Any connection that pulls work is a worker, hello or not.
-    conn.is_worker = true;
+    ensure_worker(conn);
+    if (degraded_mode) {
+      // Leasing is paused: an accepted row could not be journalled, so
+      // it could not be acknowledged. Idle replies carry the real
+      // active-job count so --once workers keep polling instead of
+      // declaring the sweep finished.
+      send(conn, make_idle(active_job_count(), options.idle_poll_s));
+      return;
+    }
     for (const auto& job : job_list) {
       if (job->pending.empty()) continue;
       const std::vector<std::size_t> indices = plan_lease(*job);
@@ -363,19 +412,64 @@ struct Daemon::Impl {
     std::vector<std::uint64_t> expired;
     for (const auto& [id, lease] : leases)
       if (lease.deadline <= now) expired.push_back(id);
-    for (const std::uint64_t id : expired) revoke_lease(id, "timeout");
+    for (const std::uint64_t id : expired)
+      revoke_lease(id, "liveness timeout");
+  }
+
+  /// Pushes a lease's deadline out by the configured timeout -- called
+  /// for every row and heartbeat, so a slow-but-alive worker never
+  /// loses its lease to the timeout meant for dead ones.
+  void refresh_lease(std::uint64_t lease_id) {
+    const auto it = leases.find(lease_id);
+    if (it == leases.end()) return;
+    it->second.deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(
+                               options.lease_timeout_s));
   }
 
   /// Poll timeout until the nearest lease deadline; -1 = indefinite.
+  /// Degraded mode bounds the wait so the heal probe keeps running
+  /// even with no traffic.
   int poll_timeout_ms() const {
-    if (leases.empty()) return -1;
-    auto nearest = Clock::time_point::max();
-    for (const auto& [id, lease] : leases)
-      nearest = std::min(nearest, lease.deadline);
-    const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
-                        nearest - Clock::now())
-                        .count();
-    return static_cast<int>(std::clamp<long long>(ms, 0, 60'000));
+    long long best = -1;
+    if (degraded_mode)
+      best = std::max<long long>(
+          1, static_cast<long long>(options.idle_poll_s * 1000.0));
+    if (!leases.empty()) {
+      auto nearest = Clock::time_point::max();
+      for (const auto& [id, lease] : leases)
+        nearest = std::min(nearest, lease.deadline);
+      const auto ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              nearest - Clock::now())
+              .count();
+      const long long lease_ms = std::clamp<long long>(ms, 0, 60'000);
+      best = best < 0 ? lease_ms : std::min(best, lease_ms);
+    }
+    return static_cast<int>(std::min<long long>(
+        best < 0 ? -1 : best, 60'000));
+  }
+
+  // ----------------------------------------------------- degraded mode
+
+  void enter_degraded(const std::string& why) {
+    if (!degraded_mode)
+      log("entering degraded mode: " + why +
+          " (leasing paused; status/results still served)");
+    degraded_mode = true;
+    degraded_reason = why;
+  }
+
+  /// Probes every job journal; leaves degraded mode when all accept
+  /// writes again.
+  void try_heal() {
+    if (!degraded_mode) return;
+    for (const auto& job : job_list)
+      if (job->journal && !job->journal->probe()) return;
+    degraded_mode = false;
+    degraded_reason.clear();
+    log("state dir healed; resuming leasing");
   }
 
   // -------------------------------------------------------------- rows
@@ -389,7 +483,7 @@ struct Daemon::Impl {
   /// streaming. Duplicates (re-leased rows finishing twice, replayed
   /// messages) are counted and dropped -- row payloads of a
   /// deterministic sweep are identical, so dropping is lossless.
-  void accept_row(const JsonValue& msg) {
+  void accept_row(Conn& conn, const JsonValue& msg) {
     const std::string job_id = msg.at("job").as_string();
     Job* job = find_job(job_id);
     if (!job) throw ProtocolError("row for unknown job '" + job_id + "'");
@@ -404,8 +498,14 @@ struct Daemon::Impl {
           " does not describe its scenario (worker/daemon spec "
           "mismatch?)");
 
+    // A row is proof of life: refresh its lease so long-running
+    // scenarios never expire a lease that is making progress.
+    if (const JsonValue* lf = msg.find("lease"))
+      refresh_lease(lf->as_uint64());
+
     if (job->done.count(index)) {
       ++job->duplicates;
+      ++conn.duplicates;
       return;
     }
 
@@ -413,8 +513,17 @@ struct Daemon::Impl {
     const double wall_s = wall ? wall->as_double() : -1.0;
 
     // Journal before acknowledging anywhere: once streamed or counted
-    // done, the row must survive a daemon restart.
-    job->journal->append(index, row, wall_s);
+    // done, the row must survive a daemon restart. When the append
+    // fails, the row is deliberately NOT acknowledged: it stays on its
+    // lease, returns to pending at lease_done/revocation, and will be
+    // re-leased after the state dir heals.
+    try {
+      job->journal->append(index, row, wall_s);
+    } catch (const sweep::JournalError& e) {
+      enter_degraded(e.what());
+      return;
+    }
+    ++conn.rows;
     if (wall_s >= 0.0) job->costs[index] = wall_s;
 
     job->pending.erase(index);
@@ -474,12 +583,54 @@ struct Daemon::Impl {
     return s;
   }
 
+  std::vector<WorkerLiveness> worker_liveness() const {
+    const auto now = Clock::now();
+    std::vector<WorkerLiveness> out;
+    for (const auto& [fd, conn] : conns) {
+      if (!conn->is_worker) continue;
+      WorkerLiveness w;
+      w.worker = conn->worker_num;
+      w.threads = conn->threads;
+      for (const auto& [id, lease] : leases)
+        if (lease.conn_fd == fd) ++w.leases;
+      w.rows = conn->rows;
+      w.duplicates = conn->duplicates;
+      w.retries = conn->reconnects;
+      w.last_seen_s =
+          std::chrono::duration<double>(now - conn->last_seen).count();
+      out.push_back(w);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const WorkerLiveness& a, const WorkerLiveness& b) {
+                return a.worker < b.worker;
+              });
+    return out;
+  }
+
   void reply_status(Conn& conn, const std::string& only_job) {
     std::ostringstream doc;
     JsonWriter w(doc, JsonStyle::kCompact);
     w.begin_object();
     w.kv("type", "status_ok");
     w.kv("workers", static_cast<std::uint64_t>(worker_count()));
+    if (degraded_mode) {
+      w.kv("degraded", true);
+      w.kv("degraded_reason", degraded_reason);
+    }
+    w.key("worker_info");
+    w.begin_array();
+    for (const WorkerLiveness& wl : worker_liveness()) {
+      w.begin_object();
+      w.kv("worker", static_cast<std::uint64_t>(wl.worker));
+      w.kv("threads", static_cast<std::uint64_t>(wl.threads));
+      w.kv("leases", static_cast<std::uint64_t>(wl.leases));
+      w.kv("rows", static_cast<std::uint64_t>(wl.rows));
+      w.kv("duplicates", static_cast<std::uint64_t>(wl.duplicates));
+      w.kv("retries", static_cast<std::uint64_t>(wl.retries));
+      w.kv("last_seen_s", wl.last_seen_s);
+      w.end_object();
+    }
+    w.end_array();
     w.key("jobs");
     w.begin_array();
     for (const auto& job : job_list) {
@@ -535,9 +686,11 @@ struct Daemon::Impl {
     const JsonValue msg = parse_message(line);
     const std::string& type = message_type(msg);
     if (type == "hello") {
-      conn.is_worker = msg.at("role").as_string() == "worker";
+      if (msg.at("role").as_string() == "worker") ensure_worker(conn);
       if (const JsonValue* t = msg.find("threads"))
         conn.threads = static_cast<unsigned>(t->as_uint64());
+      if (const JsonValue* r = msg.find("reconnects"))
+        conn.reconnects = static_cast<std::size_t>(r->as_uint64());
       send(conn, make_hello_ok());
     } else if (type == "submit") {
       JobSpec spec = JobSpec::from_json(msg.at("spec"));
@@ -546,7 +699,12 @@ struct Daemon::Impl {
     } else if (type == "lease_request") {
       grant_lease(conn);
     } else if (type == "row") {
-      accept_row(msg);
+      accept_row(conn, msg);
+    } else if (type == "heartbeat") {
+      // One-way liveness beacon: refresh the lease it names (last_seen
+      // was already refreshed by the read itself). No reply -- the
+      // worker's protocol reader is not expecting one.
+      refresh_lease(msg.at("lease").as_uint64());
     } else if (type == "lease_done") {
       const auto lease_id = msg.at("lease").as_uint64();
       // Whatever the worker left unfinished goes back to pending.
@@ -561,7 +719,7 @@ struct Daemon::Impl {
     } else if (type == "shutdown") {
       send(conn, make_bye());
       log("shutdown requested");
-      running = false;
+      running.store(false);
     } else {
       throw ProtocolError("unknown message type '" + type + "'");
     }
@@ -573,6 +731,7 @@ struct Daemon::Impl {
     Conn& conn = *it->second;
     std::vector<std::string> lines;
     const net::IoStatus st = conn.io.read_lines(lines);
+    if (!lines.empty()) conn.last_seen = Clock::now();
     for (const std::string& line : lines) {
       if (conn.closing) break;  // already poisoned; drain politely
       try {
@@ -628,9 +787,10 @@ struct Daemon::Impl {
   }
 
   void run() {
-    running = true;
-    while (running) {
+    running.store(true);
+    while (running.load()) {
       revoke_expired_leases();
+      try_heal();
 
       std::vector<pollfd> fds;
       fds.push_back({listener.fd(), POLLIN, 0});
@@ -696,7 +856,7 @@ struct Daemon::Impl {
   }
 
   void stop() {
-    running = false;
+    running.store(false);
     if (wake_write >= 0) {
       const char byte = 1;
       [[maybe_unused]] const ssize_t n = ::write(wake_write, &byte, 1);
@@ -726,5 +886,7 @@ std::vector<JobStatus> Daemon::jobs() const {
     out.push_back(impl_->status_of(*job));
   return out;
 }
+
+bool Daemon::degraded() const { return impl_->degraded_mode; }
 
 }  // namespace pns::sweepd

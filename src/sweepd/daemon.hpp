@@ -34,6 +34,7 @@
 #include "sweep/journal.hpp"
 #include "sweepd/job.hpp"
 #include "sweepd/protocol.hpp"
+#include "util/fault.hpp"
 #include "util/socket.hpp"
 
 namespace pns::sweepd {
@@ -58,6 +59,21 @@ struct DaemonOptions {
   double idle_poll_s = 0.5;
   /// Diagnostic sink (one line per event); null = silent.
   std::function<void(const std::string&)> log;
+  /// Optional fault injector threaded into every journal writer (torn
+  /// appends, failed fsyncs) -- the daemon half of `--fault` chaos runs.
+  std::shared_ptr<fault::FaultInjector> fault;
+};
+
+/// Point-in-time view of one connected worker, as reported to `status`
+/// clients (the per-worker liveness block of `pns_sweep status`).
+struct WorkerLiveness {
+  std::size_t worker = 0;      ///< daemon-assigned ordinal (1-based)
+  unsigned threads = 0;        ///< worker-reported scenario threads
+  std::size_t leases = 0;      ///< leases currently held
+  std::size_t rows = 0;        ///< rows accepted from this connection
+  std::size_t duplicates = 0;  ///< redundant rows dropped idempotently
+  std::size_t retries = 0;     ///< worker-reported reconnect count
+  double last_seen_s = 0.0;    ///< seconds since last message/heartbeat
 };
 
 /// Point-in-time view of one job, as reported to `status` clients.
@@ -100,6 +116,11 @@ class Daemon {
   /// Snapshot of every job, in creation order (test/status hook; not
   /// thread-safe -- call from the serving thread or around run()).
   std::vector<JobStatus> jobs() const;
+
+  /// True while the daemon is refusing to lease because its state dir
+  /// stopped accepting journal appends (degraded mode). Test hook; same
+  /// threading caveat as jobs().
+  bool degraded() const;
 
  private:
   struct Impl;

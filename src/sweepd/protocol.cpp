@@ -48,11 +48,14 @@ const std::string& message_type(const JsonValue& msg) {
   return msg.at("type").as_string();
 }
 
-std::string make_hello(const std::string& role, unsigned threads) {
+std::string make_hello(const std::string& role, unsigned threads,
+                       std::size_t reconnects) {
   MessageWriter m("hello");
   m.w().kv("role", role);
   m.w().kv("proto", kProtocolVersion);
   m.w().kv("threads", static_cast<std::uint64_t>(threads));
+  if (reconnects != 0)
+    m.w().kv("reconnects", static_cast<std::uint64_t>(reconnects));
   return m.finish();
 }
 
@@ -122,6 +125,13 @@ std::string make_row(const std::string& job, std::uint64_t lease,
 
 std::string make_lease_done(const std::string& job, std::uint64_t lease) {
   MessageWriter m("lease_done");
+  m.w().kv("job", job);
+  m.w().kv("lease", lease);
+  return m.finish();
+}
+
+std::string make_heartbeat(const std::string& job, std::uint64_t lease) {
+  MessageWriter m("heartbeat");
   m.w().kv("job", job);
   m.w().kv("lease", lease);
   return m.finish();

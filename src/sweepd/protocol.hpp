@@ -56,7 +56,11 @@ const std::string& message_type(const JsonValue& msg);
 
 // --- builders (each returns one unframed line) --------------------------
 
-std::string make_hello(const std::string& role, unsigned threads);
+/// `reconnects` tells the daemon how many times this worker has had to
+/// re-establish its session (self-healing retry loop) -- surfaced in
+/// status as per-worker "retries"; 0 is omitted from the frame.
+std::string make_hello(const std::string& role, unsigned threads,
+                       std::size_t reconnects = 0);
 std::string make_hello_ok();
 
 std::string make_submit(const JobSpec& spec);
@@ -77,6 +81,12 @@ std::string make_row(const std::string& job, std::uint64_t lease,
                      std::size_t index, double wall_s,
                      const sweep::SummaryRow& row);
 std::string make_lease_done(const std::string& job, std::uint64_t lease);
+
+/// One-way worker -> daemon liveness beacon sent while a lease is
+/// executing: refreshes the lease deadline and the worker's last-seen
+/// time. Deliberately has no reply -- the worker's main thread may be
+/// deep in a scenario, so a heartbeat thread fires these blind.
+std::string make_heartbeat(const std::string& job, std::uint64_t lease);
 
 std::string make_status(const std::string& job = "");  ///< "" = all jobs
 

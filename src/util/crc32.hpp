@@ -1,0 +1,25 @@
+// CRC-32 checksums (IEEE 802.3 reflected polynomial, as in zip/gzip).
+//
+// The checkpoint journal embeds a CRC-32 in every line it writes so
+// silent corruption -- a bit flip, a partially overwritten sector, a
+// buggy transfer -- is *detected* rather than folded into the aggregate
+// (sweep/journal.hpp quarantines mismatching lines). Table-driven and
+// byte-order independent, so the same bytes checksum identically on
+// every platform the byte-identity contract spans.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace pns {
+
+/// CRC-32 of `data` (polynomial 0xEDB88320, init/final XOR 0xFFFFFFFF --
+/// the "crc32" everyone means: zlib, gzip, PNG).
+std::uint32_t crc32(std::string_view data);
+
+/// Fixed-width lowercase hex rendering ("0007f3a2"): the form journal
+/// lines embed, chosen so framed lines keep a constant-length suffix.
+std::string crc32_hex(std::uint32_t crc);
+
+}  // namespace pns

@@ -7,11 +7,15 @@
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <utility>
+
+#include "util/fault.hpp"
 
 namespace pns::net {
 
@@ -147,6 +151,40 @@ Socket listen_endpoint(const Endpoint& ep, int backlog) {
   return s;
 }
 
+namespace {
+
+/// Completes a connect() that a signal interrupted. POSIX: after EINTR
+/// the connection attempt continues asynchronously, so re-issuing
+/// connect() yields EALREADY (or EISCONN) rather than success -- the
+/// retry loop this replaces was wrong. Wait for writability, then read
+/// the attempt's actual outcome from SO_ERROR.
+int finish_interrupted_connect(int fd) {
+  pollfd p{};
+  p.fd = fd;
+  p.events = POLLOUT;
+  int rc;
+  do {
+    rc = ::poll(&p, 1, -1);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return -1;
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0) return -1;
+  if (err != 0) {
+    errno = err;
+    return -1;
+  }
+  return 0;
+}
+
+int connect_once(int fd, const sockaddr* addr, socklen_t len) {
+  int rc = ::connect(fd, addr, len);
+  if (rc < 0 && errno == EINTR) rc = finish_interrupted_connect(fd);
+  return rc;
+}
+
+}  // namespace
+
 Socket connect_endpoint(const Endpoint& ep) {
   const int family = ep.kind == Endpoint::Kind::kUnix ? AF_UNIX : AF_INET;
   Socket s(::socket(family, SOCK_STREAM, 0));
@@ -154,16 +192,12 @@ Socket connect_endpoint(const Endpoint& ep) {
   int rc;
   if (ep.kind == Endpoint::Kind::kUnix) {
     const sockaddr_un addr = unix_addr(ep.path);
-    do {
-      rc = ::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
-                     sizeof(addr));
-    } while (rc < 0 && errno == EINTR);
+    rc = connect_once(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr));
   } else {
     const sockaddr_in addr = tcp_addr(ep);
-    do {
-      rc = ::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
-                     sizeof(addr));
-    } while (rc < 0 && errno == EINTR);
+    rc = connect_once(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr));
   }
   if (rc < 0) throw_errno("connect " + ep.to_string());
   if (ep.kind == Endpoint::Kind::kTcp) {
@@ -193,6 +227,49 @@ std::uint16_t local_port(const Socket& s) {
 
 LineConn::LineConn(Socket s, std::size_t max_line)
     : sock_(std::move(s)), max_line_(max_line) {}
+
+ssize_t LineConn::io_recv(char* buf, std::size_t cap) {
+  for (;;) {
+    std::size_t budget = cap;
+    if (fault_) {
+      if (fault_->drop_connection()) {
+        // Model a severed link: from here every call on this connection
+        // fails the way a real dead peer's would.
+        sock_.close();
+        errno = ECONNRESET;
+        return -1;
+      }
+      // An injected interrupt takes the same retry edge a real one does.
+      if (fault_->inject_eintr()) continue;
+      budget = std::max<std::size_t>(1, fault_->clamp_read(cap));
+    }
+    const ssize_t n = ::recv(sock_.fd(), buf, budget, 0);
+    if (n < 0 && errno == EINTR) continue;
+    return n;
+  }
+}
+
+ssize_t LineConn::io_send(const char* buf, std::size_t len) {
+  for (;;) {
+    std::size_t budget = len;
+    if (fault_) {
+      if (fault_->drop_connection()) {
+        // Sever mid-frame: push a torn prefix first (what a dying
+        // host's kernel may already have flushed), so the peer gets to
+        // exercise its partial-line handling too.
+        if (len > 1) ::send(sock_.fd(), buf, len / 2, MSG_NOSIGNAL);
+        sock_.close();
+        errno = ECONNRESET;
+        return -1;
+      }
+      if (fault_->inject_eintr()) continue;
+      budget = std::max<std::size_t>(1, fault_->clamp_write(len));
+    }
+    const ssize_t n = ::send(sock_.fd(), buf, budget, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    return n;
+  }
+}
 
 bool LineConn::drain_lines(std::vector<std::string>& out) {
   std::size_t start = 0;
@@ -226,14 +303,13 @@ IoStatus LineConn::read_lines(std::vector<std::string>& out) {
   next_pending_ = 0;
   char chunk[16384];
   for (;;) {
-    const ssize_t n = ::recv(sock_.fd(), chunk, sizeof(chunk), 0);
+    const ssize_t n = io_recv(chunk, sizeof(chunk));
     if (n > 0) {
       read_buf_.append(chunk, static_cast<std::size_t>(n));
       if (!drain_lines(out)) return IoStatus::kLineTooLong;
       continue;
     }
     if (n == 0) return IoStatus::kClosed;
-    if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kOk;
     return IoStatus::kError;
   }
@@ -255,14 +331,12 @@ void LineConn::queue_line(const std::string& line) {
 
 IoStatus LineConn::flush() {
   while (write_pos_ < write_buf_.size()) {
-    const ssize_t n =
-        ::send(sock_.fd(), write_buf_.data() + write_pos_,
-               write_buf_.size() - write_pos_, MSG_NOSIGNAL);
+    const ssize_t n = io_send(write_buf_.data() + write_pos_,
+                              write_buf_.size() - write_pos_);
     if (n > 0) {
       write_pos_ += static_cast<std::size_t>(n);
       continue;
     }
-    if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kOk;
     return errno == EPIPE || errno == ECONNRESET ? IoStatus::kClosed
                                                  : IoStatus::kError;
@@ -285,15 +359,15 @@ std::optional<std::string> LineConn::recv_line_blocking() {
 
   char chunk[16384];
   for (;;) {
-    const ssize_t n = ::recv(sock_.fd(), chunk, sizeof(chunk), 0);
+    const ssize_t n = io_recv(chunk, sizeof(chunk));
     if (n > 0) {
       read_buf_.append(chunk, static_cast<std::size_t>(n));
       if (!drain_lines(pending_lines_)) return std::nullopt;
       if (pending_lines_.empty()) continue;
       return std::move(pending_lines_[next_pending_++]);
     }
-    if (n == 0) return std::nullopt;
-    if (errno == EINTR) continue;
+    // EOF, EAGAIN (a blocking fd never sees it) and hard errors all end
+    // the conversation for a blocking caller; EINTR was already retried.
     return std::nullopt;
   }
 }

@@ -19,10 +19,17 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include <sys/types.h>
+
+namespace pns::fault {
+class FaultInjector;
+}
 
 namespace pns::net {
 
@@ -113,6 +120,16 @@ class LineConn {
   bool valid() const { return sock_.valid(); }
   void close() { sock_.close(); }
 
+  /// Attaches a deterministic fault injector (util/fault.hpp): every
+  /// recv/send on this connection then consults it for forced short
+  /// reads/writes, injected EINTRs and mid-frame connection drops.
+  /// Null (the default) means no faults. Injected failures surface
+  /// through the normal IoStatus/optional paths -- callers cannot tell
+  /// a scheduled fault from a real one, which is the point.
+  void set_fault(std::shared_ptr<fault::FaultInjector> fault) {
+    fault_ = std::move(fault);
+  }
+
   /// Non-blocking read step: consumes whatever the socket has and
   /// appends every complete line to `out` (delimiter stripped). kOk
   /// means "call again when readable"; kClosed reports EOF *after* any
@@ -145,9 +162,16 @@ class LineConn {
   /// yields one line per call; a read may deliver several).
   std::vector<std::string> pending_lines_;
   std::size_t next_pending_ = 0;
+  std::shared_ptr<fault::FaultInjector> fault_;
 
   /// Splits complete lines out of read_buf_; false on overflow.
   bool drain_lines(std::vector<std::string>& out);
+
+  /// The single recv/send funnels: uniform EINTR retry (real and
+  /// injected interrupts alike), fault hooks, EAGAIN passed through to
+  /// the caller. Every byte this connection moves goes through these.
+  ssize_t io_recv(char* buf, std::size_t cap);
+  ssize_t io_send(const char* buf, std::size_t len);
 };
 
 }  // namespace pns::net

@@ -5,9 +5,11 @@
 #
 # Covers the daemon-mode error surfaces, then the distributed workflows
 # end-to-end over real processes and sockets: a 2-worker run, a run with
-# a worker kill -9'd mid-sweep (re-lease path), and a daemon restart
-# (journal reload path) must all publish a canonical journal, CSV and
-# JSON byte-identical to a single-machine run of the same sweep.
+# a worker kill -9'd mid-sweep (re-lease path), a daemon restart
+# (journal reload path), and a seeded `--fault` chaos run (injected
+# connection drops, short IO, a failed fsync) must all publish a
+# canonical journal, CSV and JSON byte-identical to a single-machine run
+# of the same sweep.
 set -eu
 
 BIN=$1
@@ -178,6 +180,75 @@ start_daemon --listen "unix:$WORK/d.sock" --state-dir "$WORK/ustate" || \
 cmp -s local.csv unix.csv || fail "unix-socket CSV differs from local run"
 "$BIN" shutdown --connect "$ADDR" >/dev/null || fail "unix shutdown failed"
 wait "$DAEMON_PID" || fail "unix daemon exited non-zero"
+DAEMON_PID=""
+
+# --- chaos: a seeded --fault run stays byte-identical ------------------
+# Bad fault specs are rejected up front, naming the accepted keys.
+if "$DAEMON" --listen tcp:0 --state-dir nostate \
+    --fault "fault:frobnicate=1" >out.txt 2>err.txt; then
+  fail "daemon accepted a bogus --fault spec"
+fi
+grep -q "conn_drop" err.txt || fail "bad --fault: accepted keys not named"
+if "$BIN" worker --connect tcp:1 --fault "fault:conn_drop=2" \
+    >out.txt 2>err.txt; then
+  fail "worker accepted an out-of-range --fault probability"
+fi
+
+# Daemon under a transient injected fsync failure (degrades, self-heals)
+# and workers under seeded connection drops / short IO / EINTR storms:
+# the published artifacts must still equal the clean local run byte for
+# byte -- the same files the 2-worker section produced above.
+mkdir chaos-state
+start_daemon --listen tcp:0 --state-dir chaos-state --fsync \
+    --idle-poll 0.05 --fault "fault:seed=7,fsync_fail=3" || \
+  { fail "chaos daemon did not start"; exit 1; }
+"$BIN" submit quick --connect "$ADDR" >/dev/null || \
+  fail "chaos submit failed"
+
+# Per-worker liveness in status: park a long-lived worker and wait for
+# its heartbeat row to appear.
+"$BIN" worker --connect "$ADDR" --quiet \
+    --fault "fault:seed=301,short_read=0.2,short_write=0.2,eintr=0.2" \
+    >wl.txt 2>&1 &
+LIVEW=$!
+i=0
+seen=""
+while [ $i -lt 100 ]; do
+  "$BIN" status --connect "$ADDR" >cstatus.txt 2>/dev/null || true
+  if grep -q "thread(s)" cstatus.txt; then seen=1; break; fi
+  sleep 0.1
+  i=$((i + 1))
+done
+[ -n "$seen" ] || fail "status never showed a per-worker liveness row"
+grep -q "last seen" cstatus.txt || fail "status: heartbeat age missing"
+
+# Two chaos workers finish whatever the parked one leaves; then release
+# the parked worker (its job is gone, it exits on the daemon shutdown
+# below, so just kill it once the job completes).
+"$BIN" worker --connect "$ADDR" --once --quiet \
+    --fault "fault:seed=302,conn_drop=0.01,short_read=0.2,short_write=0.2,eintr=0.2" \
+    >cw1.txt || fail "chaos worker 1 failed"
+"$BIN" worker --connect "$ADDR" --once --quiet \
+    --fault "fault:seed=303,conn_drop=0.01,short_read=0.2,short_write=0.2,eintr=0.2" \
+    >cw2.txt || fail "chaos worker 2 failed"
+kill "$LIVEW" 2>/dev/null || true
+wait "$LIVEW" 2>/dev/null || true
+
+"$BIN" status --connect "$ADDR" >cstatus2.txt || fail "chaos status failed"
+grep -q "complete" cstatus2.txt || fail "chaos job did not complete"
+grep -q "DEGRADED" cstatus2.txt && \
+  fail "daemon still degraded after transient fsync fault"
+
+"$BIN" results job-1 --connect "$ADDR" --quiet \
+  --journal chaos.canon.jsonl --csv chaos.csv --json chaos.json \
+  >/dev/null || fail "chaos results failed"
+cmp -s local.canon.jsonl chaos.canon.jsonl || \
+  fail "chaos canonical journal differs from clean run"
+cmp -s local.csv chaos.csv || fail "chaos CSV differs from clean run"
+cmp -s local.json chaos.json || fail "chaos JSON differs from clean run"
+
+"$BIN" shutdown --connect "$ADDR" >/dev/null || fail "chaos shutdown failed"
+wait "$DAEMON_PID" || fail "chaos daemon exited non-zero"
 DAEMON_PID=""
 
 if [ "$fails" -ne 0 ]; then

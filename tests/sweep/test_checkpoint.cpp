@@ -19,6 +19,7 @@
 #include "sweep/runner.hpp"
 #include "sweep/scenario.hpp"
 #include "util/contracts.hpp"
+#include "util/fault.hpp"
 
 namespace pns::sweep {
 namespace {
@@ -208,6 +209,218 @@ TEST(Journal, IdentityMismatchRejected) {
                JournalError);
   EXPECT_THROW(read_journal(file.path(), JournalHeader{"weather", 18}),
                JournalError);
+}
+
+// ------------------------------------------------- CRC + chaos recovery
+
+std::vector<std::string> file_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  return lines;
+}
+
+void write_lines(const std::string& path,
+                 const std::vector<std::string>& lines) {
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  for (const std::string& line : lines) out << line << '\n';
+}
+
+TEST(JournalCrc, EveryWrittenLineCarriesAChecksum) {
+  const auto specs = small_sweep().expand();
+  const auto rows = uninterrupted_rows(specs);
+  TempFile file("pns-crc-every");
+  {
+    JournalWriter writer =
+        JournalWriter::create(file.path(), {"small", specs.size()});
+    for (std::size_t i = 0; i < rows.size(); ++i) writer.append(i, rows[i]);
+  }
+  const auto lines = file_lines(file.path());
+  ASSERT_EQ(lines.size(), rows.size() + 1);  // header + one per row
+  for (const std::string& line : lines) {
+    // The fixed-width suffix: ,"crc":"xxxxxxxx"}
+    ASSERT_GE(line.size(), 18u) << line;
+    const std::string tail = line.substr(line.size() - 18);
+    EXPECT_EQ(tail.substr(0, 8), ",\"crc\":\"") << line;
+    EXPECT_EQ(tail.substr(16), "\"}") << line;
+    for (char c : tail.substr(8, 8))
+      EXPECT_TRUE(std::isxdigit(static_cast<unsigned char>(c))) << line;
+  }
+}
+
+TEST(JournalCrc, LegacyJournalsWithoutChecksumsStillRead) {
+  const auto specs = small_sweep().expand();
+  const auto rows = uninterrupted_rows(specs);
+  TempFile file("pns-crc-legacy");
+  {
+    JournalWriter writer =
+        JournalWriter::create(file.path(), {"small", specs.size()});
+    for (std::size_t i = 0; i < rows.size(); ++i) writer.append(i, rows[i]);
+  }
+  // Strip every crc suffix, leaving the journal exactly as a pre-CRC
+  // build would have written it.
+  auto lines = file_lines(file.path());
+  for (std::string& line : lines)
+    line = line.substr(0, line.size() - 18) + "}";
+  write_lines(file.path(), lines);
+
+  const JournalContents contents = read_journal(file.path());
+  EXPECT_EQ(contents.quarantined_lines, 0u);
+  EXPECT_EQ(contents.dropped_lines, 0u);
+  ASSERT_EQ(contents.rows.size(), rows.size());
+  std::vector<SummaryRow> parsed;
+  for (const auto& [i, row] : contents.rows) parsed.push_back(row);
+  EXPECT_EQ(csv_of(parsed), csv_of(rows));
+}
+
+TEST(JournalCrc, CorruptRowIsQuarantinedAndResumeHealsIt) {
+  const auto specs = small_sweep().expand();
+  const auto full = uninterrupted_rows(specs);
+  TempFile file("pns-crc-flip");
+  {
+    JournalWriter writer =
+        JournalWriter::create(file.path(), {"small", specs.size()});
+    for (std::size_t i = 0; i < full.size(); ++i) writer.append(i, full[i]);
+  }
+  // Flip one byte inside row 2's payload: the line still parses as JSON
+  // (a silent corruption), but its checksum no longer matches.
+  auto lines = file_lines(file.path());
+  std::string& target = lines[3];  // header, row0, row1, row2
+  const std::size_t label = target.find("\"label\":\"");
+  ASSERT_NE(label, std::string::npos);
+  target[label + 9] = (target[label + 9] == 'Z') ? 'Y' : 'Z';
+  write_lines(file.path(), lines);
+
+  const JournalContents contents = read_journal(file.path());
+  EXPECT_EQ(contents.quarantined_lines, 1u);
+  EXPECT_EQ(contents.rows.size(), full.size() - 1);
+  EXPECT_EQ(contents.rows.count(2), 0u);
+  ASSERT_FALSE(contents.notes.empty());
+  EXPECT_NE(contents.notes[0].find("checksum"), std::string::npos);
+
+  // A resume re-runs exactly the quarantined scenario and the published
+  // aggregate equals the clean run that never saw the corruption.
+  const auto report = runner_with(1).resume(specs, file.path(), "small");
+  EXPECT_EQ(report.reused, full.size() - 1);
+  EXPECT_EQ(report.executed, 1u);
+  EXPECT_EQ(csv_of(report.rows), csv_of(full));
+  EXPECT_EQ(json_of(report.rows), json_of(full));
+}
+
+TEST(JournalCrc, MergeAfterQuarantineEqualsCleanRun) {
+  // The shard-merge workflow with corruption in one shard: after the
+  // shard re-runs its quarantined row, the merged union is byte-equal
+  // to the single clean run.
+  const auto specs = small_sweep().expand();
+  const auto full = uninterrupted_rows(specs);
+  TempFile a("pns-crc-merge-a");
+  TempFile b("pns-crc-merge-b");
+  for (std::size_t k = 0; k < 2; ++k)
+    runner_with(2).run_checkpointed(
+        specs, (k == 0 ? a : b).path(), "small",
+        shard_range(specs.size(), k, 2));
+
+  // Corrupt the first row line of shard a.
+  auto lines = file_lines(a.path());
+  const std::size_t label = lines[1].find("\"label\":\"");
+  ASSERT_NE(label, std::string::npos);
+  lines[1][label + 9] = (lines[1][label + 9] == 'Z') ? 'Y' : 'Z';
+  write_lines(a.path(), lines);
+  EXPECT_EQ(read_journal(a.path()).quarantined_lines, 1u);
+
+  // The shard worker re-runs: only the quarantined scenario executes,
+  // and its fresh row supersedes the corrupt line (later wins).
+  const auto healed = runner_with(1).run_checkpointed(
+      specs, a.path(), "small", shard_range(specs.size(), 0, 2));
+  EXPECT_EQ(healed.executed, 1u);
+
+  std::map<std::size_t, SummaryRow> merged;
+  for (const auto* f : {&a, &b}) {
+    JournalContents part =
+        read_journal(f->path(), JournalHeader{"small", specs.size()});
+    merged.insert(part.rows.begin(), part.rows.end());
+  }
+  ASSERT_EQ(merged.size(), specs.size());
+  std::vector<SummaryRow> rows;
+  for (auto& [i, row] : merged) rows.push_back(std::move(row));
+  EXPECT_EQ(csv_of(rows), csv_of(full));
+}
+
+TEST(Journal, TornHeaderIsUnrecoverableWithAClearDiagnostic) {
+  const auto specs = small_sweep().expand();
+  TempFile file("pns-crc-header");
+  JournalWriter::create(file.path(), {"small", specs.size()});
+  // Truncate mid-header: no trustworthy identity survives.
+  const auto lines = file_lines(file.path());
+  std::ofstream(file.path(), std::ios::trunc | std::ios::binary)
+      << lines[0].substr(0, lines[0].size() / 2);
+  try {
+    read_journal(file.path());
+    FAIL() << "expected JournalError";
+  } catch (const JournalError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unrecoverable"), std::string::npos) << what;
+    EXPECT_NE(what.find("re-run"), std::string::npos) << what;
+  }
+}
+
+TEST(Journal, FailedFsyncAppendThrowsThenResynchronises) {
+  const auto specs = small_sweep().expand();
+  const auto full = uninterrupted_rows(specs);
+  TempFile file("pns-crc-fsync");
+  // The 2nd fsync (the first row append; the header took the 1st) is
+  // scheduled to fail. The append must fail loudly; the writer stays
+  // usable and the retry lands on a fresh line.
+  auto inj = fault::make_injector("fault:seed=1,fsync_fail=2");
+  JournalWriter writer = JournalWriter::create(
+      file.path(), {"small", specs.size()}, JournalDurability::kFsync, inj);
+  EXPECT_THROW(writer.append(0, full[0]), JournalError);
+  EXPECT_NO_THROW(writer.append(0, full[0]));
+  EXPECT_NO_THROW(writer.append(1, full[1]));
+  EXPECT_TRUE(writer.probe());
+
+  const JournalContents contents = read_journal(file.path());
+  EXPECT_EQ(contents.rows.size(), 2u);
+  EXPECT_EQ(csv_of({contents.rows.at(0), contents.rows.at(1)}),
+            csv_of({full[0], full[1]}));
+}
+
+TEST(Journal, TornAppendLeavesItsOwnDroppedLine) {
+  const auto specs = small_sweep().expand();
+  const auto full = uninterrupted_rows(specs);
+  // Find a seed whose tear-site schedule is miss, hit, miss, miss: the
+  // header write goes through, the first append tears, and the retry +
+  // second append go through (each site's sequence is a pure function
+  // of the seed, so this probe is exact).
+  std::uint64_t seed = 0;
+  for (std::uint64_t s = 1; s < 500; ++s) {
+    fault::FaultInjector probe(
+        fault::FaultSpec::parse("fault:seed=" + std::to_string(s) +
+                                ",torn_append=0.5"));
+    if (probe.tear_append(100) == 100 && probe.tear_append(100) < 100 &&
+        probe.tear_append(100) == 100 && probe.tear_append(100) == 100) {
+      seed = s;
+      break;
+    }
+  }
+  ASSERT_NE(seed, 0u);
+
+  TempFile file("pns-crc-torn-append");
+  auto inj = fault::make_injector("fault:seed=" + std::to_string(seed) +
+                                  ",torn_append=0.5");
+  JournalWriter writer = JournalWriter::create(
+      file.path(), {"small", specs.size()}, JournalDurability::kFlush, inj);
+  EXPECT_THROW(writer.append(0, full[0]), JournalError);
+  EXPECT_NO_THROW(writer.append(0, full[0]));
+  EXPECT_NO_THROW(writer.append(1, full[1]));
+
+  // The torn fragment became its own dropped line; both rows are intact.
+  const JournalContents contents = read_journal(file.path());
+  EXPECT_EQ(contents.dropped_lines, 1u);
+  ASSERT_FALSE(contents.notes.empty());
+  EXPECT_EQ(contents.rows.size(), 2u);
+  EXPECT_EQ(csv_of({contents.rows.at(0), contents.rows.at(1)}),
+            csv_of({full[0], full[1]}));
 }
 
 // ------------------------------------------------------------- resume

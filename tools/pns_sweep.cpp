@@ -103,6 +103,8 @@ struct Options {
   // Daemon mode (worker/submit/status/results/watch/shutdown).
   std::string connect;  ///< daemon endpoint spec string
   bool once = false;    ///< worker: exit when the work runs dry
+  std::string fault_spec;   ///< worker: --fault chaos injection spec
+  long max_reconnects = -1; ///< worker: -1 = library default
   /// fsync journal appends (sweep runs) so acknowledged rows survive a
   /// machine crash; a disk round-trip per row.
   bool fsync = false;
@@ -116,6 +118,7 @@ void usage(const char* argv0) {
       "[--quiet] JOURNAL...\n"
       "       %s compact [--out PATH] JOURNAL\n"
       "       %s worker --connect EP [--threads N] [--once]\n"
+      "                 [--fault SPEC] [--max-reconnects N]\n"
       "       %s submit <sweep> --connect EP [sweep options]\n"
       "       %s status [JOB] --connect EP\n"
       "       %s results JOB --connect EP [--csv/--json/--journal PATH]\n"
@@ -176,7 +179,12 @@ void usage(const char* argv0) {
       "                tcp:PORT (required by worker/submit/status/\n"
       "                results/watch/shutdown)\n"
       "  --once        worker: exit once every job is complete instead\n"
-      "                of polling for future submissions\n");
+      "                of polling for future submissions\n"
+      "  --fault SPEC  worker: deterministic fault injection on the daemon\n"
+      "                connection (docs/fault-injection.md), e.g.\n"
+      "                fault:seed=7,conn_drop=0.05,short_write=0.1\n"
+      "  --max-reconnects N  worker: reconnect attempts before giving up\n"
+      "                (default 8; 0 = die on the first disconnect)\n");
 }
 
 void list_sweeps(std::FILE* os) {
@@ -363,6 +371,20 @@ int run_worker_cmd(const Options& opt) {
   wopt.endpoint = daemon_endpoint(opt, "worker");
   wopt.threads = opt.threads;
   wopt.once = opt.once;
+  if (opt.max_reconnects >= 0)
+    wopt.max_reconnects = static_cast<std::size_t>(opt.max_reconnects);
+  if (!opt.fault_spec.empty()) {
+    try {
+      wopt.fault = fault::make_injector(opt.fault_spec);
+      // The same seed also drives the backoff jitter, so a whole chaos
+      // session is reproducible from one number.
+      wopt.backoff_seed = fault::FaultSpec::parse(opt.fault_spec).seed;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "invalid --fault '%s': %s\n",
+                   opt.fault_spec.c_str(), e.what());
+      return 2;
+    }
+  }
   if (!opt.quiet) {
     wopt.log = [](const std::string& line) {
       std::fprintf(stderr, "worker: %s\n", line.c_str());
@@ -370,8 +392,9 @@ int run_worker_cmd(const Options& opt) {
   }
   try {
     const sweepd::WorkerReport report = sweepd::run_worker(wopt);
-    std::printf("worker: %zu lease(s), %zu row(s), %zu failed\n",
-                report.leases, report.rows, report.failed);
+    std::printf(
+        "worker: %zu lease(s), %zu row(s), %zu failed, %zu reconnect(s)\n",
+        report.leases, report.rows, report.failed, report.reconnects);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "worker: %s\n", e.what());
@@ -412,8 +435,18 @@ int run_status_cmd(const Options& opt,
     const sweepd::StatusReport report = sweepd::fetch_status(
         daemon_endpoint(opt, "status"),
         positional.empty() ? "" : positional[0]);
-    std::printf("%zu worker(s) connected, %zu job(s)\n", report.workers,
-                report.jobs.size());
+    std::printf("%zu worker(s) connected, %zu job(s)%s\n", report.workers,
+                report.jobs.size(),
+                report.degraded ? "  [DEGRADED: leasing paused]" : "");
+    if (report.degraded && !report.degraded_reason.empty())
+      std::printf("  degraded: %s\n", report.degraded_reason.c_str());
+    for (const auto& w : report.worker_info) {
+      std::printf(
+          "  worker %-3zu %u thread(s), %zu lease(s) held, %zu row(s), "
+          "%zu duplicate(s), %zu retry(ies), last seen %.1fs ago\n",
+          w.worker, w.threads, w.leases, w.rows, w.duplicates, w.retries,
+          w.last_seen_s);
+    }
     for (const auto& j : report.jobs) {
       std::printf(
           "  %-8s %4zu/%-4zu done, %zu pending, %zu leased, %zu failed, "
@@ -643,6 +676,10 @@ int main(int argc, char** argv) {
       opt.connect = next();
     else if (arg == "--once")
       opt.once = true;
+    else if (arg == "--fault")
+      opt.fault_spec = next();
+    else if (arg == "--max-reconnects")
+      opt.max_reconnects = std::atol(next());
     else if (arg == "--fsync")
       opt.fsync = true;
     else if (arg == "--help" || arg == "-h") {

@@ -51,6 +51,9 @@ void usage(const char* argv0) {
       "                     pending and worker counts (default)\n"
       "  --idle-poll S      poll-again hint sent to idle workers\n"
       "                     (default 0.5)\n"
+      "  --fault SPEC       deterministic fault injection for chaos runs\n"
+      "                     (docs/fault-injection.md), e.g.\n"
+      "                     fault:seed=7,torn_append=0.1,fsync_fail=2\n"
       "  --quiet            suppress the per-event log on stderr\n",
       argv0);
 }
@@ -97,7 +100,16 @@ int main(int argc, char** argv) {
       opt.lease_rows = static_cast<std::size_t>(std::atoll(next()));
     else if (arg == "--idle-poll")
       opt.idle_poll_s = std::atof(next());
-    else if (arg == "--quiet")
+    else if (arg == "--fault") {
+      const std::string spec = next();
+      try {
+        opt.fault = fault::make_injector(spec);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "invalid --fault '%s': %s\n", spec.c_str(),
+                     e.what());
+        return 2;
+      }
+    } else if (arg == "--quiet")
       quiet = true;
     else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
