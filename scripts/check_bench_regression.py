@@ -60,6 +60,57 @@ def micro_map(report):
     }
 
 
+def compare_table2(fresh, baseline, threshold):
+    """Compares table2 sweep wall-clocks key by key; returns warnings.
+
+    The key set is learned from the reports themselves, so a newly added
+    integrator entry (e.g. `rk23batch` in BENCH_8) shows up as `new` the
+    first time -- informational, never a warning -- and is tracked
+    automatically once a baseline containing it is checked in. Keys the
+    baseline has but the fresh report lost are flagged: a silently
+    dropped bench reads as "still fine" when nothing measured it.
+    """
+    fresh_t = fresh.get("table2")
+    base_t = baseline.get("table2")
+    if not isinstance(fresh_t, dict):
+        return []
+    if not isinstance(base_t, dict):
+        base_t = {}
+
+    def wall(section, key):
+        row = section.get(key)
+        if isinstance(row, dict) and "wall_s" in row:
+            return float(row["wall_s"])
+        return None
+
+    keys = [k for k in list(fresh_t) + list(base_t)
+            if k != "minutes" and (wall(fresh_t, k) is not None or
+                                   wall(base_t, k) is not None)]
+    keys = list(dict.fromkeys(keys))  # de-dup, report order preserved
+    warnings = []
+    for key in keys:
+        name = f"table2 {key}"
+        fresh_s = wall(fresh_t, key)
+        base_s = wall(base_t, key)
+        if fresh_s is None:
+            print(f"{name:42} {'missing!':>12}")
+            warnings.append((name + " (dropped from report)", 0.0))
+            continue
+        if base_s is None:
+            print(f"{name:42} {'new':>12} {fresh_s:10.2f}s")
+            continue
+        if base_s <= 0:
+            continue
+        delta = fresh_s / base_s - 1.0
+        flag = ""
+        if delta > threshold:
+            flag = "  <-- REGRESSION"
+            warnings.append((name, delta))
+        print(f"{name:42} {base_s:11.2f}s {fresh_s:11.2f}s "
+              f"{delta:+7.1%}{flag}")
+    return warnings
+
+
 def compare_dispatch(fresh, baseline, threshold):
     """Compares daemon_dispatch.overhead_per_row_ms; returns warnings."""
     fresh_d = fresh.get("daemon_dispatch")
@@ -128,9 +179,15 @@ def main():
     for name in WATCHED:
         base_row = base_micro.get(name)
         fresh_row = fresh_micro.get(name)
-        if base_row is None or fresh_row is None:
-            status = "new" if base_row is None else "missing!"
-            print(f"{name:42} {status:>12}")
+        if base_row is None:
+            # First sight of a newly added bench: informational only.
+            # It becomes tracked once a baseline containing it lands.
+            fresh_ns = float(fresh_row["cpu_time_ns"]) if fresh_row else 0.0
+            print(f"{name:42} {'new':>12} {fresh_ns:10.0f}ns")
+            continue
+        if fresh_row is None:
+            print(f"{name:42} {'missing!':>12}")
+            regressed.append((name + " (dropped from report)", 0.0))
             continue
         base_ns = float(base_row["cpu_time_ns"])
         fresh_ns = float(fresh_row["cpu_time_ns"])
@@ -144,13 +201,17 @@ def main():
         print(f"{name:42} {base_ns:10.0f}ns {fresh_ns:10.0f}ns "
               f"{delta:+7.1%}{flag}")
 
+    regressed += compare_table2(fresh, baseline, args.threshold)
     regressed += compare_dispatch(fresh, baseline, args.threshold)
 
     if regressed:
         print()
         for name, delta in regressed:
-            print(f"warning: {name} slowed down {delta:+.1%} "
-                  f"(threshold {args.threshold:.0%})")
+            if name.endswith("(dropped from report)"):
+                print(f"warning: {name}")
+            else:
+                print(f"warning: {name} slowed down {delta:+.1%} "
+                      f"(threshold {args.threshold:.0%})")
         if args.strict:
             return 1
     else:

@@ -1,0 +1,54 @@
+#include "ehsim/batch_state.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "ehsim/rk23.hpp"
+
+namespace pns::ehsim {
+
+const char* to_string(LaneStatus s) {
+  switch (s) {
+    case LaneStatus::kIdle: return "idle";
+    case LaneStatus::kLockstep: return "lockstep";
+    case LaneStatus::kTail: return "tail";
+    case LaneStatus::kRetired: return "retired";
+    case LaneStatus::kDone: return "done";
+  }
+  return "?";
+}
+
+void BatchState::resize(std::size_t n) {
+  t.assign(n, 0.0);
+  v.assign(n, 0.0);
+  h.assign(n, 0.0);
+  f.assign(n, std::numeric_limits<double>::quiet_NaN());
+  margin.assign(n, std::numeric_limits<double>::infinity());
+  t_stop.assign(n, 0.0);
+  rounds.assign(n, 0);
+  status.assign(n, LaneStatus::kIdle);
+  lockstep_steps.assign(n, 0);
+  tail_steps.assign(n, 0);
+}
+
+void BatchState::observe(std::size_t i, const Rk23Integrator& integrator) {
+  t[i] = integrator.time();
+  v[i] = integrator.state()[0];
+  h[i] = integrator.step_size();
+  f[i] = integrator.have_fsal()
+             ? integrator.fsal_derivative(0)
+             : std::numeric_limits<double>::quiet_NaN();
+  margin[i] = integrator.min_event_margin();
+}
+
+std::size_t BatchState::count(LaneStatus s) const {
+  return static_cast<std::size_t>(
+      std::count(status.begin(), status.end(), s));
+}
+
+bool BatchState::all_done() const {
+  return std::all_of(status.begin(), status.end(),
+                     [](LaneStatus s) { return s == LaneStatus::kDone; });
+}
+
+}  // namespace pns::ehsim

@@ -1,0 +1,71 @@
+// Lane bookkeeping for batched lockstep integration.
+//
+// A batch run advances N independent trajectories ("lanes") through
+// shared stepping rounds (ehsim/rk23_batch.hpp). Each lane keeps its
+// numerics inside its own Rk23Integrator -- batching is an execution
+// strategy, never a model change -- but the round scheduler needs a
+// compact, cache-friendly view of every lane to decide who steps next,
+// who diverged and who retired. BatchState is that view: a
+// structure-of-arrays block mirroring the hot per-lane scalars (time,
+// node voltage, step size, FSAL derivative, event margin) plus the
+// per-window round counters the divergence policy reads. The mirror is
+// observational: nothing in the integration reads it back, so a stale or
+// absent mirror can never change a trajectory.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pns::ehsim {
+
+class Rk23Integrator;
+
+/// Where a lane stands in the batch lifecycle.
+enum class LaneStatus : std::uint8_t {
+  kIdle,      ///< between windows: needs a plan before it can step
+  kLockstep,  ///< window open, stepping in the shared rounds
+  kTail,      ///< window open but left lockstep (step divergence);
+              ///< finishing the window in a tight scalar loop
+  kRetired,   ///< permanently out of lockstep (e.g. a coast was taken);
+              ///< finishes the remaining simulation independently
+  kDone,      ///< reached its end time
+};
+
+const char* to_string(LaneStatus s);
+
+/// SoA mirror of N lanes' hot integration state. Columns are
+/// lane-indexed and resized together; resize() also resets every lane to
+/// kIdle with zeroed counters.
+struct BatchState {
+  // --- mirrored integrator state (refreshed by observe()) -------------
+  std::vector<double> t;       ///< lane simulation time (s)
+  std::vector<double> v;       ///< state component 0 (node voltage, V)
+  std::vector<double> h;       ///< step-size hint for the next attempt
+  std::vector<double> f;       ///< FSAL derivative of component 0 (NaN
+                               ///< while the lane's FSAL cache is stale)
+  std::vector<double> margin;  ///< min |event g|: distance to the nearest
+                               ///< watched threshold (+inf: none watched)
+
+  // --- per-window scheduling state -------------------------------------
+  std::vector<double> t_stop;          ///< open window's stop point
+  std::vector<std::uint32_t> rounds;   ///< step attempts in the open window
+  std::vector<LaneStatus> status;
+
+  // --- lifetime counters ------------------------------------------------
+  std::vector<std::uint64_t> lockstep_steps;  ///< attempts inside rounds
+  std::vector<std::uint64_t> tail_steps;      ///< attempts outside rounds
+
+  std::size_t size() const { return status.size(); }
+  void resize(std::size_t n);
+
+  /// Refreshes lane `i`'s mirrored columns from its integrator.
+  void observe(std::size_t i, const Rk23Integrator& integrator);
+
+  /// Number of lanes currently in `s`.
+  std::size_t count(LaneStatus s) const;
+  /// True when every lane reached kDone.
+  bool all_done() const;
+};
+
+}  // namespace pns::ehsim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "ehsim/dense_output.hpp"
 #include "util/contracts.hpp"
@@ -78,8 +79,18 @@ double Rk23Integrator::initial_step_guess(double t_end) const {
 IntegrationResult Rk23Integrator::advance(double t_end,
                                           std::span<const EventSpec> events) {
   IntegrationResult result;
+  if (!begin_window(t_end, events, result)) return result;
+  while (step_window(result)) {
+  }
+  return result;
+}
+
+bool Rk23Integrator::begin_window(double t_end,
+                                  std::span<const EventSpec> events,
+                                  IntegrationResult& result) {
+  result = {};
   result.t = t_;
-  if (t_end <= t_) return result;
+  if (t_end <= t_) return false;
 
   if (g_prev_.size() < events.size()) {
     g_prev_.resize(events.size());
@@ -95,9 +106,17 @@ IntegrationResult Rk23Integrator::advance(double t_end,
   for (std::size_t e = 0; e < events.size(); ++e)
     g_prev_[e] = events[e].eval(t_, y_);
 
-  std::size_t steps_this_call = 0;
-  while (t_ < t_end) {
-    PNS_ENSURES(++steps_this_call <= opt_.max_steps_per_call);
+  win_t_end_ = t_end;
+  win_events_ = events;
+  win_steps_ = 0;
+  return true;
+}
+
+bool Rk23Integrator::step_window(IntegrationResult& result) {
+  const double t_end = win_t_end_;
+  const std::span<const EventSpec> events = win_events_;
+  if (t_ < t_end) {
+    PNS_ENSURES(++win_steps_ <= opt_.max_steps_per_call);
 
     const double h_limit = std::min(h_, opt_.max_step);
     double h = std::min(h_limit, t_end - t_);
@@ -139,7 +158,7 @@ IntegrationResult Rk23Integrator::advance(double t_end,
       h_ = h * (opt_.step_control == StepControl::kPi
                     ? pi_.on_rejected(err)
                     : std::max(0.2, 0.9 * std::pow(err, -1.0 / 3.0)));
-      continue;
+      return true;
     }
 
     // Accept the step.
@@ -176,6 +195,8 @@ IntegrationResult Rk23Integrator::advance(double t_end,
     // --- event detection over the accepted step ------------------------
     double earliest_t = step_t1_;
     int earliest_tag = 0;
+    std::size_t earliest_event = 0;
+    bool earliest_dense = false;
     bool fired = false;
     // Dense-output cubic of component 0, built on demand once per step
     // (threshold events in kDenseRoot mode all localise against it).
@@ -222,6 +243,8 @@ IntegrationResult Rk23Integrator::advance(double t_end,
       if (!fired || root_t < earliest_t) {
         earliest_t = root_t;
         earliest_tag = events[e].tag;
+        earliest_event = e;
+        earliest_dense = localised;
         fired = true;
       }
     }
@@ -232,17 +255,46 @@ IntegrationResult Rk23Integrator::advance(double t_end,
       t_ = earliest_t;
       std::copy(ytmp_.begin(), ytmp_.end(), y_.begin());
       have_f0_ = false;  // state changed off the step grid
+      // A dense-output root sits on the crossed side of the *cubic*, but
+      // mapping s -> t -> s through interpolate() can land the committed
+      // state an ulp short of the threshold. Left there, the next window
+      // re-arms the same event on the un-crossed baseline and fires it at
+      // the same instant forever (the crossing now sits at s = 0, where
+      // t0 + s*h rounds back to t0 and the trajectory never advances).
+      // Snap component 0 onto the threshold -- within the event tolerance
+      // by construction, and a no-op whenever the round-trip already
+      // landed on the crossed side. Bisection roots are evaluated through
+      // interpolate() itself and cannot undershoot, so the original rk23
+      // path is untouched bit for bit.
+      if (earliest_dense) {
+        const EventSpec& ev = events[earliest_event];
+        const double g = y_[0] - ev.level;
+        const bool undershot =
+            (ev.direction == EventDirection::kRising && g < 0.0) ||
+            (ev.direction == EventDirection::kFalling && g > 0.0) ||
+            (ev.direction == EventDirection::kAny && g != 0.0 &&
+             (g < 0.0) == (g_prev_[earliest_event] < 0.0));
+        if (undershot) y_[0] = ev.level;
+      }
       result.t = t_;
       result.event_fired = true;
       result.event_tag = earliest_tag;
-      return result;
+      return false;
     }
 
     std::swap(g_prev_, g_curr_);
+    return true;
   }
 
   result.t = t_;
-  return result;
+  return false;
+}
+
+double Rk23Integrator::min_event_margin() const {
+  double m = std::numeric_limits<double>::infinity();
+  for (std::size_t e = 0; e < win_events_.size(); ++e)
+    m = std::min(m, std::abs(g_prev_[e]));
+  return m;
 }
 
 void Rk23Integrator::interpolate(double t, std::span<double> y_out) const {

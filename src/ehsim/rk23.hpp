@@ -71,10 +71,41 @@ class Rk23Integrator {
   double time() const { return t_; }
   std::span<const double> state() const { return y_; }
 
+  /// Step-size hint the next step attempt will start from.
+  double step_size() const { return h_; }
+  /// Whether the FSAL derivative cache is valid for (time(), state()).
+  bool have_fsal() const { return have_f0_; }
+  /// FSAL derivative of component `i`; meaningful only while have_fsal().
+  double fsal_derivative(std::size_t i = 0) const { return f0_[i]; }
+  /// Smallest |g| across the open window's events at the last event
+  /// baseline -- how close the trajectory sits to its nearest watched
+  /// threshold. +infinity when the window watches no events.
+  double min_event_margin() const;
+
   /// Integrates forward until `t_end` or until the first event root,
   /// whichever comes first. Events are tested on every accepted step.
+  /// Equivalent to begin_window() + step_window() until completion.
   IntegrationResult advance(double t_end,
                             std::span<const EventSpec> events = {});
+
+  /// Incremental form of advance() for callers that interleave several
+  /// trajectories (sim/batch_engine): begin_window() performs advance()'s
+  /// prologue -- FSAL ensure, initial step guess, event baseline -- without
+  /// taking a step, writes the trivial result into `result`, and returns
+  /// true when there is integration work to do (false when t_end <=
+  /// time(), matching advance()'s early return). The events storage must
+  /// outlive the window.
+  bool begin_window(double t_end, std::span<const EventSpec> events,
+                    IntegrationResult& result);
+
+  /// Attempts exactly one step of the open window: one rejected trial or
+  /// one accepted step (with event scan and possible rewind), accumulating
+  /// into the same `result` given to begin_window(). Returns true while
+  /// the window is still open; false once it completed -- `result` then
+  /// equals what advance() would have returned. The interleaved sequence
+  /// of FP operations per trajectory is identical to advance()'s, so a
+  /// window-stepped run is bit-identical to a plain advance().
+  bool step_window(IntegrationResult& result);
 
   /// Invalidates cached derivatives; call after mutating the OdeSystem's
   /// parameters mid-run (the FSAL derivative would otherwise be stale).
@@ -126,6 +157,11 @@ class Rk23Integrator {
   PiStepController pi_;  // used only in StepControl::kPi
   std::size_t total_steps_ = 0;
   std::size_t total_rejected_ = 0;
+
+  // Open stepping window (begin_window/step_window).
+  double win_t_end_ = 0.0;
+  std::span<const EventSpec> win_events_{};
+  std::size_t win_steps_ = 0;  // runaway guard, counts attempted steps
 };
 
 }  // namespace pns::ehsim

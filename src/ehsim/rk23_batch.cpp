@@ -1,0 +1,60 @@
+#include "ehsim/rk23_batch.hpp"
+
+#include "util/contracts.hpp"
+
+namespace pns::ehsim {
+
+Rk23BatchStepper::Rk23BatchStepper(Rk23BatchOptions options)
+    : opt_(options) {
+  PNS_EXPECTS(opt_.divergence_rounds >= 1);
+}
+
+void Rk23BatchStepper::run_rounds(
+    std::span<Rk23Integrator* const> integrators,
+    std::span<IntegrationResult> results, BatchState& state) {
+  const std::size_t n = state.size();
+  PNS_EXPECTS(integrators.size() == n);
+  PNS_EXPECTS(results.size() == n);
+
+  std::size_t open = state.count(LaneStatus::kLockstep);
+  while (open > 0) {
+    ++stats_.rounds;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (state.status[i] != LaneStatus::kLockstep) continue;
+      Rk23Integrator& ig = *integrators[i];
+
+      ++state.rounds[i];
+      ++state.lockstep_steps[i];
+      ++stats_.lockstep_steps;
+      const bool more = ig.step_window(results[i]);
+      state.observe(i, ig);
+      if (!more) {
+        if (results[i].event_fired) ++stats_.event_windows;
+        state.status[i] = LaneStatus::kIdle;
+        --open;
+        continue;
+      }
+
+      if (state.rounds[i] >= opt_.divergence_rounds) {
+        // Step divergence: this lane's window is taking far longer than
+        // its peers'. Finish it here with the very calls lockstep would
+        // eventually have issued -- same order, same bits -- so the
+        // remaining lanes stop paying a round-robin visit to it.
+        state.status[i] = LaneStatus::kTail;
+        ++stats_.divergences;
+        while (ig.step_window(results[i])) {
+          ++state.tail_steps[i];
+          ++stats_.tail_steps;
+        }
+        ++state.tail_steps[i];  // the closing attempt above
+        ++stats_.tail_steps;
+        state.observe(i, ig);
+        if (results[i].event_fired) ++stats_.event_windows;
+        state.status[i] = LaneStatus::kIdle;
+        --open;
+      }
+    }
+  }
+}
+
+}  // namespace pns::ehsim

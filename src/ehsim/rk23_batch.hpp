@@ -1,0 +1,76 @@
+// Lockstep round executor over N open RK23 integration windows.
+//
+// Rk23BatchStepper drives several independent Rk23Integrators through
+// their open windows (begin_window .. step_window completion) in
+// round-robin rounds: every lane still in lockstep attempts exactly one
+// step per round, in lane order. Because each lane's numerics live
+// entirely inside its own integrator and step_window() is bit-identical
+// to advance() (see ehsim/rk23.hpp), the *interleave* is pure execution
+// strategy: per lane, the sequence of floating-point operations -- and
+// therefore the trajectory, the event roots, every output bit -- is
+// exactly what a scalar advance() would produce, for any batch width and
+// any lane order.
+//
+// Divergence fallback: a lane whose window drags on (its step size
+// collapsed while its peers finished -- e.g. a stiff transient after
+// brownout) stops holding the batch hostage after `divergence_rounds`
+// attempts. It leaves lockstep and finishes the window in a tight scalar
+// loop on the spot ("tail"). The calls it executes are the same calls in
+// the same order, so the fallback cannot change its results either; it
+// only changes who waits for whom.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "ehsim/batch_state.hpp"
+#include "ehsim/ode.hpp"
+#include "ehsim/rk23.hpp"
+
+namespace pns::ehsim {
+
+struct Rk23BatchOptions {
+  /// Step attempts a lane may spend on one window inside the rounds
+  /// before it leaves lockstep and finishes the window scalar. Purely a
+  /// scheduling knob: results are bit-identical for any value >= 1.
+  std::uint32_t divergence_rounds = 64;
+};
+
+/// Aggregate counters across every run_rounds() call of one stepper.
+struct BatchStepStats {
+  std::uint64_t rounds = 0;          ///< lockstep rounds executed
+  std::uint64_t lockstep_steps = 0;  ///< step attempts inside rounds
+  std::uint64_t tail_steps = 0;      ///< attempts finishing divergent lanes
+  std::uint64_t divergences = 0;     ///< lane-windows that left lockstep
+  std::uint64_t event_windows = 0;   ///< windows closed by an event root
+};
+
+class Rk23BatchStepper {
+ public:
+  explicit Rk23BatchStepper(Rk23BatchOptions options = {});
+
+  /// Runs every kLockstep lane of `state` to window completion.
+  ///
+  /// Preconditions, per lane i with state.status[i] == kLockstep:
+  /// integrators[i] has an open window (begin_window returned true) whose
+  /// result accumulates into results[i], and state.rounds[i] counts the
+  /// attempts already spent on that window (0 for a fresh window).
+  /// Lanes in any other status are left untouched.
+  ///
+  /// On return every such lane is kIdle: its window completed (results[i]
+  /// is exactly what a scalar advance() would have returned) and its
+  /// mirrored columns in `state` are fresh. Windows that closed on an
+  /// event root leave the integrator stopped at the root, ready for the
+  /// caller to dispatch and re-plan.
+  void run_rounds(std::span<Rk23Integrator* const> integrators,
+                  std::span<IntegrationResult> results, BatchState& state);
+
+  const BatchStepStats& stats() const { return stats_; }
+  const Rk23BatchOptions& options() const { return opt_; }
+
+ private:
+  Rk23BatchOptions opt_;
+  BatchStepStats stats_;
+};
+
+}  // namespace pns::ehsim

@@ -1,5 +1,7 @@
 #include "governors/conservative.hpp"
 
+#include <limits>
+
 #include "util/contracts.hpp"
 
 namespace pns::gov {
@@ -25,6 +27,21 @@ soc::OperatingPoint ConservativeGovernor::decide(const GovernorContext& ctx) {
       opp.freq_index = opps.step_down(opp.freq_index);
   }
   return opp;
+}
+
+double ConservativeGovernor::hold_until(const GovernorContext& ctx) const {
+  // Stateless policy: simulate one decision; if it keeps the current
+  // index under constant utilisation it keeps it forever.
+  const auto& opps = platform().opps;
+  std::size_t idx = ctx.current.freq_index;
+  if (ctx.utilization > params_.up_threshold) {
+    for (int s = 0; s < params_.freq_step; ++s) idx = opps.step_up(idx);
+  } else if (ctx.utilization < params_.down_threshold) {
+    for (int s = 0; s < params_.freq_step; ++s) idx = opps.step_down(idx);
+  }
+  return idx == ctx.current.freq_index
+             ? std::numeric_limits<double>::infinity()
+             : ctx.t;
 }
 
 }  // namespace pns::gov

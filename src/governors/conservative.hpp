@@ -28,6 +28,7 @@ class ConservativeGovernor : public Governor {
 
   const char* name() const override { return "conservative"; }
   soc::OperatingPoint decide(const GovernorContext& ctx) override;
+  double hold_until(const GovernorContext& ctx) const override;
   double sampling_period() const override { return params_.sampling_period_s; }
 
  private:

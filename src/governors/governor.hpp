@@ -38,6 +38,21 @@ class Governor {
   /// move `freq_index`; the core configuration passes through unchanged.
   virtual soc::OperatingPoint decide(const GovernorContext& ctx) = 0;
 
+  /// Tick-elision promise: the latest time T such that every sampling
+  /// tick at a time strictly before T is provably a no-op -- given that
+  /// the measured utilisation stays equal to `ctx.utilization` and the
+  /// operating point stays `ctx.current`, decide() would keep
+  /// `ctx.current.freq_index` (the only field governors move) and leave
+  /// all internal state unchanged at that tick.
+  /// Returning `ctx.t` promises nothing (the next tick must run);
+  /// +infinity marks a fixed point that only a premise change can leave.
+  /// The promise is void as soon as either premise breaks (the caller
+  /// re-asks per segment) or the governor is mutated externally.
+  /// Default: no promise, which is always sound.
+  virtual double hold_until(const GovernorContext& ctx) const {
+    return ctx.t;
+  }
+
   /// Sampling period (s); cpufreq defaults are in the 10-100 ms range.
   virtual double sampling_period() const { return 0.1; }
 

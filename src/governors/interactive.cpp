@@ -1,5 +1,7 @@
 #include "governors/interactive.hpp"
 
+#include <limits>
+
 #include "util/contracts.hpp"
 
 namespace pns::gov {
@@ -60,6 +62,34 @@ soc::OperatingPoint InteractiveGovernor::decide(const GovernorContext& ctx) {
   while (idx < opps.max_index() && opps.frequency(idx) < f_target) ++idx;
   opp.freq_index = idx;
   return opp;
+}
+
+double InteractiveGovernor::hold_until(const GovernorContext& ctx) const {
+  const auto& opps = platform().opps;
+  const double u = ctx.utilization;
+  if (u >= params_.go_hispeed_load) {
+    if (light_since_ >= 0.0) return ctx.t;  // tick would clear the timer
+    const std::size_t hi = hispeed_index();
+    if (ctx.current.freq_index < hi) return ctx.t;  // would jump to hispeed
+    if (hispeed_since_ < 0.0) return ctx.t;         // would stamp the timer
+    if (ctx.current.freq_index == opps.max_index())
+      return std::numeric_limits<double>::infinity();  // step_up saturates
+    if (ctx.t - hispeed_since_ >= params_.above_hispeed_delay_s)
+      return ctx.t;  // climbing right now
+    // Held at/above hispeed, below max: quiet until the delay expires.
+    return hispeed_since_ + params_.above_hispeed_delay_s;
+  }
+  if (hispeed_since_ >= 0.0) return ctx.t;  // tick would clear the timer
+  if (light_since_ < 0.0) return ctx.t;     // would stamp the timer
+  const double f_cur = opps.frequency(ctx.current.freq_index);
+  const double f_target = f_cur * u / params_.target_load;
+  std::size_t idx = opps.min_index();
+  while (idx < opps.max_index() && opps.frequency(idx) < f_target) ++idx;
+  if (idx == ctx.current.freq_index)
+    return std::numeric_limits<double>::infinity();  // settled
+  if (ctx.t - light_since_ < params_.min_sample_time_s)
+    return light_since_ + params_.min_sample_time_s;  // waiting out the hold
+  return ctx.t;  // the very next tick drops the frequency
 }
 
 }  // namespace pns::gov

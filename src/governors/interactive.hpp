@@ -29,6 +29,7 @@ class InteractiveGovernor : public Governor {
 
   const char* name() const override { return "interactive"; }
   soc::OperatingPoint decide(const GovernorContext& ctx) override;
+  double hold_until(const GovernorContext& ctx) const override;
   double sampling_period() const override { return params_.sampling_period_s; }
   void reset() override;
 

@@ -1,5 +1,7 @@
 #include "governors/ondemand.hpp"
 
+#include <limits>
+
 #include "util/contracts.hpp"
 
 namespace pns::gov {
@@ -33,6 +35,28 @@ soc::OperatingPoint OndemandGovernor::decide(const GovernorContext& ctx) {
   while (idx < opps.max_index() && opps.frequency(idx) < f_target) ++idx;
   opp.freq_index = idx;
   return opp;
+}
+
+double OndemandGovernor::hold_until(const GovernorContext& ctx) const {
+  const auto& opps = platform().opps;
+  if (ctx.utilization >= params_.up_threshold) {
+    // A tick would zero the low-sample counter and jump to max: a no-op
+    // only when both are already there.
+    return (ctx.current.freq_index == opps.max_index() && low_samples_ == 0)
+               ? std::numeric_limits<double>::infinity()
+               : ctx.t;
+  }
+  // Low branch: with a down factor the counter advances every tick; with
+  // factor 1 and a settled counter, the proportional pick must already be
+  // the current index.
+  if (params_.sampling_down_factor != 1 || low_samples_ != 0) return ctx.t;
+  const double f_cur = opps.frequency(ctx.current.freq_index);
+  const double f_target = f_cur * ctx.utilization / params_.up_threshold;
+  std::size_t idx = opps.min_index();
+  while (idx < opps.max_index() && opps.frequency(idx) < f_target) ++idx;
+  return idx == ctx.current.freq_index
+             ? std::numeric_limits<double>::infinity()
+             : ctx.t;
 }
 
 }  // namespace pns::gov

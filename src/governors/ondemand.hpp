@@ -27,6 +27,7 @@ class OndemandGovernor : public Governor {
 
   const char* name() const override { return "ondemand"; }
   soc::OperatingPoint decide(const GovernorContext& ctx) override;
+  double hold_until(const GovernorContext& ctx) const override;
   double sampling_period() const override { return params_.sampling_period_s; }
   void reset() override { low_samples_ = 0; }
 

@@ -1,11 +1,20 @@
 #include "governors/performance.hpp"
 
+#include <limits>
+
 namespace pns::gov {
 
 soc::OperatingPoint PerformanceGovernor::decide(const GovernorContext& ctx) {
   soc::OperatingPoint opp = ctx.current;
   opp.freq_index = platform().opps.max_index();
   return opp;
+}
+
+double PerformanceGovernor::hold_until(const GovernorContext& ctx) const {
+  // Already at the top: every future tick re-requests the same index.
+  return ctx.current.freq_index == platform().opps.max_index()
+             ? std::numeric_limits<double>::infinity()
+             : ctx.t;
 }
 
 }  // namespace pns::gov

@@ -15,6 +15,7 @@ class PerformanceGovernor : public Governor {
 
   const char* name() const override { return "performance"; }
   soc::OperatingPoint decide(const GovernorContext& ctx) override;
+  double hold_until(const GovernorContext& ctx) const override;
 };
 
 }  // namespace pns::gov

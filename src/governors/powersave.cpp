@@ -1,11 +1,20 @@
 #include "governors/powersave.hpp"
 
+#include <limits>
+
 namespace pns::gov {
 
 soc::OperatingPoint PowersaveGovernor::decide(const GovernorContext& ctx) {
   soc::OperatingPoint opp = ctx.current;
   opp.freq_index = platform().opps.min_index();
   return opp;
+}
+
+double PowersaveGovernor::hold_until(const GovernorContext& ctx) const {
+  // Already at the bottom: every future tick re-requests the same index.
+  return ctx.current.freq_index == platform().opps.min_index()
+             ? std::numeric_limits<double>::infinity()
+             : ctx.t;
 }
 
 }  // namespace pns::gov

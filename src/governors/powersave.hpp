@@ -17,6 +17,7 @@ class PowersaveGovernor : public Governor {
 
   const char* name() const override { return "powersave"; }
   soc::OperatingPoint decide(const GovernorContext& ctx) override;
+  double hold_until(const GovernorContext& ctx) const override;
 };
 
 }  // namespace pns::gov

@@ -1,5 +1,7 @@
 #include "governors/static_governor.hpp"
 
+#include <limits>
+
 #include "util/contracts.hpp"
 
 namespace pns::gov {
@@ -13,6 +15,12 @@ StaticGovernor::StaticGovernor(const soc::Platform& platform,
 
 soc::OperatingPoint StaticGovernor::decide(const GovernorContext& /*ctx*/) {
   return opp_;
+}
+
+double StaticGovernor::hold_until(const GovernorContext& ctx) const {
+  return ctx.current.freq_index == opp_.freq_index
+             ? std::numeric_limits<double>::infinity()
+             : ctx.t;
 }
 
 }  // namespace pns::gov

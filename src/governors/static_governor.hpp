@@ -14,6 +14,7 @@ class StaticGovernor : public Governor {
 
   const char* name() const override { return "static"; }
   soc::OperatingPoint decide(const GovernorContext& ctx) override;
+  double hold_until(const GovernorContext& ctx) const override;
 
  private:
   soc::OperatingPoint opp_;

@@ -1,6 +1,7 @@
 #include "governors/userspace.hpp"
 
 #include <algorithm>
+#include <limits>
 
 namespace pns::gov {
 
@@ -11,6 +12,14 @@ soc::OperatingPoint UserspaceGovernor::decide(const GovernorContext& ctx) {
   soc::OperatingPoint opp = ctx.current;
   opp.freq_index = index_;
   return opp;
+}
+
+double UserspaceGovernor::hold_until(const GovernorContext& ctx) const {
+  // Holds until set_frequency_index() moves the target -- an external
+  // mutation, which voids the promise by contract.
+  return ctx.current.freq_index == index_
+             ? std::numeric_limits<double>::infinity()
+             : ctx.t;
 }
 
 void UserspaceGovernor::set_frequency_index(std::size_t index) {

@@ -15,6 +15,7 @@ class UserspaceGovernor : public Governor {
 
   const char* name() const override { return "userspace"; }
   soc::OperatingPoint decide(const GovernorContext& ctx) override;
+  double hold_until(const GovernorContext& ctx) const override;
 
   /// Emulates `echo <freq> > scaling_setspeed` (clamps into the ladder).
   void set_frequency_index(std::size_t index);

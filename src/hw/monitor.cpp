@@ -14,6 +14,16 @@ ThresholdChannel::ThresholdChannel(ChannelNetwork network,
   PNS_EXPECTS(net_.r_top > 0.0);
   PNS_EXPECTS(net_.r_bottom_fixed > 0.0);
   PNS_EXPECTS(net_.pot_full_scale > 0.0);
+  for (int c = 0; c < Mcp4131::kSteps; ++c)
+    threshold_table_[c] = divider_at(c).input_for_output(comp_.params().v_ref);
+  refresh_code_cache();
+}
+
+void ThresholdChannel::refresh_code_cache() {
+  const PotentialDivider div = divider_at(pot_.code());
+  ratio_ = div.ratio();
+  rising_trip_node_ = div.input_for_output(comp_.rising_trip());
+  falling_trip_node_ = div.input_for_output(comp_.falling_trip());
 }
 
 PotentialDivider ThresholdChannel::divider_at(int c) const {
@@ -24,6 +34,7 @@ PotentialDivider ThresholdChannel::divider_at(int c) const {
 double ThresholdChannel::threshold_for_code(int c) const {
   // The comparator trips when the tap reaches v_ref, i.e. when the node is
   // at v_ref / ratio(code). Larger bottom resistance -> lower threshold.
+  if (c >= 0 && c < Mcp4131::kSteps) return threshold_table_[c];
   return divider_at(c).input_for_output(comp_.params().v_ref);
 }
 
@@ -37,17 +48,30 @@ double ThresholdChannel::max_threshold() const {
 
 double ThresholdChannel::set_threshold(double v_target, double v_node_now) {
   // threshold_for_code is monotone decreasing in the code; scan for the
-  // nearest achievable value (129 candidates -- cheap and exact).
-  int best = 0;
-  double best_err = std::abs(threshold_for_code(0) - v_target);
-  for (int c = 1; c < Mcp4131::kSteps; ++c) {
-    const double err = std::abs(threshold_for_code(c) - v_target);
-    if (err < best_err) {
-      best = c;
-      best_err = err;
+  // nearest achievable value (129 candidates -- cheap and exact). Repeat
+  // targets answer from the memo without rescanning.
+  int best = -1;
+  for (const CodeMemo& m : code_memo_) {
+    if (m.code >= 0 && m.v_target == v_target) {
+      best = m.code;
+      break;
     }
   }
+  if (best < 0) {
+    best = 0;
+    double best_err = std::abs(threshold_for_code(0) - v_target);
+    for (int c = 1; c < Mcp4131::kSteps; ++c) {
+      const double err = std::abs(threshold_for_code(c) - v_target);
+      if (err < best_err) {
+        best = c;
+        best_err = err;
+      }
+    }
+    code_memo_[code_memo_next_] = {v_target, best};
+    code_memo_next_ = (code_memo_next_ + 1) % code_memo_.size();
+  }
   pot_.set_code(best);
+  refresh_code_cache();
   // Reseed the comparator so the programming step cannot self-trigger.
   comp_.reset(v_node_now > threshold());
   return threshold();
@@ -68,15 +92,13 @@ double ThresholdChannel::quantization_error() const {
 }
 
 bool ThresholdChannel::sample(double v_node) {
-  return comp_.update(divider_at(pot_.code()).output(v_node));
+  return comp_.update(v_node * ratio_);
 }
 
-double ThresholdChannel::node_rising_trip() const {
-  return divider_at(pot_.code()).input_for_output(comp_.rising_trip());
-}
+double ThresholdChannel::node_rising_trip() const { return rising_trip_node_; }
 
 double ThresholdChannel::node_falling_trip() const {
-  return divider_at(pot_.code()).input_for_output(comp_.falling_trip());
+  return falling_trip_node_;
 }
 
 const char* to_string(MonitorEdge e) {

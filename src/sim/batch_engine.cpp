@@ -1,0 +1,112 @@
+#include "sim/batch_engine.hpp"
+
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace pns::sim {
+
+BatchEngine::BatchEngine(std::vector<SimEngine*> lanes,
+                         BatchEngineOptions options)
+    : lanes_(std::move(lanes)),
+      stepper_(ehsim::Rk23BatchOptions{options.divergence_rounds}) {
+  PNS_EXPECTS(!lanes_.empty());
+  for (const SimEngine* lane : lanes_) PNS_EXPECTS(lane != nullptr);
+  results_.resize(lanes_.size());
+  window_results_.resize(lanes_.size());
+  pending_commit_.assign(lanes_.size(), 0);
+  state_.resize(lanes_.size());
+}
+
+void BatchEngine::finish_scalar(std::size_t i) {
+  // The remaining lifetime of a retired lane, executed exactly as
+  // SimEngine::run() would: the lane has left the batch, not the
+  // contract.
+  SimEngine& e = *lanes_[i];
+  while (!e.finished()) {
+    SimEngine::SegmentPlan plan = e.plan_segment();
+    ehsim::IntegrationResult res;
+    if (plan.coasted) {
+      res = plan.coast_result;
+      ++stats_.coasts;
+    } else {
+      res = e.integrator().advance(plan.t_stop, e.events());
+    }
+    e.commit_segment(res);
+  }
+  results_[i] = e.finish();
+  state_.observe(i, e.integrator());
+  state_.status[i] = ehsim::LaneStatus::kDone;
+}
+
+std::vector<SimResult> BatchEngine::run() {
+  PNS_EXPECTS(!ran_);
+  ran_ = true;
+
+  const std::size_t n = lanes_.size();
+  std::vector<ehsim::Rk23Integrator*> integrators(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    lanes_[i]->begin();
+    integrators[i] = &lanes_[i]->integrator();
+    state_.observe(i, *integrators[i]);
+  }
+
+  while (!state_.all_done()) {
+    ++stats_.supersteps;
+
+    // Plan phase: every idle lane decides its next segment and opens an
+    // integration window (or commits a coast / trivial segment inline).
+    for (std::size_t i = 0; i < n; ++i) {
+      if (state_.status[i] != ehsim::LaneStatus::kIdle) continue;
+      SimEngine& e = *lanes_[i];
+      if (e.finished()) {
+        results_[i] = e.finish();
+        state_.status[i] = ehsim::LaneStatus::kDone;
+        continue;
+      }
+      SimEngine::SegmentPlan plan = e.plan_segment();
+      if (plan.coasted) {
+        // A coast certifies a quiescent span ahead: nothing here for
+        // lockstep to amortise. Commit it and retire the lane to an
+        // independent scalar finish.
+        e.commit_segment(plan.coast_result);
+        ++stats_.coasts;
+        ++stats_.coast_retirements;
+        state_.status[i] = ehsim::LaneStatus::kRetired;
+        finish_scalar(i);
+        continue;
+      }
+      if (!integrators[i]->begin_window(plan.t_stop, e.events(),
+                                        window_results_[i])) {
+        // Zero-width window (t_stop <= t): commit the trivial result,
+        // exactly as run()'s advance() would have.
+        e.commit_segment(window_results_[i]);
+        continue;
+      }
+      ++stats_.windows;
+      pending_commit_[i] = 1;
+      state_.t_stop[i] = plan.t_stop;
+      state_.rounds[i] = 0;
+      state_.status[i] = ehsim::LaneStatus::kLockstep;
+      state_.observe(i, *integrators[i]);
+    }
+
+    // Round phase: every open window steps to completion in lockstep;
+    // divergent windows fall back to a scalar tail inside.
+    stepper_.run_rounds(integrators, window_results_, state_);
+
+    // Commit phase: windows closed by an event root or by reaching their
+    // stop point both commit here and rejoin at the next superstep.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!pending_commit_[i]) continue;
+      PNS_EXPECTS(state_.status[i] == ehsim::LaneStatus::kIdle);
+      lanes_[i]->commit_segment(window_results_[i]);
+      pending_commit_[i] = 0;
+    }
+  }
+
+  stats_.stepping = stepper_.stats();
+  return std::move(results_);
+}
+
+}  // namespace pns::sim

@@ -228,151 +228,213 @@ void SimEngine::kick_if_outside(double vc, double t) {
 }
 
 SimResult SimEngine::run() {
+  begin();
+  while (!finished()) {
+    SegmentPlan plan = plan_segment();
+    ehsim::IntegrationResult res;
+    if (plan.coasted)
+      res = plan.coast_result;
+    else
+      res = integrator_.advance(plan.t_stop, events_);
+    commit_segment(res);
+  }
+  return finish();
+}
+
+void SimEngine::begin() {
   PNS_EXPECTS(!ran_);
   ran_ = true;
 
-  double t = cfg_.t_start;
-  double vc = cfg_.vc0;
+  cur_t_ = cfg_.t_start;
+  cur_vc_ = cfg_.vc0;
 
-  SimResult result;
-  result.used_controller = controller_.has_value();
-  result.control_name = controller_   ? "power-neutral"
-                        : governor_   ? governor_->name()
-                                      : "static";
+  result_ = {};
+  result_.used_controller = controller_.has_value();
+  result_.control_name = controller_   ? "power-neutral"
+                         : governor_   ? governor_->name()
+                                       : "static";
 
-  MetricsAccumulator acc(t, cfg_.v_target, cfg_.band_fraction);
-  acc.attach_histogram(&result.voltage_histogram);
-  SeriesRecorder recorder(cfg_.record_interval_s, cfg_.record_series);
+  acc_.emplace(cur_t_, cfg_.v_target, cfg_.band_fraction);
+  acc_->attach_histogram(&result_.voltage_histogram);
+  recorder_.emplace(cfg_.record_interval_s, cfg_.record_series);
 
-  latched_util_ = workload_->utilization(t);
+  latched_util_ = workload_->utilization(cur_t_);
   if (controller_) {
-    controller_->calibrate(vc, t);
-    kick_if_outside(vc, t);
+    controller_->calibrate(cur_vc_, cur_t_);
+    kick_if_outside(cur_vc_, cur_t_);
   }
 
-  integrator_.reset(t, std::span<const double>(&vc, 1));
+  integrator_.reset(cur_t_, std::span<const double>(&cur_vc_, 1));
 
-  double next_gov_tick =
-      governor_ ? t + governor_->sampling_period()
-                : std::numeric_limits<double>::infinity();
+  next_gov_tick_ = governor_
+                       ? cur_t_ + governor_->sampling_period()
+                       : std::numeric_limits<double>::infinity();
+  gov_stop_ = next_gov_tick_;
 
-  if (recorder.would_record(t, /*force=*/true))
-    recorder.record(t, snapshot(vc, t), /*force=*/true);
+  if (recorder_->would_record(cur_t_, /*force=*/true))
+    recorder_->record(cur_t_, snapshot(cur_vc_, cur_t_), /*force=*/true);
 
   // Load power the integrator's cached FSAL derivative was computed
   // under. The derivative only goes stale when this changes (or when an
-  // event rewinds the state, which the integrator tracks itself), so the
-  // loop below invalidates on *change* instead of every segment --
+  // event rewinds the state, which the integrator tracks itself), so
+  // plan_segment() invalidates on *change* instead of every segment --
   // saving one derivative evaluation per quiet stop point. Recomputing
   // f(t, y) under an unchanged load is bit-identical to the cached
   // value, so this cannot perturb any trajectory.
-  double ode_p_base = std::numeric_limits<double>::quiet_NaN();
+  ode_p_base_ = std::numeric_limits<double>::quiet_NaN();
+}
 
-  while (t < cfg_.t_end - kTimeEps) {
-    const double seg_t0 = t;
-    const double v0 = vc;
-    if (!governor_) latched_util_ = workload_->utilization(t);
-    refresh_segment_power();
-    if (seg_p_base_ != ode_p_base) {
-      integrator_.notify_discontinuity();
-      ode_p_base = seg_p_base_;
-    }
-    const double p_load = segment_load_power(v0);
-    const double p_harv0 = source_->current(v0, t) * v0;
-    const double instr_rate = soc_.instruction_rate(latched_util_);
+bool SimEngine::finished() const { return cur_t_ >= cfg_.t_end - kTimeEps; }
 
-    double t_stop = std::min(
-        {cfg_.t_end, seg_t0 + cfg_.max_segment_s, soc_.next_boundary(),
-         soc_.boot_complete_time(), next_gov_tick});
-    PNS_ENSURES(t_stop > seg_t0);
+SimEngine::SegmentPlan SimEngine::plan_segment() {
+  seg_t0_ = cur_t_;
+  seg_v0_ = cur_vc_;
+  if (!governor_) latched_util_ = workload_->utilization(cur_t_);
+  refresh_segment_power();
+  if (seg_p_base_ != ode_p_base_) {
+    integrator_.notify_discontinuity();
+    ode_p_base_ = seg_p_base_;
+  }
+  seg_p_load_ = segment_load_power(seg_v0_);
+  seg_p_harv0_ = source_->current(seg_v0_, cur_t_) * seg_v0_;
+  seg_instr_rate_ = soc_.instruction_rate(latched_util_);
 
-    refresh_events();
-    ehsim::IntegrationResult res;
-    if (!cfg_.coast || !try_coast(t, vc, next_gov_tick, res))
-      res = integrator_.advance(t_stop, events_);
-    t = res.t;
-    vc = integrator_.state()[0];
-
-    // --- segment accounting ---------------------------------------------
-    acc.add_segment(seg_t0, t, v0, vc, p_harv0,
-                    source_->current(vc, t) * vc, p_load, instr_rate,
-                    soc_.is_on());
-    workload_->advance(seg_t0, t - seg_t0, instr_rate);
-
-    // --- event / boundary handling ---------------------------------------
-    bool force_record = false;
-    if (res.event_fired) {
-      force_record = true;
-      switch (res.event_tag) {
-        case kTagLow:
-        case kTagHigh: {
-          // Let the comparator see the crossing, then run the ISR.
-          auto edge = monitor_->sample(vc);
-          const hw::MonitorEdge e =
-              edge.value_or(res.event_tag == kTagLow
-                                ? hw::MonitorEdge::kLowFalling
-                                : hw::MonitorEdge::kHighRising);
-          dispatch_interrupt(e, t);
-          break;
-        }
-        case kTagBrownout:
-          acc.on_brownout(t);
-          soc_.power_off(t);
-          break;
-        case kTagRecover:
-          soc_.begin_boot(t);
-          break;
-        default:
-          break;
+  // Governor-tick elision: find the first tick that is not provably a
+  // no-op and stop there instead of at every tick. Premises are
+  // re-validated every segment, and anything that could break one mid-
+  // segment (an event, an OPP boundary, boot completion) ends the segment
+  // first, so skipped ticks are skipped soundly.
+  gov_stop_ = next_gov_tick_;
+  if (cfg_.gov_tick_elide && governor_ &&
+      next_gov_tick_ < std::numeric_limits<double>::infinity()) {
+    if (!soc_.is_on()) {
+      // While the SoC is off a tick only reschedules itself; skip them
+      // all. Catch-up keeps next_gov_tick_ on the sampling grid, so
+      // ticking resumes exactly where an unelided run would resume.
+      gov_stop_ = std::numeric_limits<double>::infinity();
+    } else if (!soc_.transitioning() &&
+               workload_->utilization(seg_t0_) == latched_util_) {
+      gov::GovernorContext ctx{seg_t0_, latched_util_, soc_.final_target()};
+      const double hold = std::min(governor_->hold_until(ctx),
+                                   workload_->constant_until(seg_t0_));
+      if (hold == std::numeric_limits<double>::infinity()) {
+        gov_stop_ = std::numeric_limits<double>::infinity();
+      } else {
+        const double period = governor_->sampling_period();
+        while (gov_stop_ + kTimeEps < hold) gov_stop_ += period;
       }
     }
-
-    // Timed boundaries are checked even when an event fired at the same
-    // instant (an event landing exactly on a step boundary must not leave
-    // the completed step pending, or the next segment would be empty).
-    if (t + kTimeEps >= soc_.next_boundary()) {
-      soc_.complete_step(t);
-      force_record = true;
-    }
-    if (t + kTimeEps >= soc_.boot_complete_time()) {
-      soc_.complete_boot(t);
-      if (controller_) {
-        controller_->calibrate(vc, t);
-        kick_if_outside(vc, t);
-      }
-      if (governor_) governor_->reset();
-      force_record = true;
-    }
-    if (governor_ && t + kTimeEps >= next_gov_tick) {
-      next_gov_tick = t + governor_->sampling_period();
-      if (soc_.is_on()) {
-        latched_util_ = workload_->utilization(t);
-        gov::GovernorContext ctx{t, latched_util_, soc_.final_target()};
-        const auto desired = governor_->decide(ctx);
-        if (desired.freq_index != ctx.current.freq_index &&
-            !soc_.transitioning()) {
-          soc_.enqueue_plan(planner_.plan_dvfs_jump(ctx.current,
-                                                    desired.freq_index,
-                                                    latched_util_),
-                            t);
-          force_record = true;
-        }
-      }
-    }
-    // Sync the comparator state machines at quiet stop points (catches
-    // hysteresis re-arm crossings that are not watched as events).
-    if (!res.event_fired && controller_ && soc_.is_on()) {
-      if (auto edge = monitor_->sample(vc)) dispatch_interrupt(*edge, t);
-    }
-
-    if (recorder.would_record(t, force_record))
-      recorder.record(t, snapshot(vc, t), force_record);
   }
 
-  result.metrics = acc.finish(t, platform_->perf.params().instr_per_frame);
-  result.series = recorder.take();
-  if (controller_) result.controller = controller_->stats();
-  return result;
+  SegmentPlan plan;
+  plan.t_stop = std::min(
+      {cfg_.t_end, seg_t0_ + cfg_.max_segment_s, soc_.next_boundary(),
+       soc_.boot_complete_time(), gov_stop_});
+  PNS_ENSURES(plan.t_stop > seg_t0_);
+
+  refresh_events();
+  if (cfg_.coast && try_coast(cur_t_, cur_vc_, gov_stop_, plan.coast_result))
+    plan.coasted = true;
+  return plan;
+}
+
+void SimEngine::commit_segment(const ehsim::IntegrationResult& res) {
+  const double t = res.t;
+  const double vc = integrator_.state()[0];
+  cur_t_ = t;
+  cur_vc_ = vc;
+
+  // --- segment accounting ---------------------------------------------
+  acc_->add_segment(seg_t0_, t, seg_v0_, vc, seg_p_harv0_,
+                    source_->current(vc, t) * vc, seg_p_load_,
+                    seg_instr_rate_, soc_.is_on());
+  workload_->advance(seg_t0_, t - seg_t0_, seg_instr_rate_);
+
+  // --- event / boundary handling ---------------------------------------
+  bool force_record = false;
+  if (res.event_fired) {
+    force_record = true;
+    switch (res.event_tag) {
+      case kTagLow:
+      case kTagHigh: {
+        // Let the comparator see the crossing, then run the ISR.
+        auto edge = monitor_->sample(vc);
+        const hw::MonitorEdge e =
+            edge.value_or(res.event_tag == kTagLow
+                              ? hw::MonitorEdge::kLowFalling
+                              : hw::MonitorEdge::kHighRising);
+        dispatch_interrupt(e, t);
+        break;
+      }
+      case kTagBrownout:
+        acc_->on_brownout(t);
+        soc_.power_off(t);
+        break;
+      case kTagRecover:
+        soc_.begin_boot(t);
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Timed boundaries are checked even when an event fired at the same
+  // instant (an event landing exactly on a step boundary must not leave
+  // the completed step pending, or the next segment would be empty).
+  if (t + kTimeEps >= soc_.next_boundary()) {
+    soc_.complete_step(t);
+    force_record = true;
+  }
+  if (t + kTimeEps >= soc_.boot_complete_time()) {
+    soc_.complete_boot(t);
+    if (controller_) {
+      controller_->calibrate(vc, t);
+      kick_if_outside(vc, t);
+    }
+    if (governor_) governor_->reset();
+    force_record = true;
+  }
+  if (governor_) {
+    // Catch-up over elided ticks: every tick at or before t that was
+    // provably a no-op (strictly before gov_stop_) is consumed without
+    // running the handler, staying on the sampling grid throughout.
+    const double period = governor_->sampling_period();
+    while (next_gov_tick_ + kTimeEps < gov_stop_ &&
+           next_gov_tick_ <= t + kTimeEps)
+      next_gov_tick_ += period;
+  }
+  if (governor_ && t + kTimeEps >= next_gov_tick_) {
+    next_gov_tick_ = t + governor_->sampling_period();
+    if (soc_.is_on()) {
+      latched_util_ = workload_->utilization(t);
+      gov::GovernorContext ctx{t, latched_util_, soc_.final_target()};
+      const auto desired = governor_->decide(ctx);
+      if (desired.freq_index != ctx.current.freq_index &&
+          !soc_.transitioning()) {
+        soc_.enqueue_plan(planner_.plan_dvfs_jump(ctx.current,
+                                                  desired.freq_index,
+                                                  latched_util_),
+                          t);
+        force_record = true;
+      }
+    }
+  }
+  // Sync the comparator state machines at quiet stop points (catches
+  // hysteresis re-arm crossings that are not watched as events).
+  if (!res.event_fired && controller_ && soc_.is_on()) {
+    if (auto edge = monitor_->sample(vc)) dispatch_interrupt(*edge, t);
+  }
+
+  if (recorder_->would_record(t, force_record))
+    recorder_->record(t, snapshot(vc, t), force_record);
+}
+
+SimResult SimEngine::finish() {
+  result_.metrics =
+      acc_->finish(cur_t_, platform_->perf.params().instr_per_frame);
+  result_.series = recorder_->take();
+  if (controller_) result_.controller = controller_->stats();
+  return std::move(result_);
 }
 
 }  // namespace pns::sim

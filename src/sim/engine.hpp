@@ -17,6 +17,7 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -67,6 +68,19 @@ struct SimConfig {
   /// in one analytic jump instead of stepping through it.
   bool coast = false;
   double coast_dv_tol_v = 1e-4;
+  /// Governor-tick elision: before each segment, ask the governor (via
+  /// Governor::hold_until) and the workload (constant_until) for a window
+  /// over which every sampling tick is provably a no-op -- the measured
+  /// utilisation cannot change and decide() would keep the current OPP
+  /// and leave governor state untouched -- and stop only at the first
+  /// possibly-live tick instead of every tick. Ticks while the SoC is off
+  /// are pure reschedules and are always elidable. The skipped ticks stay
+  /// on the sampling grid (catch-up re-aligns), so runs with and without
+  /// elision fire the same *live* ticks at the same times; elision is an
+  /// execution strategy, not a model change. Off for the default `rk23`
+  /// kind (pinned bit-identical to the published CSVs); on for rk23pi /
+  /// rk23batch.
+  bool gov_tick_elide = false;
 
   // Recording.
   bool record_series = true;
@@ -131,6 +145,52 @@ class SimEngine {
   /// Runs [t_start, t_end] to completion and returns the result.
   /// Callable once.
   SimResult run();
+
+  // --- stepped-run API --------------------------------------------------
+  // For external drivers that interleave several engines (sim/batch_engine):
+  //   begin();
+  //   while (!finished()) {
+  //     SegmentPlan plan = plan_segment();
+  //     ehsim::IntegrationResult res;
+  //     if (plan.coasted) res = plan.coast_result;
+  //     else            res = integrator().advance(plan.t_stop, events());
+  //     commit_segment(res);
+  //   }
+  //   SimResult r = finish();
+  // run() is exactly this loop (with advance() optionally replaced by a
+  // begin_window/step_window sequence, which is itself bit-identical), so
+  // a stepped run produces bit-identical results to run().
+
+  /// What plan_segment() decided for the next segment. When `coasted` the
+  /// analytic jump has already been applied to the integrator and
+  /// `coast_result` must be committed as-is; otherwise integrate to
+  /// `t_stop` against events() and commit that result.
+  struct SegmentPlan {
+    double t_stop = 0.0;
+    bool coasted = false;
+    ehsim::IntegrationResult coast_result;
+  };
+
+  /// run()'s prologue: initial calibration, recorder/metrics setup.
+  /// Callable once (shares the run() guard).
+  void begin();
+  /// True when the run reached t_end and finish() may be called.
+  bool finished() const;
+  /// Latches utilisation, refreshes segment power/events, computes the
+  /// next stop point and tries the coasting fast path.
+  SegmentPlan plan_segment();
+  /// Applies an integration (or coast) outcome: metrics, workload
+  /// progress, event dispatch, timed boundaries, governor ticks,
+  /// recording.
+  void commit_segment(const ehsim::IntegrationResult& res);
+  /// Closes metrics and returns the result. Callable once, after
+  /// finished().
+  SimResult finish();
+
+  double time() const { return cur_t_; }
+  double voltage() const { return cur_vc_; }
+  ehsim::Rk23Integrator& integrator() { return integrator_; }
+  std::span<const ehsim::EventSpec> events() const { return events_; }
 
  private:
   SimEngine(const soc::Platform& platform,
@@ -220,6 +280,26 @@ class SimEngine {
   EventSetKey event_key_;
   bool event_key_valid_ = false;
   bool ran_ = false;
+
+  // --- stepped-run state (begin() .. finish()) --------------------------
+  SimResult result_;
+  std::optional<MetricsAccumulator> acc_;
+  std::optional<SeriesRecorder> recorder_;
+  double cur_t_ = 0.0;
+  double cur_vc_ = 0.0;
+  double next_gov_tick_ = 0.0;
+  /// First governor tick that is not provably a no-op (== next_gov_tick_
+  /// unless cfg_.gov_tick_elide bought a longer hold); bounds t_stop.
+  double gov_stop_ = 0.0;
+  /// Load power the integrator's cached FSAL derivative was computed
+  /// under; stale-derivative invalidation happens on *change* only.
+  double ode_p_base_ = 0.0;
+  // Carried from plan_segment() into commit_segment().
+  double seg_t0_ = 0.0;
+  double seg_v0_ = 0.0;
+  double seg_p_load_ = 0.0;
+  double seg_p_harv0_ = 0.0;
+  double seg_instr_rate_ = 0.0;
 };
 
 }  // namespace pns::sim

@@ -90,7 +90,9 @@ ehsim::PvSource make_solar_source(
                             paper_pv_table())
           : ehsim::PvSource(paper_pv_array(), std::move(sample));
   source.set_irradiance_hold(
-      [trace = std::move(trace)](double t) { return trace->flat_until(t); });
+      [trace = std::move(trace), hint = std::size_t{0}](double t) mutable {
+        return trace->flat_until_hinted(t, hint);
+      });
   return source;
 }
 
@@ -129,7 +131,18 @@ SimResult run_pv_control(const soc::Platform& platform,
                          const ehsim::CurrentSource& source,
                          ControlSelection control, SimConfig sim_config,
                          bool warm_start) {
-  soc::RaytraceWorkload workload(platform.perf.params().instr_per_frame);
+  EngineBundle bundle = make_pv_engine(platform, source, std::move(control),
+                                       std::move(sim_config), warm_start);
+  return bundle.engine->run();
+}
+
+EngineBundle make_pv_engine(const soc::Platform& platform,
+                            const ehsim::CurrentSource& source,
+                            ControlSelection control, SimConfig sim_config,
+                            bool warm_start) {
+  EngineBundle bundle;
+  bundle.workload = std::make_unique<soc::RaytraceWorkload>(
+      platform.perf.params().instr_per_frame);
   switch (control.kind) {
     case ControlKind::kPowerNeutral: {
       if (warm_start) {
@@ -146,9 +159,10 @@ SimResult run_pv_control(const soc::Platform& platform,
           sim_config.initial_opp = balanced_opp(
               platform, source.available_power(sim_config.t_start));
       }
-      SimEngine engine(platform, source, workload, std::move(sim_config),
-                       control.controller);
-      return engine.run();
+      bundle.engine = std::make_unique<SimEngine>(
+          platform, source, *bundle.workload, std::move(sim_config),
+          control.controller);
+      return bundle;
     }
     case ControlKind::kGovernor: {
       // Stock Linux keeps every core online; governors only move
@@ -157,18 +171,20 @@ SimResult run_pv_control(const soc::Platform& platform,
         sim_config.initial_opp =
             soc::OperatingPoint{platform.opps.min_index(),
                                 platform.max_cores};
-      SimEngine engine(platform, source, workload, std::move(sim_config),
-                       std::move(control.governor));
-      return engine.run();
+      bundle.engine = std::make_unique<SimEngine>(
+          platform, source, *bundle.workload, std::move(sim_config),
+          std::move(control.governor));
+      return bundle;
     }
     case ControlKind::kStatic: {
       if (control.static_opp) sim_config.initial_opp = control.static_opp;
-      SimEngine engine(platform, source, workload, std::move(sim_config));
-      return engine.run();
+      bundle.engine = std::make_unique<SimEngine>(
+          platform, source, *bundle.workload, std::move(sim_config));
+      return bundle;
     }
   }
   PNS_EXPECTS(false && "unreachable: unknown ControlKind");
-  return {};
+  return bundle;
 }
 
 SimResult run_solar_power_neutral(const soc::Platform& platform,

@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdint>
 #include <cstring>
@@ -12,6 +13,7 @@
 #include <system_error>
 #include <utility>
 
+#include "sweep/registry.hpp"
 #include "util/crc32.hpp"
 #include "util/fault.hpp"
 #include "util/json.hpp"
@@ -427,8 +429,24 @@ std::string sweep_identity(const std::string& sweep_name, double minutes,
   for (const auto& s : sources) id += "&source=" + s.spec_string();
   // The default integrator is omitted (it computes identically whether
   // spelled out or not), so pre-existing journal identities stay valid.
-  if (integrator != IntegratorSpec{})
-    id += "&integrator=" + integrator.spec_string();
+  // Execution-only keys (IntegratorEntry::execution_only, e.g.
+  // rk23batch's "width") select a scheduling strategy, not numerics:
+  // they are stripped so journals written under different widths stay
+  // interchangeable on resume.
+  IntegratorSpec canonical{integrator.kind, {}};
+  if (const IntegratorEntry* entry =
+          IntegratorRegistry::instance().find(integrator.kind)) {
+    for (const auto& [key, value] : integrator.params.entries()) {
+      if (std::find(entry->execution_only.begin(),
+                    entry->execution_only.end(),
+                    key) == entry->execution_only.end())
+        canonical.params.set(key, value);
+    }
+  } else {
+    canonical.params = integrator.params;
+  }
+  if (canonical != IntegratorSpec{})
+    id += "&integrator=" + canonical.spec_string();
   return id;
 }
 

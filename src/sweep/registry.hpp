@@ -80,6 +80,16 @@ struct IntegratorEntry {
   /// SimConfig. Called from make_sim_config.
   std::function<void(const ScenarioSpec&, const ParamMap&, sim::SimConfig&)>
       apply;
+  /// Parameter keys that select *execution strategy*, not numerics: two
+  /// specs of this kind that differ only in these keys integrate
+  /// bit-identical trajectories. sweep_identity() strips them (journals
+  /// stay interchangeable across them) and the apply hook must ignore
+  /// them.
+  std::vector<std::string> execution_only;
+  /// Lockstep-batchable: the runner may group compatible adjacent rows
+  /// of this kind into one sim::BatchEngine per worker, up to the kind's
+  /// "width" parameter, without changing any output byte.
+  bool batch_capable = false;
 };
 
 /// Registry of control kinds. instance() is created thread-safely on

@@ -91,6 +91,28 @@ double PiecewiseLinear::flat_until(double x) const {
                             : std::numeric_limits<double>::infinity();
 }
 
+double PiecewiseLinear::flat_until_hinted(double x, std::size_t& hint) const {
+  PNS_EXPECTS(!empty());
+  if (x >= xs_.back())  // constant extrapolation beyond the last knot
+    return std::numeric_limits<double>::infinity();
+  // Same bracket as flat_until's upper_bound: xs_[i] > x, xs_[i-1] <= x
+  // (or i == 0 in the clamped region before the first knot).
+  std::size_t i = hint;
+  const std::size_t n = xs_.size();
+  if (!(i < n && xs_[i] > x && (i == 0 || xs_[i - 1] <= x))) {
+    if (i + 1 < n && xs_[i + 1] > x && xs_[i] <= x) {
+      ++i;  // advanced one knot since the last call (the common case)
+    } else {
+      const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+      i = static_cast<std::size_t>(it - xs_.begin());
+    }
+  }
+  hint = i;
+  if (i >= 1 && ys_[i] != ys_[i - 1]) return x;
+  while (i + 1 < n && ys_[i + 1] == ys_[i]) ++i;
+  return i + 1 < n ? xs_[i] : std::numeric_limits<double>::infinity();
+}
+
 double PiecewiseLinear::slope_at(double x) const {
   PNS_EXPECTS(!empty());
   if (xs_.size() < 2 || x < xs_.front() || x > xs_.back()) return 0.0;

@@ -54,6 +54,12 @@ class PiecewiseLinear {
   /// coasting fast path's "source is flat until" query.
   double flat_until(double x) const;
 
+  /// Same result as flat_until -- bit for bit -- with the hinted O(1)
+  /// bracket lookup of eval_hinted. The simulation loop asks this once
+  /// per segment at near-monotone times, which otherwise pays a binary
+  /// search over the whole trace every segment.
+  double flat_until_hinted(double x, std::size_t& hint) const;
+
   /// Derivative dy/dx of the segment containing x (one-sided at knots,
   /// 0 outside the knot range).
   double slope_at(double x) const;

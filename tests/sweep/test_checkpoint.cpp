@@ -531,6 +531,44 @@ TEST(SweepRunnerResume, IdentityPinsControlAndSourceSpecStrings) {
                JournalError);
 }
 
+TEST(SweepRunnerResume, BatchWidthIsExecutionOnlyInTheIdentity) {
+  // rk23batch's `width` shapes execution, not results (the batched
+  // engine is bit-identical at every width), so sweep_identity strips
+  // it: journals written at one width are interchangeable with runs at
+  // any other. Result-shaping params (rtol, ...) still pin.
+  const auto mode = ehsim::PvSource::Mode::kExact;
+  EXPECT_EQ(sweep_identity("quick", 2.0, mode, {}, {},
+                           IntegratorSpec::parse("rk23batch:width=4")),
+            "quick?minutes=2&pv=exact&integrator=rk23batch");
+  EXPECT_EQ(sweep_identity("quick", 2.0, mode, {}, {},
+                           IntegratorSpec::parse("rk23batch:width=8")),
+            sweep_identity("quick", 2.0, mode, {}, {},
+                           IntegratorSpec::parse("rk23batch")));
+  EXPECT_EQ(
+      sweep_identity("quick", 2.0, mode, {}, {},
+                     IntegratorSpec::parse("rk23batch:width=4,rtol=0.001")),
+      "quick?minutes=2&pv=exact&integrator=rk23batch:rtol=0.001");
+
+  // A journal fully written under width=4 resumes under width=8 with
+  // every row reused.
+  auto sw4 = small_sweep();
+  sw4.base.integrator = IntegratorSpec::parse("rk23batch:width=4");
+  const std::string id4 = sweep_identity("small", 0.5, mode, {}, {},
+                                         sw4.base.integrator);
+  TempFile file("pns-batch-width");
+  runner_with(1).resume(sw4.expand(), file.path(), id4);
+
+  auto sw8 = small_sweep();
+  sw8.base.integrator = IntegratorSpec::parse("rk23batch:width=8");
+  const auto specs8 = sw8.expand();
+  const std::string id8 = sweep_identity("small", 0.5, mode, {}, {},
+                                         sw8.base.integrator);
+  EXPECT_EQ(id4, id8);
+  const auto report = runner_with(1).resume(specs8, file.path(), id8);
+  EXPECT_EQ(report.reused, specs8.size());
+  EXPECT_EQ(report.executed, 0u);
+}
+
 TEST(SweepRunnerResume, JournalFromDifferentSweepRejected) {
   const auto specs = small_sweep().expand();
   TempFile file("pns-resume-wrong");

@@ -295,6 +295,28 @@ TEST(SweepRunner, AssetReuseBitIdenticalToRebuilding) {
   EXPECT_EQ(csv_of(reused), csv_of(rebuilt));
 }
 
+TEST(SweepRunner, Rk23BatchBitIdenticalToRk23PiAcrossWidthsAndThreads) {
+  // rk23batch is an execution strategy over the rk23pi numerics, not a
+  // numeric variant: every batch width, at every thread count, must
+  // publish an aggregate byte-identical to scalar rk23pi. The sweep's
+  // seed-innermost expansion puts compatible rows adjacent, so widths
+  // >= 2 really do share lockstep batches here.
+  auto ref_sw = determinism_sweep();
+  ref_sw.base.integrator = IntegratorSpec::parse("rk23pi");
+  const auto ref = runner_with(1).run(ref_sw);
+  const std::string ref_csv = csv_of(ref);
+  for (const unsigned width : {1u, 4u, 8u}) {
+    auto sw = determinism_sweep();
+    sw.base.integrator =
+        IntegratorSpec::parse("rk23batch:width=" + std::to_string(width));
+    for (const unsigned threads : {1u, 2u, 8u}) {
+      const auto got = runner_with(threads).run(sw);
+      EXPECT_EQ(csv_of(got), ref_csv)
+          << "width=" << width << " threads=" << threads;
+    }
+  }
+}
+
 TEST(RunScenario, Rk23PiStaysCloseToDefaultIntegrator) {
   // Bounded divergence: the looser rk23pi numerics shift trajectories,
   // but paper-level metrics agree to a fraction of a percent.

@@ -8,7 +8,7 @@
 // and writes one JSON document (BENCH_<n>.json) that future PRs append to
 // -- the repo's record that the hot path stays fast:
 //
-//   pns_bench_report                        # full run, writes BENCH_6.json
+//   pns_bench_report                        # full run, writes BENCH_8.json
 //   pns_bench_report --quick --out q.json   # CI smoke (~seconds)
 //
 // scripts/check_bench_regression.py diffs a fresh report against the
@@ -45,7 +45,7 @@ namespace {
 using namespace pns;
 
 struct Options {
-  std::string out_path = "BENCH_6.json";
+  std::string out_path = "BENCH_8.json";
   std::string bench_bin;  // empty = <dir of argv[0]>/bench_micro_hotpaths
   double minutes = 60.0;
   unsigned threads = 0;
@@ -273,7 +273,7 @@ void usage(const char* argv0) {
       "usage: %s [options]\n"
       "\n"
       "options:\n"
-      "  --out PATH       output JSON path (default BENCH_6.json)\n"
+      "  --out PATH       output JSON path (default BENCH_8.json)\n"
       "  --bench-bin P    micro-benchmark binary (default: next to this "
       "binary)\n"
       "  --minutes M      simulated window of the table2 timing "
@@ -342,6 +342,10 @@ int main(int argc, char** argv) {
                opt.minutes);
   const auto pi =
       time_table2(opt, ehsim::PvSource::Mode::kExact, "rk23pi");
+  std::fprintf(stderr, "timing table2 sweep (rk23batch, %.0f min)...\n",
+               opt.minutes);
+  const auto batch =
+      time_table2(opt, ehsim::PvSource::Mode::kExact, "rk23batch");
   std::fprintf(stderr,
                "timing table2 sweep (exact PV, no asset reuse, %.0f "
                "min)...\n",
@@ -376,6 +380,8 @@ int main(int argc, char** argv) {
   write_sweep(w, tab);
   w.key("rk23pi");
   write_sweep(w, pi);
+  w.key("rk23batch");
+  write_sweep(w, batch);
   w.key("exact_no_asset_reuse");
   write_sweep(w, no_reuse);
   w.end_object();
@@ -416,11 +422,14 @@ int main(int argc, char** argv) {
   std::printf("wrote %s\n", opt.out_path.c_str());
   std::printf("table2 exact: %.2f s wall (%.0fx realtime); tabulated: "
               "%.2f s wall (%.0fx realtime); rk23pi: %.2f s wall "
-              "(%.0fx realtime); no asset reuse: %.2f s wall\n",
+              "(%.0fx realtime); rk23batch: %.2f s wall (%.0fx realtime); "
+              "no asset reuse: %.2f s wall\n",
               exact.wall_s,
               exact.wall_s > 0 ? exact.simulated_s / exact.wall_s : 0.0,
               tab.wall_s, tab.wall_s > 0 ? tab.simulated_s / tab.wall_s : 0.0,
               pi.wall_s, pi.wall_s > 0 ? pi.simulated_s / pi.wall_s : 0.0,
+              batch.wall_s,
+              batch.wall_s > 0 ? batch.simulated_s / batch.wall_s : 0.0,
               no_reuse.wall_s);
   if (dispatch.ok)
     std::printf("daemon dispatch: %.2f s via daemon + %u workers vs "
@@ -428,7 +437,8 @@ int main(int argc, char** argv) {
                 dispatch.daemon.wall_s, dispatch.workers,
                 dispatch.in_process.wall_s, dispatch.overhead_per_row_ms);
   const bool sweeps_ok = exact.failed == 0 && tab.failed == 0 &&
-                         pi.failed == 0 && no_reuse.failed == 0 &&
-                         dispatch.ok && dispatch.daemon.failed == 0;
+                         pi.failed == 0 && batch.failed == 0 &&
+                         no_reuse.failed == 0 && dispatch.ok &&
+                         dispatch.daemon.failed == 0;
   return sweeps_ok ? 0 : 1;
 }

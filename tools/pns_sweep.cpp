@@ -150,9 +150,11 @@ void usage(const char* argv0) {
       "                or tabulated (interpolation table with a measured\n"
       "                error bound, ~3x faster sweep wall-clock)\n"
       "  --integrator S  integration engine spec string: rk23 (default,\n"
-      "                bit-reproducible) or rk23pi[:rtol=...,coast=...]\n"
+      "                bit-reproducible), rk23pi[:rtol=...,coast=...]\n"
       "                (PI step control + dense events + coasting, ~2x\n"
-      "                faster; docs/performance.md has the grammar)\n"
+      "                faster), or rk23batch[:width=...] (rk23pi in\n"
+      "                lockstep batches, bit-identical to rk23pi at\n"
+      "                every width; docs/performance.md has the grammar)\n"
       "  --journal P   append each completed scenario to the checkpoint\n"
       "                journal at P (JSON lines; see docs/sweeps.md);\n"
       "                with merge/results: write the canonical journal\n"
