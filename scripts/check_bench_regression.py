@@ -60,36 +60,41 @@ def micro_map(report):
     }
 
 
-def compare_table2(fresh, baseline, threshold):
-    """Compares table2 sweep wall-clocks key by key; returns warnings.
+def compare_sweep_section(fresh, baseline, threshold, section):
+    """Compares one sweep section's wall-clocks key by key.
 
-    The key set is learned from the reports themselves, so a newly added
-    integrator entry (e.g. `rk23batch` in BENCH_8) shows up as `new` the
-    first time -- informational, never a warning -- and is tracked
+    Used for "table2" and "table2_biglittle" (the 2-domain platform
+    trajectory added in BENCH_9). The key set is learned from the
+    reports themselves, so a newly added integrator entry (e.g.
+    `rk23batch` in BENCH_8) or a whole new section shows up as `new`
+    the first time -- informational, never a warning -- and is tracked
     automatically once a baseline containing it is checked in. Keys the
     baseline has but the fresh report lost are flagged: a silently
     dropped bench reads as "still fine" when nothing measured it.
     """
-    fresh_t = fresh.get("table2")
-    base_t = baseline.get("table2")
+    fresh_t = fresh.get(section)
+    base_t = baseline.get(section)
     if not isinstance(fresh_t, dict):
+        if isinstance(base_t, dict):
+            print(f"{section:42} {'missing!':>12}")
+            return [(f"{section} (dropped from report)", 0.0)]
         return []
     if not isinstance(base_t, dict):
         base_t = {}
 
-    def wall(section, key):
-        row = section.get(key)
+    def wall(section_obj, key):
+        row = section_obj.get(key)
         if isinstance(row, dict) and "wall_s" in row:
             return float(row["wall_s"])
         return None
 
     keys = [k for k in list(fresh_t) + list(base_t)
-            if k != "minutes" and (wall(fresh_t, k) is not None or
-                                   wall(base_t, k) is not None)]
+            if wall(fresh_t, k) is not None or
+            wall(base_t, k) is not None]
     keys = list(dict.fromkeys(keys))  # de-dup, report order preserved
     warnings = []
     for key in keys:
-        name = f"table2 {key}"
+        name = f"{section} {key}"
         fresh_s = wall(fresh_t, key)
         base_s = wall(base_t, key)
         if fresh_s is None:
@@ -201,7 +206,10 @@ def main():
         print(f"{name:42} {base_ns:10.0f}ns {fresh_ns:10.0f}ns "
               f"{delta:+7.1%}{flag}")
 
-    regressed += compare_table2(fresh, baseline, args.threshold)
+    regressed += compare_sweep_section(fresh, baseline, args.threshold,
+                                       "table2")
+    regressed += compare_sweep_section(fresh, baseline, args.threshold,
+                                       "table2_biglittle")
     regressed += compare_dispatch(fresh, baseline, args.threshold)
 
     if regressed:

@@ -87,7 +87,7 @@ PowerNeutralController::PowerNeutralController(const soc::Platform& platform,
       }),
       dvfs_(1),
       hotplug_(HotplugParams{config.alpha, config.beta}),
-      planner_(platform.opps, platform.power, platform.latency) {}
+      planner_(platform) {}
 
 void PowerNeutralController::calibrate(double vc, double t) {
   tracker_.calibrate(vc);

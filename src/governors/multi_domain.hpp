@@ -1,0 +1,88 @@
+// Domain-aware wrapper over the stock cpufreq governors.
+//
+// A compiled multi-domain platform (soc/topology.hpp) exposes one joint
+// ladder, but each joint level maps to independent per-domain frequency
+// indices. MultiDomainGovernor runs one *inner* stock governor per
+// domain against a single-domain facade of that domain (its private
+// ladder, its fixed cores), collects the per-domain frequency demands,
+// and requests the minimal joint level that satisfies every demand --
+// the demand-driven counterpart of the compile-time arbiter walk.
+//
+// Each domain ticks on its own grid: domain d samples every
+// `period * stagger^d` seconds (stagger >= 1), mirroring real systems
+// where the big cluster's governor runs slower than the LITTLE's.
+// Domain grids are anchored at the wrapper's first tick and advance by
+// repeated period addition; because the wrapper itself only runs on the
+// engine's sampling grid, a domain's due time quantises *up* to the
+// next wrapper tick.
+//
+// Tick elision (Governor::hold_until) composes with the staggered
+// grids: due times are kept as absolute times, never as countdown
+// counters, so elided wrapper ticks are reconstructed exactly by the
+// catch-up loop in decide() -- a run with elision produces the same
+// decisions at the same ticks as a run without. (A counter decremented
+// per observed tick would silently stretch every domain period across
+// an elided window; that bug class is pinned by the staggered-period
+// regression test.)
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "governors/governor.hpp"
+#include "util/params.hpp"
+
+namespace pns::gov {
+
+/// Per-domain stock governors composed behind the Governor interface.
+/// `platform` must be a compiled multi-domain platform
+/// (platform.domains != nullptr); throws std::invalid_argument
+/// otherwise. `params` holds the wrapper knobs ("period", "stagger")
+/// plus the inner governor's own tunables, which are forwarded to every
+/// inner instance (with "period" rewritten to the domain's staggered
+/// period for the governors that accept one).
+class MultiDomainGovernor final : public Governor {
+ public:
+  MultiDomainGovernor(const std::string& inner_name,
+                      const soc::Platform& platform,
+                      const pns::ParamMap& params);
+  ~MultiDomainGovernor() override;
+
+  const char* name() const override { return name_.c_str(); }
+  soc::OperatingPoint decide(const GovernorContext& ctx) override;
+  double hold_until(const GovernorContext& ctx) const override;
+  double sampling_period() const override { return period_; }
+  void reset() override;
+
+  /// Wrapper parameter keys ("period", "stagger") merged with the inner
+  /// governor's own keys (minus its "period", which the wrapper owns).
+  static std::vector<pns::ParamInfo> params_for(const std::string& name);
+
+ private:
+  double period_of(std::size_t d) const;
+  /// Minimal joint level satisfying every per-domain demand (exists:
+  /// the last level is all-max).
+  std::size_t joint_level_for(const std::vector<std::size_t>& demand) const;
+
+  std::string name_;
+  double period_ = 0.1;   ///< domain 0's period == wrapper sampling period
+  double stagger_ = 1.0;  ///< domain d samples every period * stagger^d
+
+  /// Single-domain facades the inner governors run against; unique_ptr
+  /// keeps each Platform's address stable (inner governors hold a
+  /// pointer to it).
+  std::vector<std::unique_ptr<soc::Platform>> facades_;
+  std::vector<std::unique_ptr<Governor>> inner_;
+
+  // --- sampling state (cleared by reset) ------------------------------
+  bool init_ = false;
+  /// Absolute next due time per domain (never a countdown counter; see
+  /// file comment).
+  std::vector<double> next_due_;
+  /// Last frequency index each inner governor asked for.
+  std::vector<std::size_t> demand_;
+};
+
+}  // namespace pns::gov

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "soc/topology.hpp"
 #include "util/contracts.hpp"
 
 namespace pns::sim {
@@ -49,7 +50,7 @@ SimEngine::SimEngine(const soc::Platform& platform,
       workload_(&workload),
       cfg_(std::move(config)),
       soc_(platform, cfg_.initial_opp.value_or(platform.lowest_opp())),
-      planner_(platform.opps, platform.power, platform.latency),
+      planner_(platform),
       governor_(std::move(governor)),
       load_(*this),
       circuit_(*source_, load_,
@@ -258,6 +259,16 @@ void SimEngine::begin() {
   acc_->attach_histogram(&result_.voltage_histogram);
   recorder_.emplace(cfg_.record_interval_s, cfg_.record_series);
 
+  if (platform_->domains) {
+    const std::size_t n = platform_->domains->domain_count();
+    seg_dom_power_.assign(n, 0.0);
+    seg_dom_rate_.assign(n, 0.0);
+    dom_energy_j_.assign(n, 0.0);
+    dom_instr_.assign(n, 0.0);
+    dom_share_time_.assign(n, 0.0);
+    dom_share_dt_ = 0.0;
+  }
+
   latched_util_ = workload_->utilization(cur_t_);
   if (controller_) {
     controller_->calibrate(cur_vc_, cur_t_);
@@ -298,6 +309,8 @@ SimEngine::SegmentPlan SimEngine::plan_segment() {
   seg_p_load_ = segment_load_power(seg_v0_);
   seg_p_harv0_ = source_->current(seg_v0_, cur_t_) * seg_v0_;
   seg_instr_rate_ = soc_.instruction_rate(latched_util_);
+  if (platform_->domains)
+    soc_.domain_rates(latched_util_, seg_dom_power_, seg_dom_rate_);
 
   // Governor-tick elision: find the first tick that is not provably a
   // no-op and stop there instead of at every tick. Premises are
@@ -349,6 +362,20 @@ void SimEngine::commit_segment(const ehsim::IntegrationResult& res) {
                     source_->current(vc, t) * vc, seg_p_load_,
                     seg_instr_rate_, soc_.is_on());
   workload_->advance(seg_t0_, t - seg_t0_, seg_instr_rate_);
+  if (platform_->domains) {
+    const double dt = t - seg_t0_;
+    double total = 0.0;
+    for (std::size_t d = 0; d < seg_dom_power_.size(); ++d) {
+      dom_energy_j_[d] += seg_dom_power_[d] * dt;
+      dom_instr_[d] += seg_dom_rate_[d] * dt;
+      total += seg_dom_power_[d];
+    }
+    if (total > 0.0) {
+      for (std::size_t d = 0; d < seg_dom_power_.size(); ++d)
+        dom_share_time_[d] += seg_dom_power_[d] / total * dt;
+      dom_share_dt_ += dt;
+    }
+  }
 
   // --- event / boundary handling ---------------------------------------
   bool force_record = false;
@@ -432,6 +459,18 @@ void SimEngine::commit_segment(const ehsim::IntegrationResult& res) {
 SimResult SimEngine::finish() {
   result_.metrics =
       acc_->finish(cur_t_, platform_->perf.params().instr_per_frame);
+  if (platform_->domains) {
+    const auto& model = *platform_->domains;
+    result_.metrics.domains.resize(model.domain_count());
+    for (std::size_t d = 0; d < model.domain_count(); ++d) {
+      DomainMetrics& m = result_.metrics.domains[d];
+      m.name = model.domains[d].name;
+      m.energy_j = dom_energy_j_[d];
+      m.instructions = dom_instr_[d];
+      m.mean_budget_share =
+          dom_share_dt_ > 0.0 ? dom_share_time_[d] / dom_share_dt_ : 0.0;
+    }
+  }
   result_.series = recorder_->take();
   if (controller_) result_.controller = controller_->stats();
   return std::move(result_);

@@ -300,6 +300,18 @@ class SimEngine {
   double seg_p_load_ = 0.0;
   double seg_p_harv0_ = 0.0;
   double seg_instr_rate_ = 0.0;
+
+  // Per-domain accounting, active only when platform_->domains is set
+  // (sized in begin(), latched per segment next to seg_instr_rate_).
+  // Accumulation happens in commit_segment(), so the batched engine --
+  // which drives the same plan/commit pair -- produces identical
+  // per-domain metrics for free.
+  std::vector<double> seg_dom_power_;
+  std::vector<double> seg_dom_rate_;
+  std::vector<double> dom_energy_j_;
+  std::vector<double> dom_instr_;
+  std::vector<double> dom_share_time_;  ///< integral of budget share dt
+  double dom_share_dt_ = 0.0;           ///< time with a live domain budget
 };
 
 }  // namespace pns::sim

@@ -54,10 +54,8 @@ soc::OperatingPoint balanced_opp(const soc::Platform& platform,
          ++nb) {
       for (std::size_t fi = 0; fi < platform.opps.size(); ++fi) {
         const soc::OperatingPoint opp{fi, {nl, nb}};
-        if (platform.power.board_power(opp, platform.opps, 1.0) > watts)
-          continue;
-        const double rate =
-            platform.perf.instruction_rate(opp, platform.opps, 1.0);
+        if (platform.board_power(opp, 1.0) > watts) continue;
+        const double rate = platform.instruction_rate(opp, 1.0);
         if (rate > best_rate) {
           best_rate = rate;
           best = opp;

@@ -9,12 +9,29 @@
 
 #include <cstddef>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "core/controller.hpp"
 #include "util/histogram.hpp"
 #include "util/stats.hpp"
 
 namespace pns::sim {
+
+/// Per-domain accounting of a multi-domain run (see soc/topology.hpp).
+/// Accumulated by the engine alongside the board totals; empty on
+/// legacy single-domain platforms.
+struct DomainMetrics {
+  std::string name;
+  double energy_j = 0.0;       ///< domain energy consumed while on
+  double instructions = 0.0;   ///< workload-share-scaled instructions
+  /// Time-averaged fraction of the (base-exclusive) domain power budget
+  /// the arbiter allocated to this domain while the board was on.
+  double mean_budget_share = 0.0;
+
+  friend bool operator==(const DomainMetrics&,
+                         const DomainMetrics&) = default;
+};
 
 /// Final metrics of one run.
 struct SimMetrics {
@@ -37,6 +54,10 @@ struct SimMetrics {
   double uptime_s = 0.0;        ///< time spent in the ON state
 
   pns::RunningStats vc_stats;   ///< time-weighted node-voltage statistics
+
+  /// Per-domain breakdown; empty unless the platform was compiled from
+  /// a PlatformTopology.
+  std::vector<DomainMetrics> domains;
 
   double duration() const { return t_end - t_start; }
   double fraction_in_band() const {

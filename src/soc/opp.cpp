@@ -52,6 +52,8 @@ std::size_t OppTable::step_up(std::size_t index) const {
 std::size_t OppTable::nearest_index(double f_hz) const {
   std::size_t best = 0;
   double best_d = std::abs(freqs_[0] - f_hz);
+  // Strict `<`: an exact-midpoint tie keeps the earlier (lower) index,
+  // as documented in the header. Do not weaken to `<=`.
   for (std::size_t i = 1; i < freqs_.size(); ++i) {
     const double d = std::abs(freqs_[i] - f_hz);
     if (d < best_d) {

@@ -36,7 +36,10 @@ class OppTable {
   /// One step up (saturates at the top).
   std::size_t step_up(std::size_t index) const;
 
-  /// Index of the ladder frequency closest to f_hz.
+  /// Index of the ladder frequency closest to f_hz. Ties at an exact
+  /// midpoint between two ladder levels resolve to the *lower* index:
+  /// per-domain ladders (scaled copies of each other) make midpoint
+  /// collisions likely, and rounding down is the power-safe choice.
   std::size_t nearest_index(double f_hz) const;
 
  private:

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "soc/topology.hpp"
 #include "util/literals.hpp"
 
 namespace pns::soc {
@@ -26,6 +27,16 @@ OperatingPoint Platform::lowest_opp() const {
 
 OperatingPoint Platform::highest_opp() const {
   return {opps.max_index(), max_cores};
+}
+
+double Platform::board_power(const OperatingPoint& opp, double u) const {
+  if (domains) return domains->board_power(opp.freq_index, u);
+  return power.board_power(opp, opps, u);
+}
+
+double Platform::instruction_rate(const OperatingPoint& opp, double u) const {
+  if (domains) return domains->instruction_rate(opp.freq_index, u);
+  return perf.instruction_rate(opp, opps, u);
 }
 
 Platform Platform::odroid_xu4() {

@@ -9,6 +9,7 @@
 // examples/custom_platform.cpp.
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "soc/latency_model.hpp"
@@ -17,6 +18,8 @@
 #include "soc/power_model.hpp"
 
 namespace pns::soc {
+
+struct MultiDomainModel;
 
 /// Complete model of a target board.
 struct Platform {
@@ -44,6 +47,11 @@ struct Platform {
   double hotplug_stall = 0.5;
   double dvfs_stall = 0.15;
 
+  /// Compiled multi-domain model (see soc/topology.hpp). Null for the
+  /// legacy single-domain path; when set, `opps` is the synthetic joint
+  /// ladder and board_power()/instruction_rate() dispatch per level.
+  std::shared_ptr<const MultiDomainModel> domains;
+
   /// Clamps a configuration into [min_cores, max_cores].
   CoreConfig clamp_cores(const CoreConfig& c) const;
 
@@ -55,6 +63,15 @@ struct Platform {
 
   /// Highest-power OPP: max cores at the top ladder frequency.
   OperatingPoint highest_opp() const;
+
+  /// Board power at `opp`, utilisation `u`. Dispatches through the
+  /// multi-domain model when present; otherwise identical arithmetic to
+  /// power.board_power(opp, opps, u).
+  double board_power(const OperatingPoint& opp, double u = 1.0) const;
+
+  /// Aggregate instruction rate at `opp`, utilisation `u`; dispatches
+  /// like board_power().
+  double instruction_rate(const OperatingPoint& opp, double u = 1.0) const;
 
   /// The ODROID XU4 / Exynos5422 board of the paper.
   static Platform odroid_xu4();

@@ -1,5 +1,6 @@
 #include "soc/soc_state.hpp"
 
+#include "soc/topology.hpp"
 #include "util/contracts.hpp"
 
 namespace pns::soc {
@@ -36,18 +37,44 @@ double SocRuntime::power(double u) const {
       break;
   }
   if (!pending_.empty()) return pending_.front().power_w;
-  return platform_->power.board_power(opp_, platform_->opps, u);
+  return platform_->board_power(opp_, u);
 }
 
 double SocRuntime::instruction_rate(double u) const {
   if (power_state_ != PowerState::kOn) return 0.0;
-  const double rate =
-      platform_->perf.instruction_rate(opp_, platform_->opps, u);
+  const double rate = platform_->instruction_rate(opp_, u);
   if (pending_.empty()) return rate;
   const double stall = pending_.front().kind == TransitionKind::kHotplug
                            ? platform_->hotplug_stall
                            : platform_->dvfs_stall;
   return rate * (1.0 - stall);
+}
+
+void SocRuntime::domain_rates(double u, std::vector<double>& power_w,
+                              std::vector<double>& rate) const {
+  const MultiDomainModel& model = *platform_->domains;
+  const std::size_t n = model.domain_count();
+  PNS_EXPECTS(power_w.size() == n && rate.size() == n);
+  if (power_state_ != PowerState::kOn) {
+    // Off/boot draw is board-level plumbing, not attributable to a
+    // domain; compute is zero either way.
+    for (std::size_t d = 0; d < n; ++d) power_w[d] = rate[d] = 0.0;
+    return;
+  }
+  // During a transition the live joint level keeps drawing/retiring,
+  // derated like instruction_rate(); the step's blended power_w stays a
+  // board-level total.
+  double stall = 0.0;
+  if (!pending_.empty()) {
+    stall = pending_.front().kind == TransitionKind::kHotplug
+                ? platform_->hotplug_stall
+                : platform_->dvfs_stall;
+  }
+  for (std::size_t d = 0; d < n; ++d) {
+    power_w[d] = model.domain_power(opp_.freq_index, d, u);
+    rate[d] = model.domain_instruction_rate(opp_.freq_index, d, u) *
+              (1.0 - stall);
+  }
 }
 
 void SocRuntime::enqueue_plan(std::vector<TransitionStep> plan,

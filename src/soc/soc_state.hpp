@@ -51,6 +51,14 @@ class SocRuntime {
   /// (0 when off/booting; derated by the stall factor during steps).
   double instruction_rate(double u) const;
 
+  /// Per-domain instantaneous power and instruction rate at utilisation
+  /// `u`, mirroring power()/instruction_rate() semantics: zero rate when
+  /// off/booting, live level during transitions, same stall derating.
+  /// Only meaningful when platform().domains is set; `power_w` and
+  /// `rate` must each have domain_count() entries.
+  void domain_rates(double u, std::vector<double>& power_w,
+                    std::vector<double>& rate) const;
+
   /// Appends a transition plan. Steps execute strictly in order after any
   /// already queued ones. `t_now` starts the first step's clock when the
   /// queue was empty.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "soc/platform.hpp"
 #include "util/contracts.hpp"
 
 namespace pns::soc {
@@ -15,13 +16,23 @@ TransitionPlanner::TransitionPlanner(const OppTable& table,
                                      const LatencyModel& latency)
     : table_(&table), power_(&power), latency_(&latency) {}
 
+TransitionPlanner::TransitionPlanner(const Platform& platform)
+    : table_(&platform.opps),
+      power_(&platform.power),
+      latency_(&platform.latency),
+      platform_(&platform) {}
+
 TransitionStep TransitionPlanner::make_step(TransitionKind kind,
                                             const OperatingPoint& from,
                                             const OperatingPoint& to,
                                             double duration,
                                             double utilization) const {
-  const double p_from = power_->board_power(from, *table_, utilization);
-  const double p_to = power_->board_power(to, *table_, utilization);
+  const double p_from = platform_
+                            ? platform_->board_power(from, utilization)
+                            : power_->board_power(from, *table_, utilization);
+  const double p_to = platform_
+                          ? platform_->board_power(to, utilization)
+                          : power_->board_power(to, *table_, utilization);
   double p = std::max(p_from, p_to);
   if (kind == TransitionKind::kHotplug)
     p += latency_->params().hotplug_power_overhead_w;

@@ -19,6 +19,8 @@
 
 namespace pns::soc {
 
+struct Platform;
+
 /// Which class of action a step performs.
 enum class TransitionKind { kDvfs, kHotplug };
 
@@ -43,6 +45,12 @@ class TransitionPlanner {
  public:
   TransitionPlanner(const OppTable& table, const PowerModel& power,
                     const LatencyModel& latency);
+
+  /// Platform-aware planner: step powers dispatch through
+  /// Platform::board_power(), so compiled multi-domain platforms charge
+  /// the joint-level power. Identical arithmetic to the three-argument
+  /// constructor on single-domain platforms.
+  explicit TransitionPlanner(const Platform& platform);
 
   /// Full plan from `from` to `to` under `policy`. Frequency moves one
   /// ladder level per step; cores change one at a time (when shrinking,
@@ -84,6 +92,7 @@ class TransitionPlanner {
   const OppTable* table_;
   const PowerModel* power_;
   const LatencyModel* latency_;
+  const Platform* platform_ = nullptr;  ///< set by the Platform ctor only
 };
 
 }  // namespace pns::soc

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <utility>
 
 #include "sweep/registry.hpp"
 #include "util/csv.hpp"
@@ -55,6 +56,7 @@ SummaryRow summarize(const SweepOutcome& outcome) {
     row.interrupts = outcome.result.controller.interrupts;
     row.cpu_overhead = outcome.result.controller.cpu_overhead(row.duration_s);
   }
+  row.domains = m.domains;
   return row;
 }
 
@@ -83,6 +85,21 @@ void write_summary_row_json(JsonWriter& w, const SummaryRow& r) {
   w.kv("dwell_mode_v", r.dwell_mode_v);
   w.kv("interrupts", static_cast<std::uint64_t>(r.interrupts));
   w.kv("cpu_overhead", r.cpu_overhead);
+  // Optional trailer: present only for multi-domain platforms, so every
+  // single-domain row serialises to the exact pre-platform bytes.
+  if (!r.domains.empty()) {
+    w.key("domains");
+    w.begin_array();
+    for (const auto& d : r.domains) {
+      w.begin_object();
+      w.kv("name", d.name);
+      w.kv("energy_j", d.energy_j);
+      w.kv("instructions", d.instructions);
+      w.kv("mean_budget_share", d.mean_budget_share);
+      w.end_object();
+    }
+    w.end_array();
+  }
   w.end_object();
 }
 
@@ -111,6 +128,16 @@ SummaryRow summary_row_from_json(const JsonValue& v) {
   r.dwell_mode_v = v.at("dwell_mode_v").as_double();
   r.interrupts = v.at("interrupts").as_uint64();
   r.cpu_overhead = v.at("cpu_overhead").as_double();
+  if (const JsonValue* domains = v.find("domains")) {
+    for (const JsonValue& item : domains->items()) {
+      sim::DomainMetrics d;
+      d.name = item.at("name").as_string();
+      d.energy_j = item.at("energy_j").as_double();
+      d.instructions = item.at("instructions").as_double();
+      d.mean_budget_share = item.at("mean_budget_share").as_double();
+      r.domains.push_back(std::move(d));
+    }
+  }
   return r;
 }
 

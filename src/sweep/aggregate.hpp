@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/metrics.hpp"
 #include "sweep/scenario.hpp"
 #include "util/json.hpp"
 #include "util/table.hpp"
@@ -50,6 +51,11 @@ struct SummaryRow {
   double dwell_mode_v = 0.0;
   std::uint64_t interrupts = 0;   ///< 0 unless the PNS controller ran
   double cpu_overhead = 0.0;      ///< ISR busy fraction (Fig. 15)
+  /// Per-domain breakdown; empty on the single-domain default. JSON-only
+  /// (the CSV column set is frozen -- adding columns would break every
+  /// downstream byte-identity check), serialised as an optional "domains"
+  /// array after the scalar fields.
+  std::vector<sim::DomainMetrics> domains;
 };
 
 /// Reduces one outcome to its summary row.

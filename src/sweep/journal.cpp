@@ -420,7 +420,8 @@ std::string sweep_identity(const std::string& sweep_name, double minutes,
                            ehsim::PvSource::Mode pv_mode,
                            const std::vector<ControlSpec>& controls,
                            const std::vector<SourceSpec>& sources,
-                           const IntegratorSpec& integrator) {
+                           const IntegratorSpec& integrator,
+                           const PlatformSpec& platform) {
   std::string id = sweep_name + "?minutes=" + shortest_double(minutes) +
                    "&pv=" +
                    (pv_mode == ehsim::PvSource::Mode::kExact ? "exact"
@@ -447,6 +448,10 @@ std::string sweep_identity(const std::string& sweep_name, double minutes,
   }
   if (canonical != IntegratorSpec{})
     id += "&integrator=" + canonical.spec_string();
+  // The default "mono" platform is likewise omitted, keeping every
+  // pre-existing journal identity valid; any other topology changes the
+  // computed bytes, so its full spec string pins the identity.
+  if (platform != PlatformSpec{}) id += "&platform=" + platform.spec_string();
   return id;
 }
 

@@ -7,9 +7,11 @@
 // "gov:<name>" kind whose parameters flow through the widened
 // gov::make_governor overload. A new policy registers the same way:
 // ControlRegistry::instance().add({kind, summary, params, factory}).
+#include <memory>
 #include <string>
 #include <utility>
 
+#include "governors/multi_domain.hpp"
 #include "governors/registry.hpp"
 #include "sweep/registry.hpp"
 #include "util/contracts.hpp"
@@ -78,6 +80,28 @@ void register_builtin_controls(ControlRegistry& registry) {
         [name](const ScenarioSpec& spec, const ParamMap& params) {
           return sim::ControlSelection::governed(
               gov::make_governor(name, spec.platform, params));
+        },
+    });
+  }
+
+  // Domain-aware variants: one inner stock governor per domain of a
+  // compiled multi-domain platform, demands arbitrated onto the joint
+  // ladder (governors/multi_domain.hpp). Requires a non-"mono"
+  // --platform; rejecting at resolve time keeps the error on the row.
+  for (const std::string& name : gov::available_governors()) {
+    registry.add(ControlEntry{
+        "mdgov:" + name,
+        "per-domain '" + name + "' governors, demand-arbitrated",
+        gov::MultiDomainGovernor::params_for(name),
+        [name](const ScenarioSpec& spec, const ParamMap& params) {
+          if (!spec.platform.domains)
+            throw ParamError(
+                "control 'mdgov:" + name +
+                "' requires a multi-domain --platform (e.g. biglittle); "
+                "the default mono platform has a single domain");
+          return sim::ControlSelection::governed(
+              std::make_unique<gov::MultiDomainGovernor>(
+                  name, spec.platform, params));
         },
     });
   }

@@ -91,6 +91,33 @@ const IntegratorEntry& IntegratorRegistry::require(
   return *e;
 }
 
+PlatformRegistry& PlatformRegistry::instance() {
+  static PlatformRegistry* registry = [] {
+    auto* r = new PlatformRegistry();
+    register_builtin_platforms(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void PlatformRegistry::add(PlatformEntry entry) {
+  if (find(entry.kind))
+    throw std::invalid_argument("platform kind already registered: " +
+                                entry.kind);
+  entries_.push_back(std::move(entry));
+}
+
+const PlatformEntry* PlatformRegistry::find(const std::string& kind) const {
+  return find_entry(entries_, kind);
+}
+
+const PlatformEntry& PlatformRegistry::require(
+    const std::string& kind) const {
+  const PlatformEntry* e = find(kind);
+  if (!e) unknown_kind("platform", entries_, kind);
+  return *e;
+}
+
 void SourceRegistry::add(SourceEntry entry) {
   if (find(entry.kind))
     throw std::invalid_argument("source kind already registered: " +
@@ -106,6 +133,14 @@ const SourceEntry& SourceRegistry::require(const std::string& kind) const {
   const SourceEntry* e = find(kind);
   if (!e) unknown_kind("source", entries_, kind);
   return *e;
+}
+
+soc::Platform resolve_platform(const PlatformSpec& platform) {
+  const PlatformEntry& entry =
+      PlatformRegistry::instance().require(platform.kind);
+  platform.params.validate_keys(entry.params,
+                                "platform '" + platform.kind + "'");
+  return entry.make(platform.params);
 }
 
 sim::ControlSelection resolve_control(const ControlSpec& control,
@@ -185,6 +220,18 @@ IntegratorSpec IntegratorSpec::parse(std::string_view text) {
       IntegratorRegistry::instance().require(spec.kind);
   spec.params.validate_keys(entry.params,
                             "integrator '" + spec.kind + "'");
+  spec.params.validate_types(entry.params);
+  return spec;
+}
+
+PlatformSpec PlatformSpec::parse(std::string_view text) {
+  const SpecParts parts = split_spec_string(text);
+  PlatformSpec spec;
+  spec.kind = parts.kind;
+  spec.params = ParamMap::parse(parts.params);
+  const PlatformEntry& entry =
+      PlatformRegistry::instance().require(spec.kind);
+  spec.params.validate_keys(entry.params, "platform '" + spec.kind + "'");
   spec.params.validate_types(entry.params);
   return spec;
 }

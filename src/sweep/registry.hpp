@@ -92,6 +92,19 @@ struct IntegratorEntry {
   bool batch_capable = false;
 };
 
+/// One registered platform kind. Resolves to a complete soc::Platform:
+/// "mono" returns the paper's single-domain board untouched (the
+/// byte-identical default) and topology kinds compile a
+/// soc::PlatformTopology into a joint-ladder platform.
+struct PlatformEntry {
+  std::string kind;
+  std::string summary;
+  std::vector<ParamInfo> params;
+  /// Builds the platform from validated params. Called once per
+  /// run_scenario before control/source resolution.
+  std::function<soc::Platform(const ParamMap&)> make;
+};
+
 /// Registry of control kinds. instance() is created thread-safely on
 /// first use with the built-ins already registered; add() further kinds
 /// before sweeps start (registration is not synchronised against
@@ -143,6 +156,26 @@ class IntegratorRegistry {
   std::vector<IntegratorEntry> entries_;
 };
 
+/// Registry of platform kinds; same contract as ControlRegistry.
+class PlatformRegistry {
+ public:
+  static PlatformRegistry& instance();
+
+  void add(PlatformEntry entry);
+  const PlatformEntry* find(const std::string& kind) const;
+  const PlatformEntry& require(const std::string& kind) const;
+  const std::vector<PlatformEntry>& entries() const { return entries_; }
+
+ private:
+  PlatformRegistry() = default;
+  std::vector<PlatformEntry> entries_;
+};
+
+/// Resolves a platform spec through the registry (same diagnostics
+/// contract as resolve_control): unknown kinds and parameter keys throw
+/// ParamError naming the valid choices.
+soc::Platform resolve_platform(const PlatformSpec& platform);
+
 /// Resolves a control spec for `spec` through the registry: unknown
 /// kinds and parameter keys throw ParamError naming the valid choices;
 /// parameter values are decoded by the entry's factory.
@@ -179,5 +212,6 @@ bool source_uses_condition(const std::string& kind);
 void register_builtin_controls(ControlRegistry& registry);
 void register_builtin_sources(SourceRegistry& registry);
 void register_builtin_integrators(IntegratorRegistry& registry);
+void register_builtin_platforms(PlatformRegistry& registry);
 
 }  // namespace pns::sweep

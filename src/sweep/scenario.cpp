@@ -39,6 +39,10 @@ std::string IntegratorSpec::spec_string() const {
   return params.empty() ? kind : kind + ":" + params.serialize();
 }
 
+std::string PlatformSpec::spec_string() const {
+  return params.empty() ? kind : kind + ":" + params.serialize();
+}
+
 std::string ControlSpec::governor_name() const {
   constexpr std::string_view prefix = "gov:";
   if (kind.size() <= prefix.size() || kind.compare(0, prefix.size(), prefix))
@@ -94,6 +98,16 @@ sim::SimConfig make_sim_config(const ScenarioSpec& spec) {
 
 sim::SimResult run_scenario(const ScenarioSpec& spec,
                             ScenarioAssets& assets) {
+  // A non-default platform spec compiles into spec.platform *before*
+  // anything else: static controls validate their OPP against the
+  // resolved ladder and governors size their state from it. The default
+  // ("mono", no params) takes the untouched legacy path.
+  if (spec.platform_spec != PlatformSpec{}) {
+    ScenarioSpec resolved = spec;
+    resolved.platform = resolve_platform(spec.platform_spec);
+    resolved.platform_spec = PlatformSpec{};
+    return run_scenario(resolved, assets);
+  }
   PNS_EXPECTS(spec.t_end > spec.t_start);
   PNS_EXPECTS(spec.capacitance_f > 0.0);
   const SourceEntry& source_entry =
@@ -129,6 +143,7 @@ std::size_t batch_width(const ScenarioSpec& spec) {
 
 bool batch_compatible(const ScenarioSpec& a, const ScenarioSpec& b) {
   return a.integrator == b.integrator &&
+         a.platform_spec == b.platform_spec &&
          a.control.spec_string() == b.control.spec_string() &&
          a.source.spec_string() == b.source.spec_string() &&
          a.condition == b.condition && a.pv_mode == b.pv_mode;
@@ -144,15 +159,25 @@ std::vector<SweepOutcome> run_scenarios_batched(const ScenarioSpec* specs,
   // shared immutably through `assets`) plus the engine and workload.
   struct Lane {
     std::size_t spec_index = 0;
+    /// Spec copy carrying a compiled multi-domain platform; null on the
+    /// legacy "mono" path. Heap-allocated so the engine's Platform
+    /// pointer stays stable while lanes move into the vector.
+    std::unique_ptr<ScenarioSpec> resolved;
     std::unique_ptr<ehsim::PvSource> source;
     sim::EngineBundle bundle;
   };
   std::vector<Lane> lanes;
   lanes.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
-    const ScenarioSpec& spec = specs[i];
-    outcomes[i].spec = spec;
+    outcomes[i].spec = specs[i];
     try {
+      std::unique_ptr<ScenarioSpec> resolved;
+      if (specs[i].platform_spec != PlatformSpec{}) {
+        resolved = std::make_unique<ScenarioSpec>(specs[i]);
+        resolved->platform = resolve_platform(specs[i].platform_spec);
+        resolved->platform_spec = PlatformSpec{};
+      }
+      const ScenarioSpec& spec = resolved ? *resolved : specs[i];
       PNS_EXPECTS(spec.t_end > spec.t_start);
       PNS_EXPECTS(spec.capacitance_f > 0.0);
       const SourceEntry& source_entry =
@@ -163,7 +188,8 @@ std::vector<SweepOutcome> run_scenarios_batched(const ScenarioSpec* specs,
       sim::EngineBundle bundle = sim::make_pv_engine(
           spec.platform, *source, std::move(control), make_sim_config(spec),
           source_entry.solar_defaults);
-      lanes.push_back(Lane{i, std::move(source), std::move(bundle)});
+      lanes.push_back(Lane{i, std::move(resolved), std::move(source),
+                           std::move(bundle)});
     } catch (const std::exception& e) {
       outcomes[i].error = e.what();
     } catch (...) {

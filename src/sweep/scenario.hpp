@@ -104,6 +104,27 @@ struct IntegratorSpec {
   bool operator==(const IntegratorSpec&) const = default;
 };
 
+/// Open platform selection: a registry kind ("mono" -- the paper's
+/// single-domain ODROID XU4, byte-identical default -- or "biglittle" /
+/// anything registered at runtime) plus params, e.g.
+/// "biglittle:little_cores=4,big_cores=4,arbiter=demand". Resolved into
+/// a compiled soc::Platform (soc/topology.hpp) by run_scenario before
+/// control/source resolution. Like pv_mode and the integrator this is a
+/// whole-sweep knob, not an axis.
+struct PlatformSpec {
+  std::string kind = "mono";
+  ParamMap params;
+
+  /// Round-trippable "kind" / "kind:key=value,..." form.
+  std::string spec_string() const;
+
+  /// Parses a spec string, validating the kind and its parameter keys
+  /// against the platform registry. Defined in registry.cpp.
+  static PlatformSpec parse(std::string_view text);
+
+  bool operator==(const PlatformSpec&) const = default;
+};
+
 /// Open control selection: a registry kind ("pns", "static",
 /// "gov:<name>", ...) plus its parameters. The compat factories encode
 /// their typed arguments into the ParamMap losslessly (shortest_double),
@@ -144,6 +165,10 @@ struct ScenarioSpec {
   std::string label;
 
   soc::Platform platform = soc::Platform::odroid_xu4();
+  /// When not "mono", run_scenario resolves this through the platform
+  /// registry and replaces `platform` with the compiled topology before
+  /// anything else (static controls validate OPPs against it).
+  PlatformSpec platform_spec{};
 
   SourceSpec source{};
   trace::WeatherCondition condition = trace::WeatherCondition::kFullSun;

@@ -21,7 +21,7 @@ ehsim::PvSource::Mode pv_mode_from_name(const std::string& name) {
 
 std::string JobSpec::identity() const {
   return sweep::sweep_identity(preset, minutes, pv_mode, controls, sources,
-                               integrator);
+                               integrator, platform);
 }
 
 std::vector<sweep::ScenarioSpec> JobSpec::expand() const {
@@ -38,6 +38,10 @@ std::vector<sweep::ScenarioSpec> JobSpec::expand() const {
   if (!sources.empty()) sw.sources = sources;
   sw.base.pv_mode = pv_mode;
   sw.base.integrator = integrator;
+  // Carried as the unresolved spec: every worker resolves it through
+  // its own registry inside run_scenario, so daemon and workers expand
+  // byte-identically without shipping a compiled Platform.
+  sw.base.platform_spec = platform;
   return sw.expand();
 }
 
@@ -58,6 +62,7 @@ void JobSpec::write_json(JsonWriter& w) const {
   for (const auto& s : sources) w.value(s.spec_string());
   w.end_array();
   w.kv("integrator", integrator.spec_string());
+  w.kv("platform", platform.spec_string());
   w.end_object();
 }
 
@@ -73,6 +78,10 @@ JobSpec JobSpec::from_json(const JsonValue& v) {
       spec.sources.push_back(sweep::SourceSpec::parse(s.as_string()));
     spec.integrator =
         sweep::IntegratorSpec::parse(v.at("integrator").as_string());
+    // Absent on the wire from pre-platform peers: default to "mono",
+    // which expands identically to a job that never heard of platforms.
+    if (const JsonValue* platform = v.find("platform"))
+      spec.platform = sweep::PlatformSpec::parse(platform->as_string());
   } catch (const JsonError& e) {
     throw JobError(std::string("malformed job spec: ") + e.what());
   } catch (const ParamError& e) {

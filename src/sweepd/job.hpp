@@ -37,6 +37,9 @@ struct JobSpec {
   std::vector<sweep::ControlSpec> controls;
   std::vector<sweep::SourceSpec> sources;
   sweep::IntegratorSpec integrator;
+  /// Whole-sweep platform selection ("mono" default; a topology kind
+  /// changes every row's bytes, so it is part of the identity).
+  sweep::PlatformSpec platform;
 
   /// The canonical sweep identity (sweep/journal.hpp sweep_identity):
   /// journal headers of this job's checkpoints carry exactly this.

@@ -47,6 +47,24 @@ TEST(OppTable, NearestIndex) {
   EXPECT_EQ(t.nearest_index(9.0_GHz), 7u);
 }
 
+TEST(OppTable, NearestIndexMidpointTieKeepsLowerIndex) {
+  // Pinned contract (opp.hpp): an exact midpoint between two ladder
+  // levels resolves to the *lower* index -- the power-safe choice, and
+  // one that multi-domain joint ladders (scaled copies of each other)
+  // hit routinely. These midpoints are exact in binary floating point,
+  // so the tie is real, not a rounding accident.
+  const OppTable t({1.0e9, 2.0e9, 3.0e9});
+  EXPECT_EQ(t.nearest_index(1.5e9), 0u);
+  EXPECT_EQ(t.nearest_index(2.5e9), 1u);
+  // Off-midpoint requests still round to the genuinely nearest level.
+  EXPECT_EQ(t.nearest_index(1.5e9 + 1.0), 1u);
+  EXPECT_EQ(t.nearest_index(1.5e9 - 1.0), 0u);
+  // The paper ladder's own midpoints obey the same rule.
+  const auto p = OppTable::paper_ladder();
+  const double mid = (p.frequency(4) + p.frequency(5)) / 2.0;
+  EXPECT_EQ(p.nearest_index(mid), 4u);
+}
+
 TEST(OppTable, IndexOutOfRangeThrows) {
   auto t = OppTable::paper_ladder();
   EXPECT_THROW(t.frequency(8), pns::ContractViolation);

@@ -42,6 +42,10 @@ struct GridOptions {
   /// Integrator every spec runs under (the comparison harness swaps this
   /// out per execution strategy).
   std::string integrator = "rk23pi";
+  /// Platform draw ("mono", "biglittle:arbiter=demand", ...); empty =
+  /// the default mono platform on every spec. Multi-domain entries give
+  /// the differential harnesses per-domain metrics to compare.
+  std::vector<std::string> platforms;
 };
 
 /// The default control mix: the paper's controller, a representative
@@ -70,6 +74,9 @@ inline std::vector<sweep::ScenarioSpec> make_scenario_grid(
     s.control = sweep::ControlSpec::parse(
         controls[rng.uniform_index(controls.size())]);
     s.integrator = sweep::IntegratorSpec::parse(opt.integrator);
+    if (!opt.platforms.empty())
+      s.platform_spec = sweep::PlatformSpec::parse(
+          opt.platforms[rng.uniform_index(opt.platforms.size())]);
     // Mostly mid-day starts, so full-sun and cloud conditions both have
     // harvest to regulate against; jitter start and span. A fraction
     // start at night instead: with no harvest the cap drains to

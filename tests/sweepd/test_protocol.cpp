@@ -100,6 +100,7 @@ TEST(JobSpec, JsonRoundTripPreservesIdentity) {
                    sweep::ControlSpec::parse("gov:ondemand")};
   spec.sources = {sweep::SourceSpec::parse("shadow:depth=0.3")};
   spec.integrator = sweep::IntegratorSpec::parse("rk23pi:rtol=1e-6");
+  spec.platform = sweep::PlatformSpec::parse("biglittle:big_cores=2");
 
   std::ostringstream os;
   JsonWriter w(os, JsonStyle::kCompact);
@@ -114,8 +115,20 @@ TEST(JobSpec, JsonRoundTripPreservesIdentity) {
             spec.controls[0].spec_string());
   EXPECT_EQ(back.integrator.spec_string(),
             spec.integrator.spec_string());
+  EXPECT_EQ(back.platform.spec_string(), "biglittle:big_cores=2");
   // Daemon and worker must expand a travelled spec to the same list.
   EXPECT_EQ(back.expand().size(), spec.expand().size());
+}
+
+TEST(JobSpec, PlatformAbsentOnTheWireDefaultsToMono) {
+  // Jobs serialised before the platform axis existed carry no
+  // "platform" key; they must keep meaning the mono board.
+  const JobSpec back = JobSpec::from_json(parse_json(
+      "{\"preset\":\"quick\",\"minutes\":1,\"pv\":\"exact\","
+      "\"controls\":[],\"sources\":[],\"integrator\":\"rk23\"}"));
+  EXPECT_EQ(back.platform, sweep::PlatformSpec{});
+  // And a default platform never perturbs the journal identity.
+  EXPECT_EQ(back.identity().find("platform="), std::string::npos);
 }
 
 TEST(JobSpec, RejectsBadSpecs) {

@@ -2,13 +2,14 @@
 //
 // Executes the google-benchmark micro suite (bench_micro_hotpaths, when it
 // was built) plus wall-clock timings of the `table2` sweep -- exact and
-// tabulated PV, the rk23pi integrator, an asset-reuse A/B, and the sweep
-// daemon's dispatch overhead (the same sweep through an in-process
-// pns_sweepd with 4 local socket workers versus a plain 4-thread run) --
-// and writes one JSON document (BENCH_<n>.json) that future PRs append to
-// -- the repo's record that the hot path stays fast:
+// tabulated PV, the rk23pi integrator, an asset-reuse A/B, the same sweep
+// on the 2-domain biglittle platform (the joint-ladder dispatch tax), and
+// the sweep daemon's dispatch overhead (the same sweep through an
+// in-process pns_sweepd with 4 local socket workers versus a plain
+// 4-thread run) -- and writes one JSON document (BENCH_<n>.json) that
+// future PRs append to -- the repo's record that the hot path stays fast:
 //
-//   pns_bench_report                        # full run, writes BENCH_8.json
+//   pns_bench_report                        # full run, writes BENCH_9.json
 //   pns_bench_report --quick --out q.json   # CI smoke (~seconds)
 //
 // scripts/check_bench_regression.py diffs a fresh report against the
@@ -45,7 +46,7 @@ namespace {
 using namespace pns;
 
 struct Options {
-  std::string out_path = "BENCH_8.json";
+  std::string out_path = "BENCH_9.json";
   std::string bench_bin;  // empty = <dir of argv[0]>/bench_micro_hotpaths
   double minutes = 60.0;
   unsigned threads = 0;
@@ -130,10 +131,13 @@ struct SweepTiming {
 
 SweepTiming time_table2(const Options& opt, ehsim::PvSource::Mode mode,
                         const std::string& integrator = "rk23",
-                        bool reuse_assets = true) {
+                        bool reuse_assets = true,
+                        const std::string& platform = "") {
   auto sw = sweep::table2_sweep(opt.minutes, {42, 43, 44});
   sw.base.pv_mode = mode;
   sw.base.integrator = sweep::IntegratorSpec::parse(integrator);
+  if (!platform.empty())
+    sw.base.platform_spec = sweep::PlatformSpec::parse(platform);
   const auto specs = sw.expand();
 
   sweep::SweepRunnerOptions ropt;
@@ -273,7 +277,7 @@ void usage(const char* argv0) {
       "usage: %s [options]\n"
       "\n"
       "options:\n"
-      "  --out PATH       output JSON path (default BENCH_8.json)\n"
+      "  --out PATH       output JSON path (default BENCH_9.json)\n"
       "  --bench-bin P    micro-benchmark binary (default: next to this "
       "binary)\n"
       "  --minutes M      simulated window of the table2 timing "
@@ -353,6 +357,12 @@ int main(int argc, char** argv) {
   const auto no_reuse = time_table2(opt, ehsim::PvSource::Mode::kExact,
                                     "rk23", /*reuse_assets=*/false);
   std::fprintf(stderr,
+               "timing table2 sweep (biglittle platform, %.0f min)...\n",
+               opt.minutes);
+  const auto biglittle =
+      time_table2(opt, ehsim::PvSource::Mode::kExact, "rk23",
+                  /*reuse_assets=*/true, "biglittle");
+  std::fprintf(stderr,
                "timing daemon dispatch (4 socket workers vs 4 threads, "
                "%.0f min)...\n",
                opt.minutes);
@@ -384,6 +394,17 @@ int main(int argc, char** argv) {
   write_sweep(w, batch);
   w.key("exact_no_asset_reuse");
   write_sweep(w, no_reuse);
+  w.end_object();
+  // Same schemes and windows on the compiled 2-domain platform: what
+  // the joint-ladder dispatch and per-domain accounting cost relative
+  // to table2.exact. Own section so the mono trajectory stays
+  // key-compatible with earlier BENCH_*.json reports.
+  w.key("table2_biglittle");
+  w.begin_object();
+  w.kv("minutes", opt.minutes);
+  w.kv("platform", "biglittle");
+  w.key("exact");
+  write_sweep(w, biglittle);
   w.end_object();
   w.key("daemon_dispatch");
   if (dispatch.ok) {
@@ -431,6 +452,11 @@ int main(int argc, char** argv) {
               batch.wall_s,
               batch.wall_s > 0 ? batch.simulated_s / batch.wall_s : 0.0,
               no_reuse.wall_s);
+  std::printf("table2 biglittle: %.2f s wall (%.0fx realtime)\n",
+              biglittle.wall_s,
+              biglittle.wall_s > 0
+                  ? biglittle.simulated_s / biglittle.wall_s
+                  : 0.0);
   if (dispatch.ok)
     std::printf("daemon dispatch: %.2f s via daemon + %u workers vs "
                 "%.2f s in-process (%+.1f ms/row overhead)\n",
@@ -438,7 +464,7 @@ int main(int argc, char** argv) {
                 dispatch.in_process.wall_s, dispatch.overhead_per_row_ms);
   const bool sweeps_ok = exact.failed == 0 && tab.failed == 0 &&
                          pi.failed == 0 && batch.failed == 0 &&
-                         no_reuse.failed == 0 && dispatch.ok &&
-                         dispatch.daemon.failed == 0;
+                         no_reuse.failed == 0 && biglittle.failed == 0 &&
+                         dispatch.ok && dispatch.daemon.failed == 0;
   return sweeps_ok ? 0 : 1;
 }

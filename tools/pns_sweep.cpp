@@ -85,6 +85,9 @@ struct Options {
   // Integration engine (whole-sweep knob, like --pv-mode).
   sweep::IntegratorSpec integrator;
 
+  // Platform topology (whole-sweep knob, like --pv-mode).
+  sweep::PlatformSpec platform;
+
   // Checkpointing / sharding.
   std::string journal_path;
   bool resume = false;
@@ -155,6 +158,10 @@ void usage(const char* argv0) {
       "                faster), or rk23batch[:width=...] (rk23pi in\n"
       "                lockstep batches, bit-identical to rk23pi at\n"
       "                every width; docs/performance.md has the grammar)\n"
+      "  --platform S  platform topology spec string: mono (default,\n"
+      "                the paper's single-domain board) or a multi-domain\n"
+      "                kind such as biglittle[:little_cores=4,big_cores=4,\n"
+      "                arbiter=demand] (docs/platforms.md has the grammar)\n"
       "  --journal P   append each completed scenario to the checkpoint\n"
       "                journal at P (JSON lines; see docs/sweeps.md);\n"
       "                with merge/results: write the canonical journal\n"
@@ -224,6 +231,14 @@ int run_list() {
   const std::string default_integrator = sweep::IntegratorSpec{}.kind;
   for (const auto& e : sweep::IntegratorRegistry::instance().entries()) {
     const bool is_default = e.kind == default_integrator;
+    std::printf("  %-16s %s%s\n", e.kind.c_str(), e.summary.c_str(),
+                is_default ? " (default)" : "");
+    print_params(e.params);
+  }
+  std::printf("\nplatforms (--platform KIND[:key=value,...]):\n");
+  const std::string default_platform = sweep::PlatformSpec{}.kind;
+  for (const auto& e : sweep::PlatformRegistry::instance().entries()) {
+    const bool is_default = e.kind == default_platform;
     std::printf("  %-16s %s%s\n", e.kind.c_str(), e.summary.c_str(),
                 is_default ? " (default)" : "");
     print_params(e.params);
@@ -363,6 +378,7 @@ sweepd::JobSpec job_spec_from(const Options& opt) {
   spec.controls = opt.controls;
   spec.sources = opt.sources;
   spec.integrator = opt.integrator;
+  spec.platform = opt.platform;
   return spec;
 }
 
@@ -607,7 +623,8 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (arg == "--control" || arg == "--source" || arg == "--integrator") {
+    if (arg == "--control" || arg == "--source" || arg == "--integrator" ||
+        arg == "--platform") {
       // Spec strings are validated against the registries up front so a
       // typo fails in milliseconds, not after the sweep ran.
       const std::string spec = next();
@@ -616,8 +633,10 @@ int main(int argc, char** argv) {
           opt.controls.push_back(sweep::ControlSpec::parse(spec));
         else if (arg == "--source")
           opt.sources.push_back(sweep::SourceSpec::parse(spec));
-        else
+        else if (arg == "--integrator")
           opt.integrator = sweep::IntegratorSpec::parse(spec);
+        else
+          opt.platform = sweep::PlatformSpec::parse(spec);
       } catch (const std::exception& e) {
         std::fprintf(stderr, "invalid %s '%s': %s\n", arg.c_str(),
                      spec.c_str(), e.what());
@@ -780,14 +799,16 @@ int main(int argc, char** argv) {
 
   sw.base.pv_mode = opt.pv_mode;
   sw.base.integrator = opt.integrator;
+  sw.base.platform_spec = opt.platform;
 
   // The journal identity pins every knob that changes what the scenarios
-  // compute (window length, PV mode, control/source/integrator
+  // compute (window length, PV mode, control/source/integrator/platform
   // overrides) -- labels alone would not catch a --minutes mismatch
   // between the original run and the resume.
   const std::string journal_name =
       sweep::sweep_identity(opt.sweep_name, opt.minutes, opt.pv_mode,
-                            opt.controls, opt.sources, opt.integrator);
+                            opt.controls, opt.sources, opt.integrator,
+                            opt.platform);
 
   const auto specs = sw.expand();
 
