@@ -29,6 +29,8 @@ import sys
 WATCHED = [
     "BM_Rk23SecondOfCircuit",
     "BM_Rk23PiSecondOfCircuit",
+    "BM_NewtonSolveSimd",
+    "BM_StepWindowSimd",
     "BM_EndToEndSimulatedMinute",
     "BM_EndToEndSimulatedMinuteTabulated",
     "BM_EndToEndSimulatedMinuteRk23Pi",

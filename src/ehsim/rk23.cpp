@@ -114,7 +114,6 @@ bool Rk23Integrator::begin_window(double t_end,
 
 bool Rk23Integrator::step_window(IntegrationResult& result) {
   const double t_end = win_t_end_;
-  const std::span<const EventSpec> events = win_events_;
   if (t_ < t_end) {
     PNS_ENSURES(++win_steps_ <= opt_.max_steps_per_call);
 
@@ -152,14 +151,61 @@ bool Rk23Integrator::step_window(IntegrationResult& result) {
     const double err =
         error_norm(yerr_, y_, ynew_, opt_.rel_tol, opt_.abs_tol);
 
-    if (err > 1.0 && h > opt_.min_step) {
-      ++total_rejected_;
-      ++result.rejected_steps;
-      h_ = h * (opt_.step_control == StepControl::kPi
-                    ? pi_.on_rejected(err)
-                    : std::max(0.2, 0.9 * std::pow(err, -1.0 / 3.0)));
-      return true;
-    }
+    return finish_attempt(h, end_capped, h_limit, err, result);
+  }
+
+  result.t = t_;
+  return false;
+}
+
+bool Rk23Integrator::attempt_open(Rk23StepAttempt& at,
+                                  IntegrationResult& result) {
+  PNS_EXPECTS(y_.size() == 1);
+  if (t_ < win_t_end_) {
+    PNS_ENSURES(++win_steps_ <= opt_.max_steps_per_call);
+
+    const double h_limit = std::min(h_, opt_.max_step);
+    double h = std::min(h_limit, win_t_end_ - t_);
+    const bool end_capped = h < h_limit;
+    h = std::max(h, opt_.min_step);
+
+    at.t = t_;
+    at.y = y_[0];
+    at.h = h;
+    at.k1 = f0_[0];
+    at.end_capped = end_capped;
+    at.h_limit = h_limit;
+    return true;
+  }
+
+  result.t = t_;
+  return false;
+}
+
+bool Rk23Integrator::attempt_close(const Rk23StepAttempt& at,
+                                   IntegrationResult& result) {
+  k1_[0] = at.k1;
+  k2_[0] = at.k2;
+  k3_[0] = at.k3;
+  k4_[0] = at.k4;
+  ynew_[0] = at.ynew;
+  yerr_[0] = at.yerr;
+  return finish_attempt(at.h, at.end_capped, at.h_limit, at.err, result);
+}
+
+bool Rk23Integrator::finish_attempt(double h, bool end_capped,
+                                    double h_limit, double err,
+                                    IntegrationResult& result) {
+  const std::span<const EventSpec> events = win_events_;
+  if (err > 1.0 && h > opt_.min_step) {
+    ++total_rejected_;
+    ++result.rejected_steps;
+    h_ = h * (opt_.step_control == StepControl::kPi
+                  ? pi_.on_rejected(err)
+                  : std::max(0.2, 0.9 * std::pow(err, -1.0 / 3.0)));
+    return true;
+  }
+  {
 
     // Accept the step.
     step_t0_ = t_;
@@ -285,9 +331,6 @@ bool Rk23Integrator::step_window(IntegrationResult& result) {
     std::swap(g_prev_, g_curr_);
     return true;
   }
-
-  result.t = t_;
-  return false;
 }
 
 double Rk23Integrator::min_event_margin() const {

@@ -50,6 +50,27 @@ struct Rk23Options {
   EventLocalization event_localization = EventLocalization::kBisection;
 };
 
+/// One staged step attempt of an open window, used by the batched SIMD
+/// stepper (ehsim/rk23_batch): attempt_open() runs step_window()'s
+/// prologue (step-size choice, runaway guard) and exposes the stage
+/// inputs; the caller evaluates the four RK stages and the scaled error
+/// norm -- packed across lanes, with the exact scalar arithmetic -- and
+/// attempt_close() feeds them back into the accept/reject epilogue.
+struct Rk23StepAttempt {
+  // Filled by attempt_open():
+  double t = 0.0;   ///< time at the start of the attempt
+  double y = 0.0;   ///< state at the start of the attempt
+  double h = 0.0;   ///< step size of this attempt
+  double k1 = 0.0;  ///< FSAL stage: derivative at (t, y)
+  bool end_capped = false;  ///< h shortened only to land on t_end
+  double h_limit = 0.0;     ///< min(h_, max_step) before the end cap
+  // Filled by the caller before attempt_close():
+  double k2 = 0.0, k3 = 0.0, k4 = 0.0;
+  double ynew = 0.0;  ///< 3rd-order solution at t + h
+  double yerr = 0.0;  ///< embedded 2nd-order error estimate
+  double err = 0.0;   ///< scaled error norm of yerr
+};
+
 /// Single-trajectory adaptive integrator. Typical use:
 ///
 ///   Rk23Integrator ig(system, opts);
@@ -107,6 +128,24 @@ class Rk23Integrator {
   /// window-stepped run is bit-identical to a plain advance().
   bool step_window(IntegrationResult& result);
 
+  /// Split form of step_window() for the batched SIMD stepper: performs
+  /// the prologue and fills the attempt's inputs. Returns false (and
+  /// completes `result`) when the window is already done -- exactly when
+  /// step_window() would have returned false without attempting a step.
+  /// Only dimension-1 systems are supported (the batched engine
+  /// integrates the single-node circuit).
+  bool attempt_open(Rk23StepAttempt& at, IntegrationResult& result);
+
+  /// Completes the attempt: accept/reject, step-size control, event scan
+  /// and possible rewind. Same return convention as step_window(). The
+  /// caller must have filled k2..k4/ynew/yerr/err with values
+  /// bit-identical to what step_window() would have computed; the
+  /// epilogue is the very same code (finish_attempt), so the resulting
+  /// trajectory is bit-identical too.
+  bool attempt_close(const Rk23StepAttempt& at, IntegrationResult& result);
+
+  const Rk23Options& options() const { return opt_; }
+
   /// Invalidates cached derivatives; call after mutating the OdeSystem's
   /// parameters mid-run (the FSAL derivative would otherwise be stale).
   /// Also forgets the PI controller's error history -- errors measured
@@ -133,6 +172,12 @@ class Rk23Integrator {
   double event_value(const EventSpec& ev, double t);
 
   double initial_step_guess(double t_end) const;
+
+  /// Shared epilogue of step_window()/attempt_close(): reject (with
+  /// step-size cut) or accept (commit, FSAL, step growth, event scan and
+  /// rewind). Reads the stage buffers k1_..k4_/ynew_/yerr_.
+  bool finish_attempt(double h, bool end_capped, double h_limit, double err,
+                      IntegrationResult& result);
 
   const OdeSystem* system_;
   Rk23Options opt_;

@@ -27,7 +27,11 @@
 #include "ehsim/ode.hpp"
 #include "ehsim/rk23.hpp"
 
+#include "ehsim/sources.hpp"
+
 namespace pns::ehsim {
+
+class BatchRhs;
 
 struct Rk23BatchOptions {
   /// Step attempts a lane may spend on one window inside the rounds
@@ -43,6 +47,9 @@ struct BatchStepStats {
   std::uint64_t tail_steps = 0;      ///< attempts finishing divergent lanes
   std::uint64_t divergences = 0;     ///< lane-windows that left lockstep
   std::uint64_t event_windows = 0;   ///< windows closed by an event root
+  std::uint64_t simd_rounds = 0;     ///< rounds driven by run_rounds_simd
+  std::uint64_t simd_lane_steps = 0; ///< lane attempts staged across lanes
+  PvSolveStats kernel;  ///< packed-kernel solve accounting (BatchRhs)
 };
 
 class Rk23BatchStepper {
@@ -65,12 +72,38 @@ class Rk23BatchStepper {
   void run_rounds(std::span<Rk23Integrator* const> integrators,
                   std::span<IntegrationResult> results, BatchState& state);
 
+  /// run_rounds() with the per-round stage math executed data-parallel
+  /// across the active lanes (the rk23simd integrator kind): each round
+  /// opens every lockstep lane's step attempt (Rk23Integrator::
+  /// attempt_open), evaluates the four RK stages and the error norm
+  /// across the whole active set -- stage combinations in width-4 vector
+  /// chunks, derivative evaluations through `rhs` with the PV solves
+  /// packed (ehsim/solar_cell_simd.hpp) -- then closes each attempt in
+  /// lane order (attempt_close: accept/reject, events, divergence
+  /// fallback). Every per-lane floating-point sequence is replicated
+  /// exactly, so results are bit-identical to run_rounds(), which is
+  /// bit-identical to scalar advance().
+  ///
+  /// `rhs` must be bound to the same circuits the integrators integrate,
+  /// indexed by lane. Same pre/postconditions as run_rounds().
+  void run_rounds_simd(std::span<Rk23Integrator* const> integrators,
+                       std::span<IntegrationResult> results,
+                       BatchState& state, BatchRhs& rhs);
+
   const BatchStepStats& stats() const { return stats_; }
   const Rk23BatchOptions& options() const { return opt_; }
 
  private:
   Rk23BatchOptions opt_;
   BatchStepStats stats_;
+
+  // run_rounds_simd scratch (SoA over the active lane set), reused
+  // across rounds and calls.
+  std::vector<Rk23StepAttempt> attempts_;   // lane-indexed
+  std::vector<std::size_t> active_;         // lane ids staging this round
+  std::vector<double> ta_, ya_, ha_, k1a_, k2a_, k3a_, k4a_;
+  std::vector<double> tsa_, ysa_, ynewa_, yerra_, erra_;
+  std::vector<double> rtola_, atola_;
 };
 
 }  // namespace pns::ehsim

@@ -54,7 +54,14 @@ double SolarCell::current_from_photo_seeded(double v, double il,
   return newton_current(v, il, i_seed);
 }
 
-double SolarCell::newton_current(double v, double il, double i_start) const {
+double SolarCell::current_from_photo_counted(double v, double il,
+                                             double i_seed,
+                                             std::uint32_t* iters) const {
+  return newton_current(v, il, i_seed, iters);
+}
+
+double SolarCell::newton_current(double v, double il, double i_start,
+                                 std::uint32_t* iters) const {
   const Residual res{params_, v, il};
   double i = i_start;
   for (int iter = 0; iter < 100; ++iter) {
@@ -65,9 +72,13 @@ double SolarCell::newton_current(double v, double il, double i_start) const {
     const double limit = std::max(1.0, std::abs(i)) * 10.0 + 1.0;
     if (std::abs(step) > limit) step = step > 0.0 ? limit : -limit;
     const double next = i - step;
-    if (std::abs(next - i) < 1e-12 * (1.0 + std::abs(next))) return next;
+    if (std::abs(next - i) < 1e-12 * (1.0 + std::abs(next))) {
+      if (iters != nullptr) *iters = static_cast<std::uint32_t>(iter + 1);
+      return next;
+    }
     i = next;
   }
+  if (iters != nullptr) *iters = 100;
   return i;  // best effort; residual tests bound the error
 }
 

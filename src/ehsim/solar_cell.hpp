@@ -14,6 +14,8 @@
 // Isc ~ 1.15 A, Voc ~ 6.8 V, MPP ~ 5.4 W at 5.3 V.
 #pragma once
 
+#include <cstdint>
+
 #include "util/interp.hpp"
 
 namespace pns::ehsim {
@@ -56,6 +58,12 @@ class SolarCell {
   /// exact reproducibility must use current_from_photo.
   double current_from_photo_seeded(double v, double il, double i_seed) const;
 
+  /// current_from_photo_seeded that also reports the number of Newton
+  /// iterations executed (solver observability; `iters` may be null).
+  /// Seeding with `il` makes it bit-identical to current_from_photo.
+  double current_from_photo_counted(double v, double il, double i_seed,
+                                    std::uint32_t* iters) const;
+
   /// Terminal current at voltage `v` under irradiance `g`.
   double current(double v, double irradiance) const;
 
@@ -90,7 +98,9 @@ class SolarCell {
 
  private:
   /// Damped Newton on the implicit diode equation from `i_start`.
-  double newton_current(double v, double il, double i_start) const;
+  /// `iters` (optional) receives the number of iterations executed.
+  double newton_current(double v, double il, double i_start,
+                        std::uint32_t* iters = nullptr) const;
 
   SolarCellParams params_;
 };

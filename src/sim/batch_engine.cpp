@@ -9,7 +9,8 @@ namespace pns::sim {
 BatchEngine::BatchEngine(std::vector<SimEngine*> lanes,
                          BatchEngineOptions options)
     : lanes_(std::move(lanes)),
-      stepper_(ehsim::Rk23BatchOptions{options.divergence_rounds}) {
+      stepper_(ehsim::Rk23BatchOptions{options.divergence_rounds}),
+      simd_(options.simd) {
   PNS_EXPECTS(!lanes_.empty());
   for (const SimEngine* lane : lanes_) PNS_EXPECTS(lane != nullptr);
   results_.resize(lanes_.size());
@@ -49,6 +50,11 @@ std::vector<SimResult> BatchEngine::run() {
     lanes_[i]->begin();
     integrators[i] = &lanes_[i]->integrator();
     state_.observe(i, *integrators[i]);
+  }
+  if (simd_) {
+    std::vector<const ehsim::EhCircuit*> circuits(n);
+    for (std::size_t i = 0; i < n; ++i) circuits[i] = &lanes_[i]->circuit();
+    rhs_.bind(circuits);
   }
 
   while (!state_.all_done()) {
@@ -93,7 +99,10 @@ std::vector<SimResult> BatchEngine::run() {
 
     // Round phase: every open window steps to completion in lockstep;
     // divergent windows fall back to a scalar tail inside.
-    stepper_.run_rounds(integrators, window_results_, state_);
+    if (simd_)
+      stepper_.run_rounds_simd(integrators, window_results_, state_, rhs_);
+    else
+      stepper_.run_rounds(integrators, window_results_, state_);
 
     // Commit phase: windows closed by an event root or by reaching their
     // stop point both commit here and rejoin at the next superstep.

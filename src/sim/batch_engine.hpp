@@ -29,6 +29,7 @@
 
 #include "ehsim/batch_state.hpp"
 #include "ehsim/rk23_batch.hpp"
+#include "ehsim/solar_cell_simd.hpp"
 #include "sim/engine.hpp"
 
 namespace pns::sim {
@@ -38,6 +39,13 @@ struct BatchEngineOptions {
   /// rounds before finishing that window scalar. Scheduling only; results
   /// are bit-identical for any value >= 1.
   std::uint32_t divergence_rounds = 64;
+  /// Drive the lockstep rounds through the data-parallel SIMD stepper
+  /// (ehsim::Rk23BatchStepper::run_rounds_simd): RK stages and error
+  /// norms evaluated across lanes, PV solves packed
+  /// (ehsim/solar_cell_simd.hpp). Execution strategy only -- results
+  /// stay bit-identical; on platforms where the packed kernels fail
+  /// their startup self-test they degrade to scalar automatically.
+  bool simd = false;
 };
 
 /// Aggregate counters of one BatchEngine::run().
@@ -81,7 +89,9 @@ class BatchEngine {
   std::vector<std::uint8_t> pending_commit_;
   ehsim::BatchState state_;
   ehsim::Rk23BatchStepper stepper_;
+  ehsim::BatchRhs rhs_;  ///< bound in run() when simd_ is set
   BatchRunStats stats_;
+  bool simd_ = false;
   bool ran_ = false;
 };
 

@@ -471,6 +471,8 @@ SimResult SimEngine::finish() {
           dom_share_dt_ > 0.0 ? dom_share_time_[d] / dom_share_dt_ : 0.0;
     }
   }
+  if (const auto* pv = dynamic_cast<const ehsim::PvSource*>(source_))
+    result_.metrics.pv_solve = pv->solve_stats();
   result_.series = recorder_->take();
   if (controller_) result_.controller = controller_->stats();
   return std::move(result_);

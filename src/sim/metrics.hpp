@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/controller.hpp"
+#include "ehsim/sources.hpp"
 #include "util/histogram.hpp"
 #include "util/stats.hpp"
 
@@ -58,6 +59,12 @@ struct SimMetrics {
   /// Per-domain breakdown; empty unless the platform was compiled from
   /// a PlatformTopology.
   std::vector<DomainMetrics> domains;
+
+  /// PV implicit-solve accounting of the run's source (zeroed when the
+  /// source is not a PvSource). Observability only: deliberately NOT
+  /// serialised by write_summary_row_json, so default CSV/JSON outputs
+  /// stay byte-identical; pns_bench_report prints it.
+  ehsim::PvSolveStats pv_solve;
 
   double duration() const { return t_end - t_start; }
   double fraction_in_band() const {

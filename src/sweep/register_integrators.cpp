@@ -128,6 +128,35 @@ void register_builtin_integrators(IntegratorRegistry& registry) {
     batch.batch_capable = true;
     registry.add(std::move(batch));
   }
+
+  {
+    // rk23batch with the lockstep rounds driven data-parallel: RK stages
+    // and error norms evaluated across lanes in vector chunks, PV Newton
+    // solves and table lookups packed (ehsim/solar_cell_simd). Still the
+    // rk23pi numerics through apply_pi_family, still bit-identical at
+    // every width and lane order -- the differential harness holds
+    // rk23simd to byte-equality with rk23pi, and platforms whose packed
+    // kernels fail the startup self-test degrade to scalar execution
+    // automatically.
+    IntegratorEntry simd{
+        "rk23simd",
+        "rk23pi numerics, SIMD lockstep batches (bit-identical to rk23pi)",
+        pi_family_params(),
+        [](const ScenarioSpec&, const ParamMap& params, sim::SimConfig& cfg) {
+          apply_pi_family(params, cfg);
+        },
+        /*execution_only=*/{},
+        /*batch_capable=*/false,
+    };
+    simd.params.push_back(
+        {"width", "uint", "8",
+         "max lanes per lockstep batch (execution strategy only; every "
+         "width produces the same bytes)"});
+    simd.execution_only = {"width"};
+    simd.batch_capable = true;
+    simd.batch_simd = true;
+    registry.add(std::move(simd));
+  }
 }
 
 }  // namespace pns::sweep

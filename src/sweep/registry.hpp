@@ -90,6 +90,11 @@ struct IntegratorEntry {
   /// of this kind into one sim::BatchEngine per worker, up to the kind's
   /// "width" parameter, without changing any output byte.
   bool batch_capable = false;
+  /// Batched runs of this kind drive the data-parallel SIMD stepper
+  /// (BatchEngineOptions::simd): RK stages evaluated across lanes and PV
+  /// solves packed, still without changing any output byte. Implies
+  /// batch_capable semantics for everything else.
+  bool batch_simd = false;
 };
 
 /// One registered platform kind. Resolves to a complete soc::Platform:

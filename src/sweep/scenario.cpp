@@ -142,9 +142,17 @@ std::size_t batch_width(const ScenarioSpec& spec) {
 }
 
 bool batch_compatible(const ScenarioSpec& a, const ScenarioSpec& b) {
+  // Rows with different *controls* share a batch safely: every lane owns
+  // its full scalar state (engine, controller, source) and lockstep only
+  // interleaves execution, so mixing control families cannot couple lanes
+  // (held to byte-equality by test_batch_parity's
+  // MixedControlFamiliesShareABatchSafely). Not requiring equal controls
+  // lets a preset like table2 -- controls x seeds within one condition --
+  // form full-width batches instead of per-control slivers. The partition
+  // stays a pure function of the spec list (runner.cpp), so outputs stay
+  // independent of thread count.
   return a.integrator == b.integrator &&
          a.platform_spec == b.platform_spec &&
-         a.control.spec_string() == b.control.spec_string() &&
          a.source.spec_string() == b.source.spec_string() &&
          a.condition == b.condition && a.pv_mode == b.pv_mode;
 }
@@ -203,7 +211,14 @@ std::vector<SweepOutcome> run_scenarios_batched(const ScenarioSpec* specs,
     std::vector<sim::SimEngine*> engines;
     engines.reserve(lanes.size());
     for (const Lane& lane : lanes) engines.push_back(lane.bundle.engine.get());
-    sim::BatchEngine batch(std::move(engines));
+    // All specs of one work unit share the integrator kind (the runner
+    // only groups batch_compatible rows), so the first lane's entry
+    // decides whether the lockstep rounds run data-parallel.
+    sim::BatchEngineOptions batch_opt;
+    const IntegratorEntry* entry = IntegratorRegistry::instance().find(
+        specs[lanes.front().spec_index].integrator.kind);
+    batch_opt.simd = entry != nullptr && entry->batch_simd;
+    sim::BatchEngine batch(std::move(engines), batch_opt);
     std::vector<sim::SimResult> results = batch.run();
     for (std::size_t k = 0; k < lanes.size(); ++k) {
       outcomes[lanes[k].spec_index].result = std::move(results[k]);

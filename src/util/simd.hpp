@@ -1,0 +1,266 @@
+// Portable fixed-width SIMD vectors over compiler vector extensions.
+//
+// VecD<W> packs W doubles and exposes exactly the elementwise operations
+// the batched kernels need: +,-,*,/ and unary minus, abs/min/max with
+// std::fabs/std::min/std::max semantics, IEEE comparisons yielding a
+// per-lane mask, and a bitwise select. Every operation is elementwise
+// IEEE-754 double arithmetic, so a VecD computation is bit-identical to
+// the same expression written as W scalar statements -- which is the
+// whole point: the lockstep engine's SIMD path (ehsim/solar_cell_simd,
+// ehsim/rk23_batch) promises byte-identical results to the scalar
+// integrator, and the abstraction must not be able to break that promise.
+//
+// Two interchangeable implementations sit behind the VecD<W> alias:
+//   * native   -- GCC/Clang vector extensions (vector_size attribute);
+//                 no intrinsics headers, no target-specific code, the
+//                 compiler lowers to whatever the ISA offers and
+//                 synthesises the rest.
+//   * fallback -- a plain double array with scalar loops. Selected at
+//                 compile time by -DPNS_SIMD_DISABLE (the CMake
+//                 PNS_SIMD=off leg) or on compilers without the
+//                 extension. Both implementations are always *compiled*
+//                 (the fallback is a template either way) and the unit
+//                 tests exercise both, so the off-switch cannot rot.
+//
+// Contraction: expressions over VecD must not be FMA-fused where the
+// matching scalar code is not. The TUs that use VecD for bit-sensitive
+// math pin -ffp-contract=off (see CMakeLists.txt); this header contains
+// no arithmetic of its own beyond single operations, which are immune.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+#if !defined(PNS_SIMD_DISABLE) && (defined(__GNUC__) || defined(__clang__))
+#define PNS_SIMD_NATIVE 1
+#else
+#define PNS_SIMD_NATIVE 0
+#endif
+
+// Vectors wider than the target baseline (e.g. 32/64-byte doubles on
+// plain x86-64) draw a -Wpsabi note about their parameter-passing ABI.
+// Irrelevant here: every VecD function is inline and header-only, so no
+// vector ever crosses a compiled ABI boundary.
+#if PNS_SIMD_NATIVE && defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wpsabi"
+#endif
+
+namespace pns::simd {
+
+/// True when VecD<W> is backed by compiler vector extensions in this
+/// build (PNS_SIMD=auto on GCC/Clang); false in the forced-scalar build.
+inline constexpr bool kNativeVectors = PNS_SIMD_NATIVE != 0;
+
+/// Chunk width the packed kernels process at a time. 4 doubles spans one
+/// AVX2 register and two SSE2 / NEON registers; the compiler splits or
+/// widens as the target allows, so there is no per-ISA tuning here.
+inline constexpr int kDefaultWidth = 4;
+
+template <int W, bool Native>
+struct VecDImpl;
+
+// ------------------------------------------------------------- fallback
+/// Scalar-array implementation: semantics documentation for the native
+/// one, and the only implementation when PNS_SIMD_DISABLE is set.
+template <int W>
+struct VecDImpl<W, false> {
+  static constexpr int kWidth = W;
+  double lane[W];
+
+  struct Mask {
+    bool lane[W];
+    bool test(int i) const { return lane[i]; }
+    bool any() const {
+      for (int i = 0; i < W; ++i)
+        if (lane[i]) return true;
+      return false;
+    }
+    friend Mask operator&(Mask a, Mask b) {
+      Mask r;
+      for (int i = 0; i < W; ++i) r.lane[i] = a.lane[i] && b.lane[i];
+      return r;
+    }
+    friend Mask operator|(Mask a, Mask b) {
+      Mask r;
+      for (int i = 0; i < W; ++i) r.lane[i] = a.lane[i] || b.lane[i];
+      return r;
+    }
+    friend Mask operator~(Mask a) {
+      Mask r;
+      for (int i = 0; i < W; ++i) r.lane[i] = !a.lane[i];
+      return r;
+    }
+  };
+
+  static VecDImpl broadcast(double x) {
+    VecDImpl r;
+    for (int i = 0; i < W; ++i) r.lane[i] = x;
+    return r;
+  }
+  static VecDImpl load(const double* p) {
+    VecDImpl r;
+    for (int i = 0; i < W; ++i) r.lane[i] = p[i];
+    return r;
+  }
+  void store(double* p) const {
+    for (int i = 0; i < W; ++i) p[i] = lane[i];
+  }
+  double operator[](int i) const { return lane[i]; }
+  void set(int i, double x) { lane[i] = x; }
+
+#define PNS_SIMD_FALLBACK_BINOP(op)                        \
+  friend VecDImpl operator op(VecDImpl a, VecDImpl b) {    \
+    VecDImpl r;                                            \
+    for (int i = 0; i < W; ++i)                            \
+      r.lane[i] = a.lane[i] op b.lane[i];                  \
+    return r;                                              \
+  }
+  PNS_SIMD_FALLBACK_BINOP(+)
+  PNS_SIMD_FALLBACK_BINOP(-)
+  PNS_SIMD_FALLBACK_BINOP(*)
+  PNS_SIMD_FALLBACK_BINOP(/)
+#undef PNS_SIMD_FALLBACK_BINOP
+
+  friend VecDImpl operator-(VecDImpl a) {
+    VecDImpl r;
+    for (int i = 0; i < W; ++i) r.lane[i] = -a.lane[i];
+    return r;
+  }
+
+#define PNS_SIMD_FALLBACK_CMP(name, op)               \
+  friend Mask name(VecDImpl a, VecDImpl b) {          \
+    Mask r;                                           \
+    for (int i = 0; i < W; ++i)                       \
+      r.lane[i] = a.lane[i] op b.lane[i];             \
+    return r;                                         \
+  }
+  PNS_SIMD_FALLBACK_CMP(cmp_lt, <)
+  PNS_SIMD_FALLBACK_CMP(cmp_gt, >)
+#undef PNS_SIMD_FALLBACK_CMP
+
+  /// std::fabs per lane (clears the sign bit, -0.0 -> +0.0).
+  friend VecDImpl vabs(VecDImpl a) {
+    VecDImpl r;
+    for (int i = 0; i < W; ++i) r.lane[i] = std::fabs(a.lane[i]);
+    return r;
+  }
+  /// std::max semantics per lane: (a < b) ? b : a.
+  friend VecDImpl vmax(VecDImpl a, VecDImpl b) {
+    VecDImpl r;
+    for (int i = 0; i < W; ++i) r.lane[i] = std::max(a.lane[i], b.lane[i]);
+    return r;
+  }
+  /// std::min semantics per lane: (b < a) ? b : a.
+  friend VecDImpl vmin(VecDImpl a, VecDImpl b) {
+    VecDImpl r;
+    for (int i = 0; i < W; ++i) r.lane[i] = std::min(a.lane[i], b.lane[i]);
+    return r;
+  }
+  /// Per-lane m ? a : b (a bitwise blend in the native implementation;
+  /// for doubles selected whole, the two are indistinguishable).
+  friend VecDImpl select(Mask m, VecDImpl a, VecDImpl b) {
+    VecDImpl r;
+    for (int i = 0; i < W; ++i) r.lane[i] = m.lane[i] ? a.lane[i] : b.lane[i];
+    return r;
+  }
+};
+
+// --------------------------------------------------------------- native
+#if PNS_SIMD_NATIVE
+
+/// Width-specific vector typedefs. vector_size wants an integral
+/// constant, so the supported widths are enumerated instead of computed.
+template <int W>
+struct NativeVecTypes;
+template <>
+struct NativeVecTypes<2> {
+  typedef double V __attribute__((vector_size(16)));
+  typedef long long M __attribute__((vector_size(16)));
+  typedef unsigned long long U __attribute__((vector_size(16)));
+};
+template <>
+struct NativeVecTypes<4> {
+  typedef double V __attribute__((vector_size(32)));
+  typedef long long M __attribute__((vector_size(32)));
+  typedef unsigned long long U __attribute__((vector_size(32)));
+};
+template <>
+struct NativeVecTypes<8> {
+  typedef double V __attribute__((vector_size(64)));
+  typedef long long M __attribute__((vector_size(64)));
+  typedef unsigned long long U __attribute__((vector_size(64)));
+};
+
+template <int W>
+struct VecDImpl<W, true> {
+  static constexpr int kWidth = W;
+  using V = typename NativeVecTypes<W>::V;
+  using MV = typename NativeVecTypes<W>::M;
+  using UV = typename NativeVecTypes<W>::U;
+  V v;
+
+  struct Mask {
+    MV m;  ///< per-lane all-ones (true) / all-zeros (false)
+    bool test(int i) const { return m[i] != 0; }
+    bool any() const {
+      long long r = 0;  // branchless OR-reduce: any() runs once per
+      for (int i = 0; i < W; ++i) r |= m[i];  // kernel iteration
+      return r != 0;
+    }
+    friend Mask operator&(Mask a, Mask b) { return {a.m & b.m}; }
+    friend Mask operator|(Mask a, Mask b) { return {a.m | b.m}; }
+    friend Mask operator~(Mask a) { return {~a.m}; }
+  };
+
+  static VecDImpl broadcast(double x) {
+    VecDImpl r;
+    for (int i = 0; i < W; ++i) r.v[i] = x;
+    return r;
+  }
+  static VecDImpl load(const double* p) {
+    VecDImpl r;
+    for (int i = 0; i < W; ++i) r.v[i] = p[i];
+    return r;
+  }
+  void store(double* p) const {
+    for (int i = 0; i < W; ++i) p[i] = v[i];
+  }
+  double operator[](int i) const { return v[i]; }
+  void set(int i, double x) { v[i] = x; }
+
+  friend VecDImpl operator+(VecDImpl a, VecDImpl b) { return {a.v + b.v}; }
+  friend VecDImpl operator-(VecDImpl a, VecDImpl b) { return {a.v - b.v}; }
+  friend VecDImpl operator*(VecDImpl a, VecDImpl b) { return {a.v * b.v}; }
+  friend VecDImpl operator/(VecDImpl a, VecDImpl b) { return {a.v / b.v}; }
+  friend VecDImpl operator-(VecDImpl a) { return {-a.v}; }
+
+  friend Mask cmp_lt(VecDImpl a, VecDImpl b) { return {a.v < b.v}; }
+  friend Mask cmp_gt(VecDImpl a, VecDImpl b) { return {a.v > b.v}; }
+
+  friend VecDImpl vabs(VecDImpl a) {
+    // fabs: clear the sign bit. Exact for every value incl. -0.0 / NaN.
+    const UV sign = std::bit_cast<UV>(broadcast(-0.0).v);
+    return {std::bit_cast<V>(std::bit_cast<UV>(a.v) & ~sign)};
+  }
+  friend VecDImpl vmax(VecDImpl a, VecDImpl b) {
+    return select(cmp_lt(a, b), b, a);  // std::max: (a < b) ? b : a
+  }
+  friend VecDImpl vmin(VecDImpl a, VecDImpl b) {
+    return select(cmp_lt(b, a), b, a);  // std::min: (b < a) ? b : a
+  }
+  friend VecDImpl select(Mask m, VecDImpl a, VecDImpl b) {
+    const UV mu = std::bit_cast<UV>(m.m);
+    return {std::bit_cast<V>((std::bit_cast<UV>(a.v) & mu) |
+                             (std::bit_cast<UV>(b.v) & ~mu))};
+  }
+};
+
+#endif  // PNS_SIMD_NATIVE
+
+/// The width-W double vector of this build (native or fallback).
+template <int W>
+using VecD = VecDImpl<W, kNativeVectors>;
+
+}  // namespace pns::simd

@@ -1,0 +1,236 @@
+// Packed PV kernels vs. their scalar counterparts, bit for bit.
+//
+// The differential batch-parity suite (tests/sim/test_batch_parity)
+// proves the end-to-end contract; these tests aim the microscope at the
+// kernel layer itself: newton_packed / bilinear_packed against
+// SolarCell::current_from_photo_counted / PvTable::current on adversarial
+// operating points, the scalar fallback routing, the startup self-test,
+// and the plan/execute/commit decomposition of PvSource::current that
+// the batched evaluator relies on.
+#include "ehsim/solar_cell_simd.hpp"
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ehsim/pv_table.hpp"
+#include "ehsim/solar_cell.hpp"
+#include "ehsim/sources.hpp"
+
+namespace pns::ehsim {
+namespace {
+
+std::uint64_t bits(double x) { return std::bit_cast<std::uint64_t>(x); }
+
+SolarCell test_cell() {
+  return SolarCell(SolarCellParams{2e-9, 1.6, 0.3, 200.0, 1.15, 1000.0});
+}
+
+/// Newton probe lanes spanning cold seeds, warm seeds, the damped-step
+/// branch and near-zero photo-currents (the dawn/dusk regime).
+std::vector<NewtonLane> newton_probes(const SolarCell& cell) {
+  std::vector<NewtonLane> lanes;
+  for (double v : {0.0, 0.8, 2.3, 4.2, 5.3, 6.1, 7.0})
+    for (double il : {0.0, 1e-6, 0.02, 0.4, 1.15})
+      lanes.push_back({&cell, v, il, il});
+  // Warm seeds: start from a converged neighbour's current, as the
+  // PvSource cache does.
+  for (std::size_t k = 0; k < 5; ++k) {
+    NewtonLane ln = lanes[7 * k + 3];
+    ln.seed = cell.current_from_photo(ln.v, ln.il) + 0.003;
+    lanes.push_back(ln);
+  }
+  return lanes;
+}
+
+TEST(SolarCellSimd, NewtonPackedIsBitIdenticalToScalar) {
+  const SolarCell cell = test_cell();
+  const auto lanes = newton_probes(cell);
+  std::vector<double> got(lanes.size());
+  std::vector<std::uint32_t> got_iters(lanes.size());
+  simd_detail::newton_packed(lanes, got.data(), got_iters.data());
+  for (std::size_t k = 0; k < lanes.size(); ++k) {
+    std::uint32_t want_iters = 0;
+    const double want = cell.current_from_photo_counted(
+        lanes[k].v, lanes[k].il, lanes[k].seed, &want_iters);
+    EXPECT_EQ(bits(got[k]), bits(want))
+        << "lane " << k << " v=" << lanes[k].v << " il=" << lanes[k].il;
+    EXPECT_EQ(got_iters[k], want_iters) << "lane " << k;
+  }
+}
+
+TEST(SolarCellSimd, NewtonPackedHandlesEveryRemainder) {
+  // 1..9 lanes cover: scalar-only, one half chunk, full chunk, full+1,
+  // full+half, full+half+1, two full chunks and beyond.
+  const SolarCell cell = test_cell();
+  const auto all = newton_probes(cell);
+  for (std::size_t n = 1; n <= 9; ++n) {
+    std::vector<NewtonLane> lanes(all.begin(), all.begin() + n);
+    std::vector<double> got(n);
+    std::vector<std::uint32_t> iters(n);
+    const std::size_t packed =
+        simd_detail::newton_packed(lanes, got.data(), iters.data());
+    EXPECT_LE(packed, n);
+    for (std::size_t k = 0; k < n; ++k) {
+      const double want = cell.current_from_photo(lanes[k].v, lanes[k].il);
+      EXPECT_EQ(bits(got[k]), bits(want)) << "n=" << n << " lane " << k;
+    }
+  }
+}
+
+TEST(SolarCellSimd, BilinearPackedIsBitIdenticalToScalar) {
+  const SolarCell cell = test_cell();
+  PvTableSpec spec;
+  spec.v_max = 7.0;
+  spec.g_max = 1200.0;
+  spec.nv = 17;
+  spec.ng = 9;
+  const PvTable table(cell, spec);
+  std::vector<TableLane> lanes;
+  // Corners, knot-exact points, cell interiors and the far edges (the
+  // clamped fv/fg branch).
+  for (double v : {0.0, 0.4375, 1.31, 3.5, 6.99, 7.0})
+    for (double g : {0.0, 150.0, 512.7, 1199.0, 1200.0})
+      lanes.push_back({&table, v, g});
+  std::vector<double> got(lanes.size());
+  simd_detail::bilinear_packed(lanes, got.data());
+  for (std::size_t k = 0; k < lanes.size(); ++k)
+    EXPECT_EQ(bits(got[k]), bits(table.current(lanes[k].v, lanes[k].g)))
+        << "lane " << k << " v=" << lanes[k].v << " g=" << lanes[k].g;
+}
+
+TEST(SolarCellSimd, SelfTestPassesHere) {
+  // If this fails, the platform contracts vector expressions differently
+  // from scalar ones and every packed entry point must degrade -- which
+  // the routing test below would then exercise for real.
+  EXPECT_TRUE(simd_kernel_self_test());
+}
+
+TEST(SolarCellSimd, ForcedScalarRoutingStillAnswersEveryLane) {
+  struct ForceScalar {
+    ForceScalar() { simd_force_scalar(true); }
+    ~ForceScalar() { simd_force_scalar(false); }
+  } guard;
+  EXPECT_FALSE(simd_kernel_active());
+  const SolarCell cell = test_cell();
+  const auto lanes = newton_probes(cell);
+  std::vector<double> got(lanes.size());
+  std::vector<std::uint32_t> iters(lanes.size());
+  const std::size_t packed =
+      newton_current_batch(lanes, got.data(), iters.data());
+  EXPECT_EQ(packed, 0u);  // everything drained scalar
+  for (std::size_t k = 0; k < lanes.size(); ++k) {
+    std::uint32_t want_iters = 0;
+    const double want = cell.current_from_photo_counted(
+        lanes[k].v, lanes[k].il, lanes[k].seed, &want_iters);
+    EXPECT_EQ(bits(got[k]), bits(want)) << "lane " << k;
+    EXPECT_EQ(iters[k], want_iters) << "lane " << k;
+  }
+}
+
+TEST(SolarCellSimd, KernelCompiledMatchesBuildConfiguration) {
+#ifdef PNS_SIMD_DISABLE
+  EXPECT_FALSE(simd_kernel_compiled());
+#else
+#if defined(__GNUC__) || defined(__clang__)
+  EXPECT_TRUE(simd_kernel_compiled());
+#endif
+#endif
+}
+
+// ---------------------------------------------------------------- PvSource
+// plan/execute/commit must BE PvSource::current: same value, same cache
+// evolution, same counters. A drift here would let the batched path and
+// the scalar path disagree on warm-start seeds a few calls later.
+
+PvSource make_source(PvSource::Mode mode) {
+  SolarCell cell = test_cell();
+  auto irr = [](double t) { return t < 100.0 ? 800.0 : 30.0; };
+  if (mode == PvSource::Mode::kExact) return PvSource(cell, irr);
+  PvTableSpec spec;
+  spec.v_max = 7.0;
+  spec.g_max = 1200.0;
+  spec.nv = 17;
+  spec.ng = 9;
+  return PvSource(cell, irr,
+                  std::make_shared<const PvTable>(cell, spec));
+}
+
+TEST(SolarCellSimd, PlanExecuteCommitReplaysCurrentExactly) {
+  for (const auto mode :
+       {PvSource::Mode::kExact, PvSource::Mode::kTabulated}) {
+    PvSource a = make_source(mode);
+    PvSource b = make_source(mode);
+    // A call sequence hitting memo (same v,t), cold solves (jumps), and
+    // -- in tabulated mode -- the table path plus the off-table Newton
+    // fallback (v beyond the table's 7 V edge) whose second call
+    // warm-starts from the first.
+    const double pts[][2] = {{5.3, 10.0}, {5.3, 10.0},  {5.31, 11.0},
+                             {2.0, 12.0}, {2.01, 13.0}, {5.3, 200.0},
+                             {5.3, 200.0}, {0.5, 201.0}, {7.5, 300.0},
+                             {7.52, 301.0}};
+    for (const auto& p : pts) {
+      const double want = a.current(p[0], p[1]);
+      // Replay on b through the decomposed path.
+      const PvSource::SolvePlan plan = b.plan_current(p[0], p[1]);
+      double got = 0.0;
+      switch (plan.path) {
+        case PvSource::SolvePlan::Path::kMemo:
+          got = plan.value;
+          break;
+        case PvSource::SolvePlan::Path::kTable:
+          got = b.table()->current(plan.v, plan.g);
+          break;
+        case PvSource::SolvePlan::Path::kNewton: {
+          std::uint32_t iters = 0;
+          got = b.cell().current_from_photo_counted(plan.v, plan.il,
+                                                    plan.seed, &iters);
+          b.commit_newton(plan, got, iters, false);
+          break;
+        }
+      }
+      EXPECT_EQ(bits(got), bits(want)) << "v=" << p[0] << " t=" << p[1];
+    }
+    // Identical cache evolution => identical counters.
+    EXPECT_EQ(a.solve_stats().calls, b.solve_stats().calls);
+    EXPECT_EQ(a.solve_stats().memo_hits, b.solve_stats().memo_hits);
+    EXPECT_EQ(a.solve_stats().table_hits, b.solve_stats().table_hits);
+    EXPECT_EQ(a.solve_stats().newton_solves, b.solve_stats().newton_solves);
+    EXPECT_EQ(a.solve_stats().newton_iterations,
+              b.solve_stats().newton_iterations);
+    EXPECT_EQ(a.solve_stats().warm_starts, b.solve_stats().warm_starts);
+    if (mode == PvSource::Mode::kExact) {
+      // Exact mode has no table, hence no off-table warm-start rule.
+      EXPECT_GT(a.solve_stats().newton_solves, 0u);
+      EXPECT_GT(a.solve_stats().memo_hits, 0u);
+      EXPECT_EQ(a.solve_stats().warm_starts, 0u);
+    } else {
+      EXPECT_GT(a.solve_stats().table_hits, 0u);
+      EXPECT_GT(a.solve_stats().newton_solves, 0u);
+      EXPECT_GT(a.solve_stats().warm_starts, 0u);
+    }
+  }
+}
+
+TEST(SolarCellSimd, SolveStatsAccumulate) {
+  PvSolveStats a;
+  a.calls = 3;
+  a.newton_solves = 2;
+  a.newton_iterations = 11;
+  PvSolveStats b;
+  b.calls = 5;
+  b.memo_hits = 4;
+  b.simd_lanes = 2;
+  a += b;
+  EXPECT_EQ(a.calls, 8u);
+  EXPECT_EQ(a.memo_hits, 4u);
+  EXPECT_EQ(a.newton_solves, 2u);
+  EXPECT_EQ(a.newton_iterations, 11u);
+  EXPECT_EQ(a.simd_lanes, 2u);
+}
+
+}  // namespace
+}  // namespace pns::ehsim

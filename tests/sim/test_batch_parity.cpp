@@ -16,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include "../support/scenario_grid.hpp"
+#include "ehsim/solar_cell_simd.hpp"
 #include "sweep/assets.hpp"
 #include "sweep/scenario.hpp"
 
@@ -41,12 +42,13 @@ std::vector<std::string> scalar_reference(std::vector<ScenarioSpec> specs) {
 }
 
 /// Runs `specs` through run_scenarios_batched in groups of `width`,
-/// under rk23batch:width=<width>, and returns canonical metrics per spec.
+/// under <kind>:width=<width>, and returns canonical metrics per spec.
 std::vector<std::string> batched_run(std::vector<ScenarioSpec> specs,
-                                     std::size_t width) {
+                                     std::size_t width,
+                                     const std::string& kind = "rk23batch") {
   for (auto& spec : specs)
-    spec.integrator = IntegratorSpec::parse("rk23batch:width=" +
-                                            std::to_string(width));
+    spec.integrator =
+        IntegratorSpec::parse(kind + ":width=" + std::to_string(width));
   std::vector<std::string> got(specs.size());
   ScenarioAssets assets;
   for (std::size_t begin = 0; begin < specs.size(); begin += width) {
@@ -129,6 +131,82 @@ TEST(BatchParity, BadLaneFailsAloneAndNeverPoisonsBatchmates) {
     ASSERT_TRUE(outcomes[i].ok) << outcomes[i].error;
     EXPECT_EQ(canonical_metrics(outcomes[i]), ref[i]) << specs[i].label;
   }
+}
+
+// --------------------------------------------------------------- rk23simd
+// The SIMD stepper makes the same promise as rk23batch -- execution
+// strategy, not numerics -- with more machinery that could break it:
+// vector RK stages, packed masked Newton, packed bilinear lookups, and a
+// scalar fallback that must agree with all of the above.
+
+TEST(BatchParity, SimdEveryWidthMatchesScalarRk23PiExactly) {
+  GridOptions opt;
+  opt.count = 10;
+  const auto specs = make_scenario_grid(0xB41C5EEDull, opt);
+  const auto ref = scalar_reference(specs);
+  for (const std::size_t width : {std::size_t{2}, std::size_t{4},
+                                  std::size_t{8}}) {
+    const auto got = batched_run(specs, width, "rk23simd");
+    ASSERT_EQ(got.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i)
+      EXPECT_EQ(got[i], ref[i])
+          << "rk23simd width=" << width << " diverged on " << specs[i].label;
+  }
+}
+
+TEST(BatchParity, SimdSurvivesNewtonStressGridsAtEveryWidth) {
+  // Dawn/dusk irradiance ramps, near-brownout stiff spans, and lanes
+  // mixing tabulated and exact PV: the inputs most likely to expose a
+  // packed kernel that is almost-but-not-quite the scalar sequence.
+  GridOptions opt;
+  opt.count = 9;
+  const auto specs = testsupport::make_newton_stress_grid(0x57E55EEDull, opt);
+  bool tabulated = false, exact = false;
+  for (const auto& s : specs) {
+    tabulated = tabulated || s.pv_mode == ehsim::PvSource::Mode::kTabulated;
+    exact = exact || s.pv_mode == ehsim::PvSource::Mode::kExact;
+  }
+  ASSERT_TRUE(tabulated && exact)
+      << "stress seed no longer yields mixed PV modes";
+  const auto ref = scalar_reference(specs);
+  for (const std::size_t width : {std::size_t{2}, std::size_t{4},
+                                  std::size_t{8}}) {
+    const auto got = batched_run(specs, width, "rk23simd");
+    for (std::size_t i = 0; i < ref.size(); ++i)
+      EXPECT_EQ(got[i], ref[i])
+          << "rk23simd width=" << width << " diverged on " << specs[i].label;
+  }
+}
+
+TEST(BatchParity, SimdLaneOrderDoesNotChangeAnyLane) {
+  GridOptions opt;
+  opt.count = 8;
+  auto specs = testsupport::make_newton_stress_grid(0x0DDC0FFEull, opt);
+  const auto ref = scalar_reference(specs);
+  std::vector<ScenarioSpec> reversed(specs.rbegin(), specs.rend());
+  auto got_reversed = batched_run(std::move(reversed), opt.count, "rk23simd");
+  std::reverse(got_reversed.begin(), got_reversed.end());
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    EXPECT_EQ(got_reversed[i], ref[i])
+        << "rk23simd lane permutation changed " << specs[i].label;
+}
+
+TEST(BatchParity, SimdForcedScalarFallbackMatchesToo) {
+  // Platforms whose packed kernels fail the startup self-test degrade to
+  // per-lane scalar execution; force that path and hold it to the same
+  // contract. (Restore the override even if an assertion throws.)
+  struct ForceScalar {
+    ForceScalar() { ehsim::simd_force_scalar(true); }
+    ~ForceScalar() { ehsim::simd_force_scalar(false); }
+  } guard;
+  ASSERT_FALSE(ehsim::simd_kernel_active());
+  GridOptions opt;
+  opt.count = 6;
+  const auto specs = testsupport::make_newton_stress_grid(0xFA11BAC2ull, opt);
+  const auto ref = scalar_reference(specs);
+  const auto got = batched_run(specs, 4, "rk23simd");
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    EXPECT_EQ(got[i], ref[i]) << "forced-scalar " << specs[i].label;
 }
 
 TEST(BatchParity, BatchedStaysWithinToleranceOfRk23Reference) {

@@ -98,6 +98,50 @@ inline std::vector<sweep::ScenarioSpec> make_scenario_grid(
   return specs;
 }
 
+/// Newton-stress variant: specs engineered to hammer the PV solve paths
+/// the packed SIMD kernels accelerate, where bit-divergence would be most
+/// likely to hide. Dawn/dusk starts put the irradiance ramp right at the
+/// solve's hard region (tiny photo-currents, long cold Newton runs);
+/// near-brownout starting voltages make the span stiff (events, rejected
+/// steps, divergence tails); and a fraction of lanes run tabulated-mode
+/// PV so batches mix bilinear lookups, Newton solves and memo hits.
+/// Same purity contract as make_scenario_grid.
+inline std::vector<sweep::ScenarioSpec> make_newton_stress_grid(
+    std::uint64_t seed, const GridOptions& opt = {}) {
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ull);
+  const auto& conditions = trace::all_weather_conditions();
+  const auto& controls =
+      opt.controls.empty() ? default_control_mix() : opt.controls;
+  std::vector<sweep::ScenarioSpec> specs;
+  specs.reserve(opt.count);
+  for (std::size_t i = 0; i < opt.count; ++i) {
+    sweep::ScenarioSpec s;
+    s.label = "newton-stress-" + std::to_string(i);
+    s.condition = conditions[rng.uniform_index(conditions.size())];
+    s.control = sweep::ControlSpec::parse(
+        controls[rng.uniform_index(controls.size())]);
+    s.integrator = sweep::IntegratorSpec::parse(opt.integrator);
+    if (!opt.platforms.empty())
+      s.platform_spec = sweep::PlatformSpec::parse(
+          opt.platforms[rng.uniform_index(opt.platforms.size())]);
+    // Dawn (5.5-7.5 h) or dusk (16.5-19 h): the irradiance ramp sweeps
+    // the photo-current through the cold-solve region during the window.
+    s.t_start = rng.bernoulli(0.5) ? 3600.0 * rng.uniform(5.5, 7.5)
+                                   : 3600.0 * rng.uniform(16.5, 19.0);
+    s.t_end = s.t_start + rng.uniform(opt.min_window_s, opt.max_window_s);
+    s.seed = rng.next_u64();
+    // Small buffers steepen dVC/dt; near-cutoff starts (4.1 V platform
+    // cutoff) make brownout events and rejected steps routine.
+    s.capacitance_f = rng.bernoulli(0.5) ? 22e-3 : 10e-3;
+    s.vc0 = rng.bernoulli(0.5) ? rng.uniform(4.12, 4.25) : 4.6;
+    s.pv_mode = rng.bernoulli(0.33) ? ehsim::PvSource::Mode::kTabulated
+                                    : ehsim::PvSource::Mode::kExact;
+    s.record_series = false;
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
+
 /// Canonical exact serialisation of one outcome's metrics: the sweep
 /// layer's SummaryRow JSON. shortest_double makes every numeric field
 /// round-trip bit for bit, so string equality here is double equality --

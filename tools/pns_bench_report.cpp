@@ -2,14 +2,16 @@
 //
 // Executes the google-benchmark micro suite (bench_micro_hotpaths, when it
 // was built) plus wall-clock timings of the `table2` sweep -- exact and
-// tabulated PV, the rk23pi integrator, an asset-reuse A/B, the same sweep
+// tabulated PV, the rk23pi / rk23batch / rk23simd integrators (with the
+// PV implicit-solve accounting: iteration counts, memo/table hit rates
+// and the packed-lane fraction), an asset-reuse A/B, the same sweep
 // on the 2-domain biglittle platform (the joint-ladder dispatch tax), and
 // the sweep daemon's dispatch overhead (the same sweep through an
 // in-process pns_sweepd with 4 local socket workers versus a plain
 // 4-thread run) -- and writes one JSON document (BENCH_<n>.json) that
 // future PRs append to -- the repo's record that the hot path stays fast:
 //
-//   pns_bench_report                        # full run, writes BENCH_9.json
+//   pns_bench_report                        # full run, writes BENCH_10.json
 //   pns_bench_report --quick --out q.json   # CI smoke (~seconds)
 //
 // scripts/check_bench_regression.py diffs a fresh report against the
@@ -46,7 +48,7 @@ namespace {
 using namespace pns;
 
 struct Options {
-  std::string out_path = "BENCH_9.json";
+  std::string out_path = "BENCH_10.json";
   std::string bench_bin;  // empty = <dir of argv[0]>/bench_micro_hotpaths
   double minutes = 60.0;
   unsigned threads = 0;
@@ -127,6 +129,9 @@ struct SweepTiming {
   std::size_t scenarios = 0;
   std::size_t failed = 0;
   unsigned threads = 0;
+  /// PV implicit-solve accounting summed over the sweep's runs -- where
+  /// the time goes and what fraction the packed kernels took.
+  ehsim::PvSolveStats pv;
 };
 
 SweepTiming time_table2(const Options& opt, ehsim::PvSource::Mode mode,
@@ -156,6 +161,8 @@ SweepTiming time_table2(const Options& opt, ehsim::PvSource::Mode mode,
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   t.failed = sweep::Aggregator(outcomes).failed_count();
+  for (const auto& o : outcomes)
+    if (o.ok) t.pv += o.result.metrics.pv_solve;
   return t;
 }
 
@@ -269,7 +276,48 @@ void write_sweep(JsonWriter& w, const SweepTiming& t) {
   w.kv("wall_s", t.wall_s);
   w.kv("simulated_s", t.simulated_s);
   w.kv("sim_realtime_ratio", t.wall_s > 0.0 ? t.simulated_s / t.wall_s : 0.0);
+  if (t.pv.calls > 0) {
+    const double solves = static_cast<double>(t.pv.newton_solves);
+    w.key("pv_solve");
+    w.begin_object();
+    w.kv("calls", t.pv.calls);
+    w.kv("memo_hits", t.pv.memo_hits);
+    w.kv("table_hits", t.pv.table_hits);
+    w.kv("newton_solves", t.pv.newton_solves);
+    w.kv("newton_iterations", t.pv.newton_iterations);
+    w.kv("warm_starts", t.pv.warm_starts);
+    w.kv("simd_lanes", t.pv.simd_lanes);
+    w.kv("iters_per_solve",
+         solves > 0.0 ? static_cast<double>(t.pv.newton_iterations) / solves
+                      : 0.0);
+    w.kv("memo_hit_rate",
+         static_cast<double>(t.pv.memo_hits) /
+             static_cast<double>(t.pv.calls));
+    w.kv("simd_lane_fraction",
+         solves > 0.0 ? static_cast<double>(t.pv.simd_lanes) / solves : 0.0);
+    w.end_object();
+  }
   w.end_object();
+}
+
+void print_pv(const char* label, const SweepTiming& t) {
+  if (t.pv.calls == 0) return;
+  const double solves = static_cast<double>(t.pv.newton_solves);
+  std::printf(
+      "pv solve %-10s %10llu calls: %5.1f%% memo, %5.1f%% table, "
+      "%llu newton (%.2f iters/solve, %5.1f%% warm, %5.1f%% packed)\n",
+      label, static_cast<unsigned long long>(t.pv.calls),
+      100.0 * static_cast<double>(t.pv.memo_hits) /
+          static_cast<double>(t.pv.calls),
+      100.0 * static_cast<double>(t.pv.table_hits) /
+          static_cast<double>(t.pv.calls),
+      static_cast<unsigned long long>(t.pv.newton_solves),
+      solves > 0.0 ? static_cast<double>(t.pv.newton_iterations) / solves
+                   : 0.0,
+      solves > 0.0 ? 100.0 * static_cast<double>(t.pv.warm_starts) / solves
+                   : 0.0,
+      solves > 0.0 ? 100.0 * static_cast<double>(t.pv.simd_lanes) / solves
+                   : 0.0);
 }
 
 void usage(const char* argv0) {
@@ -277,7 +325,7 @@ void usage(const char* argv0) {
       "usage: %s [options]\n"
       "\n"
       "options:\n"
-      "  --out PATH       output JSON path (default BENCH_9.json)\n"
+      "  --out PATH       output JSON path (default BENCH_10.json)\n"
       "  --bench-bin P    micro-benchmark binary (default: next to this "
       "binary)\n"
       "  --minutes M      simulated window of the table2 timing "
@@ -350,6 +398,10 @@ int main(int argc, char** argv) {
                opt.minutes);
   const auto batch =
       time_table2(opt, ehsim::PvSource::Mode::kExact, "rk23batch");
+  std::fprintf(stderr, "timing table2 sweep (rk23simd, %.0f min)...\n",
+               opt.minutes);
+  const auto simd =
+      time_table2(opt, ehsim::PvSource::Mode::kExact, "rk23simd");
   std::fprintf(stderr,
                "timing table2 sweep (exact PV, no asset reuse, %.0f "
                "min)...\n",
@@ -392,6 +444,8 @@ int main(int argc, char** argv) {
   write_sweep(w, pi);
   w.key("rk23batch");
   write_sweep(w, batch);
+  w.key("rk23simd");
+  write_sweep(w, simd);
   w.key("exact_no_asset_reuse");
   write_sweep(w, no_reuse);
   w.end_object();
@@ -444,6 +498,7 @@ int main(int argc, char** argv) {
   std::printf("table2 exact: %.2f s wall (%.0fx realtime); tabulated: "
               "%.2f s wall (%.0fx realtime); rk23pi: %.2f s wall "
               "(%.0fx realtime); rk23batch: %.2f s wall (%.0fx realtime); "
+              "rk23simd: %.2f s wall (%.0fx realtime); "
               "no asset reuse: %.2f s wall\n",
               exact.wall_s,
               exact.wall_s > 0 ? exact.simulated_s / exact.wall_s : 0.0,
@@ -451,7 +506,13 @@ int main(int argc, char** argv) {
               pi.wall_s, pi.wall_s > 0 ? pi.simulated_s / pi.wall_s : 0.0,
               batch.wall_s,
               batch.wall_s > 0 ? batch.simulated_s / batch.wall_s : 0.0,
+              simd.wall_s,
+              simd.wall_s > 0 ? simd.simulated_s / simd.wall_s : 0.0,
               no_reuse.wall_s);
+  print_pv("exact:", exact);
+  print_pv("tabulated:", tab);
+  print_pv("rk23pi:", pi);
+  print_pv("rk23simd:", simd);
   std::printf("table2 biglittle: %.2f s wall (%.0fx realtime)\n",
               biglittle.wall_s,
               biglittle.wall_s > 0
@@ -464,7 +525,8 @@ int main(int argc, char** argv) {
                 dispatch.in_process.wall_s, dispatch.overhead_per_row_ms);
   const bool sweeps_ok = exact.failed == 0 && tab.failed == 0 &&
                          pi.failed == 0 && batch.failed == 0 &&
-                         no_reuse.failed == 0 && biglittle.failed == 0 &&
-                         dispatch.ok && dispatch.daemon.failed == 0;
+                         simd.failed == 0 && no_reuse.failed == 0 &&
+                         biglittle.failed == 0 && dispatch.ok &&
+                         dispatch.daemon.failed == 0;
   return sweeps_ok ? 0 : 1;
 }
